@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSimulation(t *testing.T) {
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	// Paper-shaped workload: analytic comparison branch included.
+	if err := run(4, "det:100", "geom:0.0034", "det:10", 400, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	// High-variance workload: no analytic branch.
+	if err := run(2, "unif:50,150", "exp:300", "hyper:0.9,5,55", 200, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Bad distribution specs.
+	for _, args := range [][3]string{
+		{"wat:1", "geom:0.01", "det:10"},
+		{"det:100", "wat:1", "det:10"},
+		{"det:100", "geom:0.01", "wat:1"},
+	} {
+		if err := run(2, args[0], args[1], args[2], 100, 5, 3); err == nil {
+			t.Errorf("bad spec %v should error", args)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Command feasim evaluates the non-dedicated distributed computing
+// feasibility model from the command line.
+//
+// Subcommands:
+//
+//	analyze    evaluate the model at one parameter point
+//	assess     feasibility verdict against a weighted-efficiency target
+//	threshold  minimum task ratio table (the paper's conclusions)
+//	scaled     memory-bounded scaleup sweep (Section 3.2)
+//	simulate   validate the analysis by simulation (Section 2.2)
+//
+// Examples:
+//
+//	feasim analyze -j 1000 -w 100 -o 10 -util 0.05
+//	feasim assess -j 600 -w 60 -o 10 -util 0.2 -target 0.8
+//	feasim threshold -w 60 -o 10 -target 0.8 -utils 0.05,0.1,0.2
+//	feasim scaled -t 100 -o 10 -util 0.1 -maxw 100
+//	feasim simulate -j 1000 -w 50 -o 10 -util 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"feasim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "assess":
+		err = cmdAssess(os.Args[2:])
+	case "threshold":
+		err = cmdThreshold(os.Args[2:])
+	case "scaled":
+		err = cmdScaled(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "feasim: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feasim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: feasim <analyze|assess|threshold|scaled|simulate> [flags]
+run "feasim <subcommand> -h" for flags`)
+}
+
+// modelFlags registers the shared model parameters on a flag set.
+func modelFlags(fs *flag.FlagSet) (j *float64, w *int, o, util *float64) {
+	j = fs.Float64("j", 1000, "total job demand J (time units)")
+	w = fs.Int("w", 60, "number of workstations W")
+	o = fs.Float64("o", 10, "owner burst demand O (time units)")
+	util = fs.Float64("util", 0.05, "owner utilization U in [0,1)")
+	return
+}
+
+func buildParams(j float64, w int, o, util float64) (feasim.Params, error) {
+	return feasim.ParamsFromUtilization(j, w, o, util)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	j, w, o, util := modelFlags(fs)
+	fs.Parse(args)
+	p, err := buildParams(*j, *w, *o, *util)
+	if err != nil {
+		return err
+	}
+	r, err := feasim.Analyze(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: J=%g W=%d O=%g P=%.6g (owner utilization %.4g)\n", p.J, p.W, p.O, p.P, r.U)
+	fmt.Printf("  task demand T          %12.4f\n", r.T)
+	fmt.Printf("  task ratio T/O         %12.4f\n", r.Metrics.TaskRatio)
+	fmt.Printf("  E[task time]           %12.4f\n", r.ETask)
+	fmt.Printf("  E[job time]            %12.4f\n", r.EJob)
+	fmt.Printf("  speedup                %12.4f\n", r.Speedup)
+	fmt.Printf("  efficiency             %12.4f\n", r.Efficiency)
+	fmt.Printf("  weighted speedup       %12.4f\n", r.WeightedSpeedup)
+	fmt.Printf("  weighted efficiency    %12.4f\n", r.WeightedEfficiency)
+	return nil
+}
+
+func cmdAssess(args []string) error {
+	fs := flag.NewFlagSet("assess", flag.ExitOnError)
+	j, w, o, util := modelFlags(fs)
+	target := fs.Float64("target", 0.8, "target weighted efficiency")
+	fs.Parse(args)
+	p, err := buildParams(*j, *w, *o, *util)
+	if err != nil {
+		return err
+	}
+	v, err := feasim.Assess(p, *target)
+	if err != nil {
+		return err
+	}
+	verdict := "FEASIBLE"
+	if !v.Feasible {
+		verdict = "NOT FEASIBLE"
+	}
+	fmt.Printf("%s: weighted efficiency %.3f vs target %.3f\n", verdict, v.WeightedEfficiency, v.Target)
+	fmt.Printf("  current task ratio  %.2f\n", v.Result.Metrics.TaskRatio)
+	fmt.Printf("  required task ratio %d\n", v.MinRatio)
+	fmt.Printf("  required job demand %.0f (current %.0f)\n", v.MinJobDemand, p.J)
+	return nil
+}
+
+func cmdThreshold(args []string) error {
+	fs := flag.NewFlagSet("threshold", flag.ExitOnError)
+	w := fs.Int("w", 60, "number of workstations")
+	o := fs.Float64("o", 10, "owner burst demand")
+	target := fs.Float64("target", 0.8, "target weighted efficiency")
+	utilsArg := fs.String("utils", "0.05,0.1,0.2", "comma-separated owner utilizations")
+	fs.Parse(args)
+	var utils []float64
+	for _, s := range strings.Split(*utilsArg, ",") {
+		u, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad utilization %q: %v", s, err)
+		}
+		utils = append(utils, u)
+	}
+	rows, err := feasim.ThresholdTable(*w, *o, *target, utils)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("minimum task ratio for weighted efficiency >= %.2f (W=%d, O=%g)\n", *target, *w, *o)
+	fmt.Printf("%-12s %-10s %s\n", "utilization", "ratio", "achieved weff")
+	for _, r := range rows {
+		fmt.Printf("%-12.4g %-10d %.4f\n", r.Util, r.MinRatio, r.WeightedEff)
+	}
+	return nil
+}
+
+func cmdScaled(args []string) error {
+	fs := flag.NewFlagSet("scaled", flag.ExitOnError)
+	t := fs.Float64("t", 100, "fixed per-task demand T (J = T*W)")
+	o := fs.Float64("o", 10, "owner burst demand")
+	util := fs.Float64("util", 0.1, "owner utilization")
+	maxw := fs.Int("maxw", 100, "largest system size")
+	fs.Parse(args)
+	var ws []int
+	for w := 1; w <= *maxw; w *= 2 {
+		ws = append(ws, w)
+	}
+	if ws[len(ws)-1] != *maxw {
+		ws = append(ws, *maxw)
+	}
+	pts, err := feasim.ScaledSweep(*t, *o, *util, ws)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("memory-bounded scaleup: T=%g, O=%g, util=%g\n", *t, *o, *util)
+	fmt.Printf("%-6s %-12s %-22s %s\n", "W", "E[job time]", "increase vs dedicated", "increase vs W=1")
+	for _, pt := range pts {
+		fmt.Printf("%-6d %-12.3f %-22s %s\n", pt.W, pt.Result.EJob,
+			fmt.Sprintf("%+.1f%%", pt.IncreaseVsDedicated*100),
+			fmt.Sprintf("%+.1f%%", pt.IncreaseVsSingle*100))
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	j, w, o, util := modelFlags(fs)
+	seed := fs.Uint64("seed", 1993, "random seed")
+	batches := fs.Int("batches", 20, "batch count (paper: 20)")
+	batchSize := fs.Int("batchsize", 1000, "batch size (paper: 1000)")
+	fs.Parse(args)
+	p, err := buildParams(*j, *w, *o, *util)
+	if err != nil {
+		return err
+	}
+	pr := feasim.Protocol{Batches: *batches, BatchSize: *batchSize, Level: 0.90, MaxRel: 0.01, MaxSamples: 2_000_000}
+	run, ana, ok, err := feasim.ValidateAgainstAnalysis(p, pr, *seed, 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation (%d samples, 90%% CIs):\n", run.Samples)
+	fmt.Printf("  E[job time]  analysis %10.4f   simulated %v\n", ana.EJob, run.JobTime)
+	fmt.Printf("  E[task time] analysis %10.4f   simulated %v\n", ana.ETask, run.MeanTask)
+	if ok {
+		fmt.Println("  analysis within simulation confidence intervals ✓")
+	} else {
+		fmt.Println("  analysis OUTSIDE simulation confidence intervals ✗")
+	}
+	return nil
+}

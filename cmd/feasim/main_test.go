@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// The subcommand functions print to stdout and return errors; these tests
+// exercise flag parsing, parameter validation, and the happy paths.
+
+func discardStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	t.Cleanup(func() {
+		os.Stdout = old
+		null.Close()
+	})
+}
+
+func TestCmdAnalyze(t *testing.T) {
+	discardStdout(t)
+	if err := cmdAnalyze([]string{"-j", "1000", "-w", "100", "-o", "10", "-util", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-util", "1.5"}); err == nil {
+		t.Error("bad utilization should error")
+	}
+}
+
+func TestCmdAssess(t *testing.T) {
+	discardStdout(t)
+	if err := cmdAssess([]string{"-j", "600", "-w", "60", "-util", "0.2", "-target", "0.8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAssess([]string{"-j", "60000", "-w", "60", "-util", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdThreshold(t *testing.T) {
+	discardStdout(t)
+	if err := cmdThreshold([]string{"-w", "60", "-utils", "0.05,0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdThreshold([]string{"-utils", "abc"}); err == nil {
+		t.Error("malformed utils should error")
+	}
+	if err := cmdThreshold([]string{"-utils", "1.5"}); err == nil {
+		t.Error("out-of-range utilization should error")
+	}
+}
+
+func TestCmdScaled(t *testing.T) {
+	discardStdout(t)
+	if err := cmdScaled([]string{"-t", "100", "-util", "0.1", "-maxw", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdScaled([]string{"-util", "1.0"}); err == nil {
+		t.Error("bad utilization should error")
+	}
+}
+
+func TestCmdSimulate(t *testing.T) {
+	discardStdout(t)
+	// Small protocol keeps the test fast; W=50 gives integral T.
+	if err := cmdSimulate([]string{"-j", "1000", "-w", "50", "-util", "0.1",
+		"-batches", "5", "-batchsize", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	// Non-integral T must be rejected by the exact simulator.
+	if err := cmdSimulate([]string{"-j", "1000", "-w", "3", "-util", "0.1",
+		"-batches", "5", "-batchsize", "50"}); err == nil {
+		t.Error("non-integral T should error")
+	}
+}

@@ -1,0 +1,135 @@
+// Command figures regenerates every figure and table in the paper's
+// evaluation and writes the data to an output directory:
+//
+//	out/<id>.csv   the plotted series (or table rows)
+//	out/<id>.txt   an ASCII rendering
+//	out/<id>.dat   gnuplot data
+//	out/<id>.gp    gnuplot script
+//	out/REPORT.md  paper-vs-measured for every quoted number
+//
+// Usage:
+//
+//	figures [-out out] [-id fig07] [-fast] [-ascii]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"feasim"
+	"feasim/internal/experiment"
+	"feasim/internal/plot"
+)
+
+func main() {
+	outDir := flag.String("out", "out", "output directory")
+	id := flag.String("id", "", "regenerate a single experiment (default: all)")
+	fast := flag.Bool("fast", false, "scaled-down configuration (CI smoke runs)")
+	ascii := flag.Bool("ascii", false, "print ASCII charts to stdout as they are produced")
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	if *fast {
+		cfg = experiment.TestConfig()
+	}
+
+	defs := experiment.All()
+	if *id != "" {
+		d, ok := experiment.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (have %v)\n", *id, experiment.IDs())
+			os.Exit(2)
+		}
+		defs = []experiment.Definition{d}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	var results []experiment.Result
+	failures := 0
+	for _, d := range defs {
+		fmt.Printf("== %s: %s\n", d.ID, d.Paper)
+		out, err := d.Run(cfg)
+		results = append(results, experiment.Result{Definition: d, Output: out, Err: err})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "   ERROR: %v\n", err)
+			failures++
+			continue
+		}
+		if err := emit(*outDir, d.ID, out, *ascii); err != nil {
+			fmt.Fprintf(os.Stderr, "   write error: %v\n", err)
+			failures++
+			continue
+		}
+		for _, c := range out.Checks {
+			fmt.Printf("   %s\n", c)
+			if !c.Pass() {
+				failures++
+			}
+		}
+	}
+
+	report := "# Paper vs. measured\n\n" + experiment.MarkdownReport(results)
+	if err := os.WriteFile(filepath.Join(*outDir, "REPORT.md"), []byte(report), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", filepath.Join(*outDir, "REPORT.md"))
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d failures\n", failures)
+		os.Exit(1)
+	}
+}
+
+// emit writes all renderings of one experiment output.
+func emit(dir, id string, out feasim.ExperimentOutput, ascii bool) error {
+	write := func(ext, content string) error {
+		return os.WriteFile(filepath.Join(dir, id+ext), []byte(content), 0o644)
+	}
+	if out.Figure != nil {
+		csv, err := plot.CSV(*out.Figure)
+		if err != nil {
+			return err
+		}
+		if err := write(".csv", csv); err != nil {
+			return err
+		}
+		art, err := plot.RenderASCII(*out.Figure, 100, 28)
+		if err != nil {
+			return err
+		}
+		if err := write(".txt", art); err != nil {
+			return err
+		}
+		if ascii {
+			fmt.Println(art)
+		}
+		dat, gp, err := plot.Gnuplot(*out.Figure, id+".dat")
+		if err != nil {
+			return err
+		}
+		if err := write(".dat", dat); err != nil {
+			return err
+		}
+		if err := write(".gp", gp); err != nil {
+			return err
+		}
+	}
+	if out.Table != nil {
+		if err := write(".csv", out.Table.CSV()); err != nil {
+			return err
+		}
+		if err := write(".txt", out.Table.Render()); err != nil {
+			return err
+		}
+		if ascii {
+			fmt.Println(out.Table.Render())
+		}
+	}
+	return nil
+}

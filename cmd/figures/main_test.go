@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"feasim/internal/experiment"
+)
+
+func TestEmitWritesAllRenderings(t *testing.T) {
+	dir := t.TempDir()
+	d, ok := experiment.ByID("fig09")
+	if !ok {
+		t.Fatal("fig09 missing")
+	}
+	cfg := experiment.TestConfig()
+	out, err := d.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(dir, "fig09", out, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".csv", ".txt", ".dat", ".gp"} {
+		path := filepath.Join(dir, "fig09"+ext)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing %s: %v", path, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	csv, _ := os.ReadFile(filepath.Join(dir, "fig09.csv"))
+	if !strings.HasPrefix(string(csv), "Number of Processors") {
+		t.Errorf("csv header: %q", strings.Split(string(csv), "\n")[0])
+	}
+}
+
+func TestEmitTable(t *testing.T) {
+	dir := t.TempDir()
+	d, ok := experiment.ByID("thresholds")
+	if !ok {
+		t.Fatal("thresholds missing")
+	}
+	out, err := d.Run(experiment.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(dir, "thresholds", out, false); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "thresholds.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "Minimum task ratio") {
+		t.Errorf("table rendering wrong:\n%s", txt)
+	}
+	// Tables produce no gnuplot output.
+	if _, err := os.Stat(filepath.Join(dir, "thresholds.gp")); !os.IsNotExist(err) {
+		t.Error("tables should not emit gnuplot scripts")
+	}
+}

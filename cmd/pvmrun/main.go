@@ -1,0 +1,95 @@
+// Command pvmrun executes the paper's Section 4 experiment: a PVM-style
+// local computation program on a virtual non-dedicated workstation cluster,
+// reporting per-task times, the maximum task time, and the analytic
+// prediction.
+//
+// Usage:
+//
+//	pvmrun [-w 12] [-demand 16] [-o 10] [-util 0.03] [-runs 10] [-tcp] [-seed 7]
+//
+// demand is the problem's service demand in dedicated minutes, as in the
+// paper's Figures 10-11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"feasim"
+)
+
+func main() {
+	w := flag.Int("w", 12, "number of workstations")
+	demandMin := flag.Float64("demand", 16, "problem size in dedicated minutes")
+	o := flag.Float64("o", 10, "owner burst demand (virtual seconds)")
+	util := flag.Float64("util", 0.03, "owner utilization (paper measured 3%)")
+	runs := flag.Int("runs", 10, "repetitions to average (paper: 10)")
+	useTCP := flag.Bool("tcp", false, "route messages over loopback TCP")
+	seed := flag.Uint64("seed", 7, "random seed")
+	verbose := flag.Bool("v", false, "print per-task records of the first run")
+	flag.Parse()
+
+	if err := run(*w, *demandMin, *o, *util, *runs, *useTCP, *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "pvmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w int, demandMin, o, util float64, runs int, useTCP bool, seed uint64, verbose bool) error {
+	params, err := feasim.SunELCParams(o, util)
+	if err != nil {
+		return err
+	}
+	c, err := feasim.NewCluster(w, params, seed)
+	if err != nil {
+		return err
+	}
+	demand := demandMin * 60
+
+	transport := feasim.TransportInProc
+	if useTCP {
+		transport = feasim.TransportTCP
+	}
+	lc := feasim.LocalComputation{
+		Cluster:     c,
+		Workers:     w,
+		TotalDemand: demand,
+		Transport:   transport,
+	}
+
+	fmt.Printf("virtual cluster: %d workstations, owner util %.1f%%, burst %gs\n", w, util*100, o)
+	fmt.Printf("measured util over a probe horizon: %.2f%%\n", c.MeasureUtilization(200_000)*100)
+	fmt.Printf("problem: %g dedicated minutes (%g s), %g s per task\n", demandMin, demand, demand/float64(w))
+
+	first, err := lc.Run()
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Printf("%-8s %-10s %-10s %-10s %s\n", "station", "demand", "elapsed", "owner", "bursts")
+		for _, rec := range first.Records {
+			fmt.Printf("%-8s %-10.2f %-10.2f %-10.2f %d\n",
+				rec.Station, rec.Demand, rec.Elapsed, rec.OwnerTime, rec.Bursts)
+		}
+	}
+
+	exp := feasim.ClusterExperiment{LocalComputation: lc, Runs: runs}
+	res, err := exp.Run()
+	if err != nil {
+		return err
+	}
+	p, err := feasim.ParamsFromUtilization(demand, w, o, util)
+	if err != nil {
+		return err
+	}
+	ana, err := feasim.Analyze(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mean max task time over %d runs: %.2f s (sd %.2f)\n",
+		runs, res.MaxTaskTime.Mean(), res.MaxTaskTime.StdDev())
+	fmt.Printf("analytic model prediction E_j:   %.2f s\n", ana.EJob)
+	fmt.Printf("dedicated lower bound:           %.2f s\n", demand/float64(w))
+	return nil
+}

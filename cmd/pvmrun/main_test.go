@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunExperiment(t *testing.T) {
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	if err := run(4, 2, 10, 0.03, 3, false, 7, true); err != nil {
+		t.Fatal(err)
+	}
+	// TCP transport path.
+	if err := run(2, 1, 10, 0.03, 2, true, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid utilization propagates.
+	if err := run(2, 1, 10, 1.5, 2, false, 7, false); err == nil {
+		t.Error("bad utilization should error")
+	}
+}

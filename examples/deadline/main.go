@@ -1,0 +1,83 @@
+// Deadline planning: the model gives the full distribution of job
+// completion time, not just its mean, so a batch scheduler can answer
+// "what is the probability this job finishes before the owners arrive at
+// 9am?" and right-size the allocation accordingly.
+//
+// Scenario: a nightly job of 14,400 units (4 dedicated hours at one unit
+// per second) must finish within a 35-minute maintenance window on a pool
+// of 16 workstations whose owners average 10% remnant utilization. How many
+// workstations should it use, and how confident are we?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"feasim"
+)
+
+func main() {
+	const (
+		jobDemand  = 14400.0 // total compute (unit = 1 second)
+		ownerBurst = 10.0
+		ownerUtil  = 0.10
+		window     = 2100.0 // the maintenance window in seconds (35 min)
+		maxW       = 16     // machines available in the overnight pool
+	)
+
+	fmt.Printf("job: %.0f s of dedicated compute; window: %.0f s; owners: %.0f%% in %gs bursts\n\n",
+		jobDemand, window, ownerUtil*100, ownerBurst)
+
+	// Sweep candidate allocations and report completion-time quantiles.
+	fmt.Printf("%-6s %-12s %-12s %-12s %-12s %-14s\n",
+		"W", "E[job] (s)", "p50 (s)", "p95 (s)", "p99.9 (s)", "P(make window)")
+	for _, w := range []int{4, 8, 10, 12, 16} {
+		p, err := feasim.ParamsFromUtilization(jobDemand, w, ownerBurst, ownerUtil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := feasim.Analyze(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := feasim.JobTimeDistribution(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prob, err := feasim.DeadlineProb(p, window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-12.0f %-12.0f %-12.0f %-12.0f %-14.6f\n",
+			w, r.EJob, d.Quantile(0.5), d.Quantile(0.95), d.Quantile(0.999), prob)
+	}
+
+	// The efficiency-aware choice: the largest W still meeting 85% weighted
+	// efficiency (don't waste the pool just to shave minutes).
+	plan, err := feasim.PlanPartition(jobDemand, ownerBurst, ownerUtil, 0.85, maxW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob, err := feasim.DeadlineProb(feasim.NewParams(jobDemand, plan.W, ownerBurst, plan.Result.P), window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecommended allocation: W=%d (weighted efficiency %.3f, task ratio %.0f)\n",
+		plan.W, plan.Result.WeightedEfficiency, plan.Result.Metrics.TaskRatio)
+	fmt.Printf("deadline confidence at W=%d: %.6f\n", plan.W, prob)
+
+	// Cross-check the distribution against simulation at the chosen W.
+	x, err := feasim.NewExactSimulator(feasim.NewParams(jobDemand, plan.W, ownerBurst, plan.Result.P), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	misses := 0
+	const runs = 20000
+	for i := 0; i < runs; i++ {
+		if x.Sample().JobTime > window {
+			misses++
+		}
+	}
+	fmt.Printf("simulated miss rate over %d nights: %.6f (model: %.6f)\n",
+		runs, float64(misses)/runs, 1-prob)
+}

@@ -1,0 +1,48 @@
+// Quickstart: evaluate the feasibility model at one point, check the
+// verdict, and validate the analysis by simulation — the library's three
+// core calls in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"feasim"
+)
+
+func main() {
+	// A 12,000-unit job on 60 workstations whose owners use 5% of their
+	// machines in 10-unit bursts.
+	p, err := feasim.ParamsFromUtilization(12000, 60, 10, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := feasim.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task ratio %.1f → speedup %.1f of %d, weighted efficiency %.2f\n",
+		r.Metrics.TaskRatio, r.Speedup, p.W, r.WeightedEfficiency)
+
+	// Is that good enough? The paper's bar: 80% of the possible speedup.
+	v, err := feasim.Assess(p, 0.80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v.Feasible {
+		fmt.Println("verdict: feasible — idle cycles are worth stealing")
+	} else {
+		fmt.Printf("verdict: infeasible — grow the job to J >= %.0f (task ratio %d)\n",
+			v.MinJobDemand, v.MinRatio)
+	}
+
+	// Trust but verify: the paper's own validation, simulation vs analysis.
+	pr := feasim.Protocol{Batches: 20, BatchSize: 500, Level: 0.90, MaxSamples: 1 << 20}
+	run, ana, ok, err := feasim.ValidateAgainstAnalysis(p, pr, 42, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated E[job time] %v vs analysis %.2f — agreement: %v\n",
+		run.JobTime, ana.EJob, ok)
+}

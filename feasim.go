@@ -1,0 +1,401 @@
+// Package feasim is a library for studying the feasibility of distributed
+// computing on non-dedicated workstation clusters, reproducing Leutenegger
+// & Sun, "Distributed Computing Feasibility in a Non-Dedicated Homogeneous
+// Distributed System" (ICASE 93-65 / NASA CR-191532, Supercomputing '93).
+//
+// The question the library answers: given W workstations whose owners
+// reclaim their machines with preemptive priority, how large must a
+// parallel job be before stealing the idle cycles pays off? The paper's
+// answer — and this library's central metric — is the task ratio: the
+// per-task demand divided by the mean owner burst demand.
+//
+// # Layers
+//
+//   - The analytical model (Analyze, Assess, ThresholdTable, ScaledSweep):
+//     exact discrete-time results from the paper's equations (1)-(8).
+//   - Simulation (NewExactSimulator, NewGeneralSimulator, RunExact,
+//     RunGeneral): the paper's CSIM study, plus generalizations with
+//     arbitrary owner/task distributions on a process-oriented
+//     discrete-event engine.
+//   - Virtual cluster + PVM (NewCluster, LocalComputation, NewVM): the
+//     paper's Section 4 experiment — a PVM-style message-passing program on
+//     virtual non-dedicated Sun ELC workstations.
+//   - Experiments (Experiments, RunExperiment): regenerate every figure and
+//     table in the paper.
+//
+// # Quick start
+//
+//	p, _ := feasim.ParamsFromUtilization(10000, 60, 10, 0.05)
+//	r, _ := feasim.Analyze(p)
+//	fmt.Printf("task ratio %.0f → weighted efficiency %.2f\n",
+//	    r.Metrics.TaskRatio, r.WeightedEfficiency)
+//
+// All types are aliases of the implementation packages under internal/, so
+// the godoc for methods lives with the types shown here.
+package feasim
+
+import (
+	"feasim/internal/cluster"
+	"feasim/internal/core"
+	"feasim/internal/experiment"
+	"feasim/internal/plot"
+	"feasim/internal/pvm"
+	"feasim/internal/rng"
+	"feasim/internal/sim"
+	"feasim/internal/stats"
+)
+
+// ---- Analytical model (the paper's primary contribution) ----
+
+// Params are the model inputs: J (total job demand), W (workstations),
+// O (owner burst demand), P (owner request probability per unit of task
+// progress).
+type Params = core.Params
+
+// Result is the full model output: E_t, E_j and all Section 3 metrics.
+type Result = core.Result
+
+// Metrics are task ratio, speedup, efficiency and their weighted variants.
+type Metrics = core.Metrics
+
+// Binomial is the owner-interruption count distribution Bin(T, P).
+type Binomial = core.Binomial
+
+// ThresholdQuery asks for the task ratio needed to reach a target weighted
+// efficiency.
+type ThresholdQuery = core.ThresholdQuery
+
+// ThresholdRow is one line of the conclusions table.
+type ThresholdRow = core.ThresholdRow
+
+// FeasibilityVerdict is the output of Assess.
+type FeasibilityVerdict = core.FeasibilityVerdict
+
+// ScaledPoint is one system size of a memory-bounded scaleup sweep.
+type ScaledPoint = core.ScaledPoint
+
+// NewParams builds Params from the raw inputs.
+func NewParams(j float64, w int, o, p float64) Params { return core.NewParams(j, w, o, p) }
+
+// ParamsFromUtilization derives P from a target owner utilization.
+func ParamsFromUtilization(j float64, w int, o, util float64) (Params, error) {
+	return core.ParamsFromUtilization(j, w, o, util)
+}
+
+// Analyze evaluates the model.
+func Analyze(p Params) (Result, error) { return core.Analyze(p) }
+
+// Assess combines Analyze with the threshold solver into a verdict.
+func Assess(p Params, targetWeightedEff float64) (FeasibilityVerdict, error) {
+	return core.Assess(p, targetWeightedEff)
+}
+
+// ThresholdTable reproduces the conclusions table: minimum task ratio for a
+// target weighted efficiency at each utilization.
+func ThresholdTable(w int, o, target float64, utils []float64) ([]ThresholdRow, error) {
+	return core.ThresholdTable(w, o, target, utils)
+}
+
+// ScaledSweep analyzes memory-bounded scaleup (J = T·W) across system sizes.
+func ScaledSweep(t, o, util float64, ws []int) ([]ScaledPoint, error) {
+	return core.ScaledSweep(t, o, util, ws)
+}
+
+// TimeDistribution is a discrete completion-time distribution with
+// quantiles and tail probabilities.
+type TimeDistribution = core.TimeDistribution
+
+// PartitionPlan is a right-sized cluster allocation for a fixed job.
+type PartitionPlan = core.PartitionPlan
+
+// JobTimeDistribution returns the exact distribution of the job completion
+// time (mean = E_j), enabling quantiles and deadline probabilities.
+func JobTimeDistribution(p Params) (TimeDistribution, error) { return core.JobTimeDistribution(p) }
+
+// TaskTimeDistribution returns the exact distribution of one task's
+// completion time (mean = E_t).
+func TaskTimeDistribution(p Params) (TimeDistribution, error) { return core.TaskTimeDistribution(p) }
+
+// DeadlineProb returns P(job completes within deadline).
+func DeadlineProb(p Params, deadline float64) (float64, error) { return core.DeadlineProb(p, deadline) }
+
+// AnalyzeGumbel is the O(1) extreme-value approximation of Analyze for very
+// large task demands.
+func AnalyzeGumbel(p Params) (Result, error) { return core.AnalyzeGumbel(p) }
+
+// MaxWorkstations returns the largest system size at which a fixed job
+// still meets the weighted-efficiency target.
+func MaxWorkstations(j, o, util, target float64, maxW int) (int, error) {
+	return core.MaxWorkstations(j, o, util, target, maxW)
+}
+
+// PlanPartition right-sizes a fixed job: the largest W meeting the target,
+// with the model output at that size.
+func PlanPartition(j, o, util, target float64, maxW int) (PartitionPlan, error) {
+	return core.PlanPartition(j, o, util, target, maxW)
+}
+
+// ---- Simulation (Section 2.2 and its future-work extensions) ----
+
+// ExactSimulator is the discrete-time simulator matching the analysis.
+type ExactSimulator = sim.Exact
+
+// GeneralSimulator is the DES-based simulator with arbitrary distributions.
+type GeneralSimulator = sim.General
+
+// GeneralConfig configures the general simulator.
+type GeneralConfig = sim.GeneralConfig
+
+// StationWorkload describes one workstation's owner workload in the
+// general simulator.
+type StationWorkload = sim.StationConfig
+
+// Protocol is the batch-means output-analysis protocol.
+type Protocol = sim.Protocol
+
+// SimResult is a measured simulation run with confidence intervals.
+type SimResult = sim.RunResult
+
+// NewExactSimulator builds the exact simulator.
+func NewExactSimulator(p Params, seed uint64) (*ExactSimulator, error) { return sim.NewExact(p, seed) }
+
+// NewGeneralSimulator builds the general simulator.
+func NewGeneralSimulator(cfg GeneralConfig) (*GeneralSimulator, error) { return sim.NewGeneral(cfg) }
+
+// HomogeneousGeometric builds the paper's workload for the general
+// simulator.
+func HomogeneousGeometric(w int, t, o, p float64) GeneralConfig {
+	return sim.HomogeneousGeometric(w, t, o, p)
+}
+
+// DefaultProtocol is the paper's protocol: 20 batches of 1000 samples, 90%
+// confidence, 1% target half-width.
+func DefaultProtocol() Protocol { return sim.DefaultProtocol() }
+
+// RunExact applies the protocol to the exact simulator.
+func RunExact(x *ExactSimulator, pr Protocol) (SimResult, error) { return sim.RunExact(x, pr) }
+
+// RunGeneral applies the protocol to the general simulator.
+func RunGeneral(g *GeneralSimulator, pr Protocol) (SimResult, error) { return sim.RunGeneral(g, pr) }
+
+// ValidateAgainstAnalysis runs the paper's validation: simulation CIs must
+// cover the analytic values.
+func ValidateAgainstAnalysis(p Params, pr Protocol, seed uint64, slack float64) (SimResult, Result, bool, error) {
+	return sim.ValidateAgainstAnalysis(p, pr, seed, slack)
+}
+
+// MultiJobConfig configures the closed multi-job contention simulator (the
+// paper assumes one job at a time; this relaxes that).
+type MultiJobConfig = sim.MultiJobConfig
+
+// MultiJobStats is the multi-job simulation output.
+type MultiJobStats = sim.MultiJobStats
+
+// MultiJobPoint is one multiprogramming level of a sweep.
+type MultiJobPoint = sim.MultiJobPoint
+
+// RunMultiJob simulates n measured executions of each of cfg.Jobs
+// concurrent parallel jobs.
+func RunMultiJob(cfg MultiJobConfig, n int) (MultiJobStats, error) { return sim.RunMultiJob(cfg, n) }
+
+// MultiJobSweep runs the multi-job simulation at each multiprogramming
+// level.
+func MultiJobSweep(base MultiJobConfig, levels []int, n int) ([]MultiJobPoint, error) {
+	return sim.MultiJobSweepLevels(base, levels, n)
+}
+
+// ---- Distributions ----
+
+// Dist is a random-variate distribution with known moments.
+type Dist = rng.Dist
+
+// Stream is a seedable, splittable random stream.
+type Stream = rng.Stream
+
+// Distribution constructors (see package rng for the full set).
+type (
+	// Deterministic is a point mass.
+	Deterministic = rng.Deterministic
+	// Exponential has CV 1.
+	Exponential = rng.Exponential
+	// Erlang has CV 1/sqrt(K).
+	Erlang = rng.Erlang
+	// HyperExp has CV > 1 — the "much larger variance" owner demands of the
+	// paper's reference [7].
+	HyperExp = rng.HyperExp
+	// Pareto is heavy-tailed — the long-running owner jobs of Section 5.
+	Pareto = rng.Pareto
+	// Geometric is the paper's owner think time.
+	Geometric = rng.Geometric
+	// Uniform is continuous uniform.
+	Uniform = rng.Uniform
+)
+
+// NewStream creates a reproducible random stream.
+func NewStream(seed uint64) *Stream { return rng.NewStream(seed) }
+
+// ParseDist builds a distribution from a spec string such as "exp:10" or
+// "hyper:0.1,55,5".
+func ParseDist(spec string) (Dist, error) { return rng.Parse(spec) }
+
+// BalancedHyperExp builds a hyperexponential with a given mean and squared
+// coefficient of variation.
+func BalancedHyperExp(mean, cv2 float64) HyperExp { return rng.BalancedHyperExp(mean, cv2) }
+
+// ---- Virtual non-dedicated cluster + PVM experiment (Section 4) ----
+
+// Cluster is a set of virtual non-dedicated workstations.
+type Cluster = cluster.Cluster
+
+// StationParams configures one workstation's owner workload.
+type StationParams = cluster.StationParams
+
+// Station is one virtual workstation.
+type Station = cluster.Station
+
+// TaskRecord is one task execution's timing record.
+type TaskRecord = cluster.TaskRecord
+
+// LocalComputation is the paper's perfectly parallel experiment program.
+type LocalComputation = cluster.LocalComputation
+
+// ClusterExperiment repeats the local computation the paper's 10 times.
+type ClusterExperiment = cluster.Experiment
+
+// Migrator is the task-migration extension for long-running owner jobs.
+type Migrator = cluster.Migrator
+
+// NewCluster builds a homogeneous virtual cluster.
+func NewCluster(n int, params StationParams, seed uint64) (*Cluster, error) {
+	return cluster.New(n, params, seed)
+}
+
+// NewHeterogeneousCluster builds a cluster with per-station workloads.
+func NewHeterogeneousCluster(params []StationParams, seed uint64) (*Cluster, error) {
+	return cluster.NewHeterogeneous(params, seed)
+}
+
+// SunELCParams reproduces the paper's measured 3%-utilization Sun ELC
+// environment (pass any utilization in [0,1)).
+func SunELCParams(o, util float64) (StationParams, error) { return cluster.SunELCParams(o, util) }
+
+// ExecutionTrace records compute/owner interval timelines on stations.
+type ExecutionTrace = cluster.Trace
+
+// NewExecutionTrace creates an empty trace; attach with Station.SetTrace.
+func NewExecutionTrace() *ExecutionTrace { return cluster.NewTrace() }
+
+// OwnerSchedule is a repeating sequence of owner-workload phases (e.g. a
+// busy day and a quiet night) for nonstationary-owner studies.
+type OwnerSchedule = cluster.Schedule
+
+// OwnerPhase is one segment of an OwnerSchedule.
+type OwnerPhase = cluster.Phase
+
+// PhasedStation is a workstation whose owner follows an OwnerSchedule.
+type PhasedStation = cluster.PhasedStation
+
+// Workday builds the canonical two-phase schedule: a busy day and a quiet
+// night with the given owner utilizations and burst demand.
+func Workday(dayUtil, nightUtil, o, dayLen, nightLen float64) (OwnerSchedule, error) {
+	return cluster.Workday(dayUtil, nightUtil, o, dayLen, nightLen)
+}
+
+// NewPhasedStation builds a workstation with a nonstationary owner.
+func NewPhasedStation(name string, schedule OwnerSchedule, stream *Stream) (*PhasedStation, error) {
+	return cluster.NewPhasedStation(name, schedule, stream)
+}
+
+// ---- PVM-style message passing ----
+
+// VM is the PVM-style virtual machine.
+type VM = pvm.VM
+
+// PVMConfig configures a virtual machine.
+type PVMConfig = pvm.Config
+
+// PVMTask is a running task's handle (send/recv/groups/barrier).
+type PVMTask = pvm.Task
+
+// TID is a task identifier.
+type TID = pvm.TID
+
+// MsgBuffer is a typed pack/unpack message buffer.
+type MsgBuffer = pvm.Buffer
+
+// Transport kinds for the virtual machine.
+const (
+	TransportInProc = pvm.InProc
+	TransportTCP    = pvm.TCP
+)
+
+// Receive wildcards.
+const (
+	AnyTID = pvm.AnyTID
+	AnyTag = pvm.AnyTag
+)
+
+// NewVM assembles a PVM-style virtual machine.
+func NewVM(cfg PVMConfig) (*VM, error) { return pvm.NewVM(cfg) }
+
+// NewMsgBuffer returns an empty send buffer (pvm_initsend).
+func NewMsgBuffer() *MsgBuffer { return pvm.NewBuffer() }
+
+// ---- Statistics ----
+
+// Summary is a single-pass mean/variance/min/max accumulator.
+type Summary = stats.Summary
+
+// CI is a confidence interval.
+type CI = stats.CI
+
+// BatchMeans is the paper's output-analysis method.
+type BatchMeans = stats.BatchMeans
+
+// NewBatchMeans creates a batch-means collector.
+func NewBatchMeans(batchSize int) *BatchMeans { return stats.NewBatchMeans(batchSize) }
+
+// ---- Experiments: regenerate the paper's figures and tables ----
+
+// Experiment is one reproducible paper artifact.
+type Experiment = experiment.Definition
+
+// ExperimentConfig tunes experiment execution.
+type ExperimentConfig = experiment.Config
+
+// ExperimentOutput is a figure or table plus paper-vs-measured checks.
+type ExperimentOutput = experiment.Output
+
+// ExperimentResult pairs a definition with its output.
+type ExperimentResult = experiment.Result
+
+// Figure is a set of named curves; Table is a text table.
+type (
+	Figure = plot.Figure
+	Table  = plot.Table
+	Series = plot.Series
+)
+
+// Experiments lists every figure/table experiment in paper order.
+func Experiments() []Experiment { return experiment.All() }
+
+// ExperimentByID finds one experiment ("fig01" ... "fig11", "simval",
+// "thresholds").
+func ExperimentByID(id string) (Experiment, bool) { return experiment.ByID(id) }
+
+// DefaultExperimentConfig reproduces the paper's settings.
+func DefaultExperimentConfig() ExperimentConfig { return experiment.DefaultConfig() }
+
+// RunAllExperiments executes every experiment.
+func RunAllExperiments(cfg ExperimentConfig) []ExperimentResult { return experiment.RunAll(cfg) }
+
+// ExperimentReport renders a paper-vs-measured markdown table.
+func ExperimentReport(results []ExperimentResult) string { return experiment.MarkdownReport(results) }
+
+// RenderASCII draws a figure as terminal ASCII art.
+func RenderASCII(f Figure, width, height int) (string, error) {
+	return plot.RenderASCII(f, width, height)
+}
+
+// FigureCSV renders a figure as CSV.
+func FigureCSV(f Figure) (string, error) { return plot.CSV(f) }

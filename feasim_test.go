@@ -1,0 +1,329 @@
+package feasim_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"feasim"
+)
+
+// These tests exercise the public facade end to end, the way the examples
+// and a downstream user would.
+
+func TestFacadeAnalyzeMatchesPaperSpotValue(t *testing.T) {
+	p, err := feasim.ParamsFromUtilization(1000, 100, 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := feasim.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Speedup-61.0) > 0.5 {
+		t.Errorf("speedup %.2f, paper quotes 61", r.Speedup)
+	}
+}
+
+func TestFacadeAssessRoundTrip(t *testing.T) {
+	p := feasim.NewParams(600, 60, 10, 0.025)
+	v, err := feasim.Assess(p, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Feasible {
+		t.Error("task ratio 1 at ~20% utilization must be infeasible")
+	}
+	if v.MinJobDemand <= p.J {
+		t.Error("advice should require a larger job")
+	}
+}
+
+func TestFacadeSimulationPipeline(t *testing.T) {
+	p, err := feasim.ParamsFromUtilization(1000, 10, 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := feasim.NewExactSimulator(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := feasim.Protocol{Batches: 10, BatchSize: 100, Level: 0.9, MaxSamples: 1 << 20}
+	res, err := feasim.RunExact(x, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples < 1000 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	ana, err := feasim.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := res.JobTime
+	wide.HalfWidth *= 4
+	if !wide.Contains(ana.EJob) {
+		t.Errorf("simulation %v far from analysis %.3f", res.JobTime, ana.EJob)
+	}
+}
+
+func TestFacadeGeneralSimulator(t *testing.T) {
+	cfg := feasim.HomogeneousGeometric(4, 50, 10, 0.01)
+	cfg.Seed = 9
+	g, err := feasim.NewGeneralSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := feasim.Protocol{Batches: 4, BatchSize: 50, Level: 0.9, MaxSamples: 1 << 20}
+	res, err := feasim.RunGeneral(g, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobTime.Mean < 50 {
+		t.Errorf("job time %v below task demand", res.JobTime.Mean)
+	}
+}
+
+func TestFacadeClusterAndPVM(t *testing.T) {
+	params, err := feasim.SunELCParams(10, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := feasim.NewCluster(4, params, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := feasim.LocalComputation{Cluster: c, Workers: 4, TotalDemand: 400}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxTaskTime < 100 {
+		t.Errorf("max task time %v below per-task demand", res.MaxTaskTime)
+	}
+}
+
+func TestFacadeMessagePassing(t *testing.T) {
+	vm, err := feasim.NewVM(feasim.PVMConfig{Hosts: 2, Transport: feasim.TransportInProc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Halt()
+	echo, err := vm.Spawn("echo", 1, 0, func(task *feasim.PVMTask) error {
+		m, err := task.Recv(feasim.AnyTID, feasim.AnyTag)
+		if err != nil {
+			return err
+		}
+		return task.Send(m.Src, 2, m.Body)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan float64, 1)
+	ping, err := vm.Spawn("ping", 0, 0, func(task *feasim.PVMTask) error {
+		if err := task.Send(echo, 1, feasim.NewMsgBuffer().PackFloat64(2.5)); err != nil {
+			return err
+		}
+		m, err := task.Recv(echo, 2)
+		if err != nil {
+			return err
+		}
+		v, err := m.Body.UnpackFloat64()
+		if err != nil {
+			return err
+		}
+		got <- v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WaitAll([]feasim.TID{echo, ping}); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != 2.5 {
+		t.Errorf("echoed %v", v)
+	}
+}
+
+func TestFacadeDistParsing(t *testing.T) {
+	d, err := feasim.ParseDist("hyper:0.5,5,15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() != 10 {
+		t.Errorf("mean %v", d.Mean())
+	}
+	h := feasim.BalancedHyperExp(10, 4)
+	if math.Abs(h.Mean()-10) > 1e-9 {
+		t.Errorf("balanced hyper mean %v", h.Mean())
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	if len(feasim.Experiments()) != 16 {
+		t.Errorf("experiments = %d, want 16", len(feasim.Experiments()))
+	}
+	d, ok := feasim.ExperimentByID("fig09")
+	if !ok {
+		t.Fatal("fig09 missing")
+	}
+	cfg := feasim.DefaultExperimentConfig()
+	cfg.WStep = 25
+	out, err := d.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := feasim.RenderASCII(*out.Figure, 60, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(art, "fig09") {
+		t.Error("render missing figure id")
+	}
+	csv, err := feasim.FigureCSV(*out.Figure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv, "Number of Processors") {
+		t.Errorf("csv header: %q", strings.Split(csv, "\n")[0])
+	}
+}
+
+func TestFacadeThresholdAndScaled(t *testing.T) {
+	rows, err := feasim.ThresholdTable(60, 10, 0.8, []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].MinRatio != 8 {
+		t.Errorf("threshold %d, want 8", rows[0].MinRatio)
+	}
+	pts, err := feasim.ScaledSweep(100, 10, 0.05, []int{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pts[1].IncreaseVsDedicated-0.30) > 0.02 {
+		t.Errorf("scaled increase %v, paper 0.30", pts[1].IncreaseVsDedicated)
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	bm := feasim.NewBatchMeans(10)
+	for i := 0; i < 200; i++ {
+		bm.Add(float64(i % 10))
+	}
+	ci, err := bm.MeanCI(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(4.5) {
+		t.Errorf("CI %v misses 4.5", ci)
+	}
+	var s feasim.Summary
+	s.Add(1)
+	s.Add(3)
+	if s.Mean() != 2 {
+		t.Errorf("mean %v", s.Mean())
+	}
+}
+
+func TestFacadeDistributionAPI(t *testing.T) {
+	p, err := feasim.ParamsFromUtilization(1000, 10, 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := feasim.JobTimeDistribution(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := feasim.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-r.EJob) > 1e-8*r.EJob {
+		t.Errorf("distribution mean %v vs E_j %v", d.Mean(), r.EJob)
+	}
+	td, err := feasim.TaskTimeDistribution(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(td.Mean()-r.ETask) > 1e-8*r.ETask {
+		t.Errorf("task distribution mean %v vs E_t %v", td.Mean(), r.ETask)
+	}
+	prob, err := feasim.DeadlineProb(p, r.EJob*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob < 0.99 {
+		t.Errorf("generous deadline probability %v", prob)
+	}
+	g, err := feasim.AnalyzeGumbel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EJob <= 0 {
+		t.Error("Gumbel approximation returned nonpositive E_j")
+	}
+}
+
+func TestFacadePartitionPlanning(t *testing.T) {
+	w, err := feasim.MaxWorkstations(2000, 10, 0.05, 0.8, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := feasim.PlanPartition(2000, 10, 0.05, 0.8, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.W != w {
+		t.Errorf("plan W %d vs MaxWorkstations %d", plan.W, w)
+	}
+}
+
+func TestFacadeMultiJob(t *testing.T) {
+	base := feasim.HomogeneousGeometric(4, 100, 10, 1.0/90)
+	cfg := feasim.MultiJobConfig{
+		Stations:   base.Stations,
+		TaskDemand: base.TaskDemand,
+		Jobs:       2,
+		JobThink:   feasim.Exponential{M: 50},
+		Seed:       5,
+	}
+	st, err := feasim.RunMultiJob(cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Response.N() != 100 {
+		t.Errorf("responses = %d, want 100", st.Response.N())
+	}
+	pts, err := feasim.MultiJobSweep(cfg, []int{1, 2}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1].MeanResponse <= pts[0].MeanResponse {
+		t.Errorf("sweep results %+v", pts)
+	}
+}
+
+func TestFacadeExecutionTrace(t *testing.T) {
+	params, err := feasim.SunELCParams(10, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := feasim.NewCluster(1, params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Station(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := feasim.NewExecutionTrace()
+	st.SetTrace(tr)
+	st.RunTask(200)
+	if tr.Len() == 0 {
+		t.Error("trace recorded nothing")
+	}
+	if !strings.Contains(tr.CSV(), "compute") {
+		t.Error("trace CSV missing compute rows")
+	}
+}

@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"feasim/internal/core"
+	"feasim/internal/rng"
+	"feasim/internal/stats"
+)
+
+func elcParams(t *testing.T, o, util float64) StationParams {
+	t.Helper()
+	p, err := SunELCParams(o, util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSunELCParamsUtilization(t *testing.T) {
+	for _, util := range []float64{0.01, 0.03, 0.1, 0.2} {
+		p := elcParams(t, 10, util)
+		if got := p.Utilization(); math.Abs(got-util) > 1e-9 {
+			t.Errorf("configured utilization %v, want %v", got, util)
+		}
+	}
+	ded := elcParams(t, 10, 0)
+	if ded.Utilization() != 0 {
+		t.Error("dedicated params should have zero utilization")
+	}
+	if _, err := SunELCParams(10, 1.0); err == nil {
+		t.Error("utilization 1.0 should fail")
+	}
+	if _, err := SunELCParams(0.5, 0.9); err == nil {
+		t.Error("unreachable utilization at unit granularity should fail")
+	}
+}
+
+func TestStationDedicatedRunsAtSpeed(t *testing.T) {
+	c, err := New(1, elcParams(t, 10, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Station(0)
+	rec := st.RunTask(120)
+	if rec.Elapsed != 120 || rec.Bursts != 0 || rec.OwnerTime != 0 {
+		t.Errorf("dedicated run: %+v", rec)
+	}
+}
+
+func TestStationInterferenceSlowdown(t *testing.T) {
+	// At 10% owner utilization the mean task stretch should be close to the
+	// theoretical 1/(1-U) (renewal-reward argument for wall-clock owners).
+	p := elcParams(t, 10, 0.10)
+	c, err := New(1, p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Station(0)
+	var sum stats.Summary
+	const demand = 1000.0
+	for i := 0; i < 400; i++ {
+		sum.Add(st.RunTask(demand).Elapsed)
+	}
+	stretch := sum.Mean() / demand
+	want := 1 / 0.9
+	if math.Abs(stretch-want) > 0.02*want {
+		t.Errorf("mean stretch %.4f, want about %.4f", stretch, want)
+	}
+}
+
+func TestStationRecordsConsistent(t *testing.T) {
+	p := elcParams(t, 10, 0.2)
+	c, _ := New(1, p, 7)
+	st, _ := c.Station(0)
+	for i := 0; i < 50; i++ {
+		rec := st.RunTask(100)
+		if math.Abs(rec.Elapsed-(rec.Demand+rec.OwnerTime)) > 1e-9 {
+			t.Fatalf("elapsed %.4f != demand %.4f + owner %.4f", rec.Elapsed, rec.Demand, rec.OwnerTime)
+		}
+		if rec.OwnerTime < 0 || rec.Bursts < 0 {
+			t.Fatalf("negative interference: %+v", rec)
+		}
+		if rec.Bursts == 0 && rec.OwnerTime != 0 {
+			t.Fatalf("owner time without bursts: %+v", rec)
+		}
+	}
+	n, taskTime, _ := st.Stats()
+	if n != 50 || taskTime != 5000 {
+		t.Errorf("stats: %d tasks, %.0f compute", n, taskTime)
+	}
+}
+
+func TestStationZeroDemand(t *testing.T) {
+	p := elcParams(t, 10, 0.1)
+	c, _ := New(1, p, 9)
+	st, _ := c.Station(0)
+	rec := st.RunTask(0)
+	// A zero-demand task may still wait out a residual burst when it lands
+	// mid-burst (stationary start), but absent that it finishes instantly.
+	if rec.Elapsed != rec.OwnerTime {
+		t.Errorf("zero-demand task computed: %+v", rec)
+	}
+}
+
+func TestStationNegativeDemandPanics(t *testing.T) {
+	p := elcParams(t, 10, 0.1)
+	c, _ := New(1, p, 9)
+	st, _ := c.Station(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative demand should panic")
+		}
+	}()
+	st.RunTask(-1)
+}
+
+func TestProbeUtilizationMatchesConfigured(t *testing.T) {
+	for _, util := range []float64{0.03, 0.1, 0.2} {
+		c, err := New(4, elcParams(t, 10, util), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.MeasureUtilization(500_000)
+		if math.Abs(got-util) > 0.1*util+0.002 {
+			t.Errorf("probed utilization %.4f, configured %.4f", got, util)
+		}
+	}
+}
+
+func TestProbePanicsOnBadHorizon(t *testing.T) {
+	c, _ := New(1, elcParams(t, 10, 0.1), 3)
+	st, _ := c.Station(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive horizon should panic")
+		}
+	}()
+	st.ProbeUtilization(0)
+}
+
+func TestClusterConstruction(t *testing.T) {
+	if _, err := New(0, elcParams(t, 10, 0.1), 1); err == nil {
+		t.Error("empty cluster should fail")
+	}
+	if _, err := NewHeterogeneous(nil, 1); err == nil {
+		t.Error("nil station list should fail")
+	}
+	if _, err := NewHeterogeneous([]StationParams{{}}, 1); err == nil {
+		t.Error("invalid station params should fail")
+	}
+	c, err := New(3, elcParams(t, 10, 0.1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 {
+		t.Errorf("Size = %d", c.Size())
+	}
+	if _, err := c.Station(3); err == nil {
+		t.Error("out-of-range station should fail")
+	}
+	st, err := c.Station(2)
+	if err != nil || st.Name() != "elc2" {
+		t.Errorf("station 2: %v %v", st, err)
+	}
+}
+
+func TestClusterStationsIndependent(t *testing.T) {
+	// Two stations with identical params must see different owner arrivals
+	// (independent split streams).
+	c, _ := New(2, elcParams(t, 10, 0.2), 5)
+	a, _ := c.Station(0)
+	b, _ := c.Station(1)
+	same := 0
+	for i := 0; i < 20; i++ {
+		ra, rb := a.RunTask(100), b.RunTask(100)
+		if ra.Elapsed == rb.Elapsed {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("stations look correlated: %d/20 identical task times", same)
+	}
+}
+
+func TestHeterogeneousUtilizations(t *testing.T) {
+	params := []StationParams{
+		elcParams(t, 10, 0.05),
+		elcParams(t, 10, 0.25),
+	}
+	c, err := NewHeterogeneous(params, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ConfiguredUtilization(); math.Abs(got-0.15) > 1e-9 {
+		t.Errorf("mean configured utilization %v, want 0.15", got)
+	}
+	if idx := c.LeastUtilized(nil); idx != 0 {
+		t.Errorf("least utilized = %d, want 0", idx)
+	}
+	if idx := c.LeastUtilized(map[int]bool{0: true}); idx != 1 {
+		t.Errorf("least utilized excluding 0 = %d, want 1", idx)
+	}
+	if idx := c.LeastUtilized(map[int]bool{0: true, 1: true}); idx != -1 {
+		t.Errorf("all excluded should give -1, got %d", idx)
+	}
+}
+
+// TestStationMeanMatchesModel compares the station's mean task elapsed time
+// against the analytic E_t at the paper's experimental operating point (3%
+// utilization): the station is the "real system" the model bounds, so the
+// mean should be close to — and no less than — the model's optimistic
+// prediction.
+func TestStationMeanMatchesModel(t *testing.T) {
+	const (
+		o    = 10.0
+		util = 0.03
+		dem  = 960.0 // the paper's 16-minute problem on one workstation
+	)
+	c, _ := New(1, elcParams(t, o, util), 99)
+	st, _ := c.Station(0)
+	var sum stats.Summary
+	for i := 0; i < 800; i++ {
+		sum.Add(st.RunTask(dem).Elapsed)
+	}
+	p, err := core.ParamsFromUtilization(dem, 1, o, util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana := core.MustAnalyze(p)
+	if rel := math.Abs(sum.Mean()-ana.ETask) / ana.ETask; rel > 0.03 {
+		t.Errorf("station mean %.2f vs model E_t %.2f (rel %.4f)", sum.Mean(), ana.ETask, rel)
+	}
+	if sum.Mean() < ana.ETask*0.995 {
+		t.Errorf("real system beat the optimistic model meaningfully: %.2f < %.2f", sum.Mean(), ana.ETask)
+	}
+}
+
+func TestRunTaskBudgetStopsEarly(t *testing.T) {
+	// Heavy interference with a tiny budget: the task must come back
+	// unfinished with interference just over the budget.
+	p := StationParams{
+		OwnerThink:  rng.Deterministic{V: 5},
+		OwnerDemand: rng.Deterministic{V: 20},
+	}
+	c, _ := New(1, p, 21)
+	st, _ := c.Station(0)
+	rec, remaining := st.RunTaskBudget(1000, 30)
+	if remaining <= 0 {
+		t.Fatal("task should not complete under heavy interference with small budget")
+	}
+	if rec.OwnerTime <= 30 {
+		t.Errorf("should stop only after exceeding budget, owner time %v", rec.OwnerTime)
+	}
+	if rec.OwnerTime > 30+20+1e-9 { // at most one extra burst past the budget
+		t.Errorf("overshot budget by more than one burst: %v", rec.OwnerTime)
+	}
+	if math.Abs(rec.Elapsed-((rec.Demand-remaining)+rec.OwnerTime)) > 1e-9 {
+		t.Errorf("partial record inconsistent: %+v remaining %v", rec, remaining)
+	}
+}
+
+func TestMigratorMovesOffBusyStation(t *testing.T) {
+	// Station 0: owner hogging 80% of the CPU. Station 1: idle. A migrating
+	// task must end up cheaper than staying.
+	busy := StationParams{
+		OwnerThink:  rng.Exponential{M: 5},
+		OwnerDemand: rng.Deterministic{V: 20},
+	}
+	idle := elcParams(t, 10, 0.01)
+	mk := func() *Cluster {
+		c, err := NewHeterogeneous([]StationParams{busy, idle}, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	m := Migrator{InterferenceBudget: 0.2, TransferCost: 5, MaxMigrations: 1}
+	var mig, stay stats.Summary
+	for i := 0; i < 60; i++ {
+		cm := mk()
+		rec, err := m.RunTask(cm, 0, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Migrated {
+			t.Fatal("task should have migrated off the busy station")
+		}
+		mig.Add(rec.Elapsed)
+		cs := mk()
+		st0, _ := cs.Station(0)
+		stay.Add(st0.RunTask(500).Elapsed)
+	}
+	if mig.Mean() >= stay.Mean() {
+		t.Errorf("migration should win: migrated %.1f vs stayed %.1f", mig.Mean(), stay.Mean())
+	}
+}
+
+func TestMigratorStaysOnQuietStation(t *testing.T) {
+	c, _ := New(2, elcParams(t, 10, 0.01), 55)
+	m := Migrator{InterferenceBudget: 1.0, TransferCost: 5, MaxMigrations: 2}
+	rec, err := m.RunTask(c, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Migrated {
+		t.Errorf("task migrated off a 1%%-utilized station: %+v", rec)
+	}
+}
+
+func TestMigratorValidate(t *testing.T) {
+	bad := []Migrator{
+		{InterferenceBudget: 0, TransferCost: 1, MaxMigrations: 1},
+		{InterferenceBudget: 0.5, TransferCost: -1, MaxMigrations: 1},
+		{InterferenceBudget: 0.5, TransferCost: 1, MaxMigrations: -1},
+	}
+	c, _ := New(1, elcParams(t, 10, 0.1), 1)
+	for i, m := range bad {
+		if _, err := m.RunTask(c, 0, 10); err == nil {
+			t.Errorf("case %d should fail: %+v", i, m)
+		}
+	}
+	good := Migrator{InterferenceBudget: 0.5, TransferCost: 1, MaxMigrations: 1}
+	if _, err := good.RunTask(c, 5, 10); err == nil {
+		t.Error("bad station index should fail")
+	}
+}

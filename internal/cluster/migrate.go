@@ -1,0 +1,89 @@
+package cluster
+
+import "fmt"
+
+// Migration extension. The paper's conclusions leave this open: "How to
+// provide reasonable execution times for parallel jobs in a non-dedicated
+// system with long running workstation owner jobs must be solved if
+// distributed computing is to be feasible". Migrator implements the obvious
+// first policy: when a task has absorbed more owner interference than a
+// budget proportional to its demand, checkpoint it and restart the
+// remainder on the least-utilized other station, paying a transfer cost.
+
+// Migrator is the migration policy.
+type Migrator struct {
+	// InterferenceBudget is the owner time a task tolerates per unit of
+	// compute demand before migrating (e.g. 0.5 = migrate once delays
+	// exceed 50% of the remaining demand).
+	InterferenceBudget float64
+	// TransferCost is the virtual time to move the task between stations
+	// (checkpoint + network + restart).
+	TransferCost float64
+	// MaxMigrations caps how many times one task may move.
+	MaxMigrations int
+}
+
+// Validate checks the policy parameters.
+func (m Migrator) Validate() error {
+	if m.InterferenceBudget <= 0 {
+		return fmt.Errorf("cluster: interference budget must be positive, got %v", m.InterferenceBudget)
+	}
+	if m.TransferCost < 0 {
+		return fmt.Errorf("cluster: transfer cost must be >= 0, got %v", m.TransferCost)
+	}
+	if m.MaxMigrations < 0 {
+		return fmt.Errorf("cluster: max migrations must be >= 0, got %d", m.MaxMigrations)
+	}
+	return nil
+}
+
+// RunTask executes a task of the given demand starting on station start,
+// migrating according to the policy. The returned record accumulates time
+// across all visited stations (virtual clocks are per-station; elapsed
+// times add because the task occupies exactly one station at a time).
+func (m Migrator) RunTask(c *Cluster, start int, demand float64) (TaskRecord, error) {
+	if err := m.Validate(); err != nil {
+		return TaskRecord{}, err
+	}
+	st, err := c.Station(start)
+	if err != nil {
+		return TaskRecord{}, err
+	}
+	visited := map[int]bool{start: true}
+	total := TaskRecord{Station: st.Name(), Demand: demand}
+	remaining := demand
+	cur := st
+	curIdx := start
+	for hops := 0; ; hops++ {
+		budget := m.InterferenceBudget * remaining
+		if hops >= m.MaxMigrations {
+			budget = -1 // final placement: run to completion
+		}
+		rec, left := cur.RunTaskBudget(remaining, budget)
+		total.Elapsed += rec.Elapsed
+		total.OwnerTime += rec.OwnerTime
+		total.Bursts += rec.Bursts
+		remaining = left
+		if remaining == 0 {
+			return total, nil
+		}
+		next := c.LeastUtilized(visited)
+		if next < 0 {
+			// Nowhere to go: finish in place.
+			rec, _ := cur.RunTaskBudget(remaining, -1)
+			total.Elapsed += rec.Elapsed
+			total.OwnerTime += rec.OwnerTime
+			total.Bursts += rec.Bursts
+			return total, nil
+		}
+		visited[next] = true
+		total.Elapsed += m.TransferCost
+		total.Migrated = true
+		curIdx = next
+		cur, err = c.Station(curIdx)
+		if err != nil {
+			return TaskRecord{}, err
+		}
+		total.Station = cur.Name()
+	}
+}

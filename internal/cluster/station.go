@@ -1,0 +1,218 @@
+// Package cluster is the virtual non-dedicated workstation cluster on which
+// the paper's experiment (Section 4: PVM on 1-12 Sun ELC Sparcstations)
+// is reproduced.
+//
+// Each Station models one workstation: a CPU shared between an owner
+// workload (preemptive priority) and one niced parallel task. Time is
+// virtual, per station. This matches the paper's measurement methodology
+// exactly: the experiment records each task's own computation interval and
+// reports the maximum, "to isolate the impact of workstation owner process
+// interference" — message-passing overhead is deliberately excluded, so
+// stations do not need a shared clock.
+//
+// Owner behaviour is the paper's: alternate thinking and computing, with
+// configurable think/demand distributions. Unlike the analytic model, think
+// time here elapses in wall-clock (virtual) time — owners keep living while
+// the parallel task is suspended — which is the "real system" the model is
+// an optimistic bound for.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"feasim/internal/rng"
+)
+
+// StationParams configures the owner workload of one virtual workstation.
+type StationParams struct {
+	// OwnerThink is the owner's think-time distribution (virtual seconds).
+	OwnerThink rng.Dist
+	// OwnerDemand is the owner's burst service demand distribution.
+	OwnerDemand rng.Dist
+	// StationaryStart, when true, starts each task against an owner process
+	// in steady state: with probability equal to the owner utilization the
+	// task arrives mid-burst and waits out a residual. When false the owner
+	// always begins thinking at task start (the analytic model's optimistic
+	// convention).
+	StationaryStart bool
+}
+
+// Validate checks the parameters.
+func (p StationParams) Validate() error {
+	if p.OwnerThink == nil || p.OwnerDemand == nil {
+		return fmt.Errorf("cluster: station needs owner think and demand distributions")
+	}
+	return nil
+}
+
+// Utilization is the owner's long-run CPU share E[demand]/(E[think]+E[demand]).
+func (p StationParams) Utilization() float64 {
+	d, z := p.OwnerDemand.Mean(), p.OwnerThink.Mean()
+	if d <= 0 {
+		return 0
+	}
+	return d / (z + d)
+}
+
+// TaskRecord is one task execution on one station — the quantity the
+// paper's experiment reports ("each task record[s] the system time when it
+// started computation and ... when completing computation").
+type TaskRecord struct {
+	Station   string
+	Demand    float64 // pure compute demand
+	Elapsed   float64 // wall (virtual) time from start to completion
+	OwnerTime float64 // interference absorbed from owner bursts
+	Bursts    int     // number of owner bursts that hit the task
+	Migrated  bool    // true when the migration extension moved the task
+}
+
+// Station is one virtual workstation.
+type Station struct {
+	name   string
+	params StationParams
+	stream *rng.Stream
+
+	mu        sync.Mutex
+	tasksRun  int
+	busyOwner float64 // cumulative owner time charged to tasks
+	busyTask  float64 // cumulative task compute delivered
+	trace     *Trace  // optional timeline recorder (SetTrace)
+}
+
+// NewStation builds a station with its own random stream.
+func NewStation(name string, params StationParams, stream *rng.Stream) (*Station, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Station{name: name, params: params, stream: stream}, nil
+}
+
+// Name returns the station's host name.
+func (s *Station) Name() string { return s.name }
+
+// Params returns the configured owner workload.
+func (s *Station) Params() StationParams { return s.params }
+
+// RunTask executes a parallel task of the given compute demand to
+// completion and returns its timing record. Safe for concurrent use; each
+// call simulates an independent task arrival.
+func (s *Station) RunTask(demand float64) TaskRecord {
+	rec, remaining := s.runBounded(demand, -1)
+	if remaining != 0 {
+		panic("cluster: unbounded run left work unfinished")
+	}
+	return rec
+}
+
+// RunTaskBudget executes the task until completion or until accumulated
+// owner interference exceeds maxInterference (a virtual-time budget). It
+// returns the record so far and the remaining compute demand (0 when the
+// task completed). The migration policy is built on this primitive.
+func (s *Station) RunTaskBudget(demand, maxInterference float64) (TaskRecord, float64) {
+	return s.runBounded(demand, maxInterference)
+}
+
+// runBounded is the owner/task interleaving walk. maxInterference < 0 means
+// unbounded.
+func (s *Station) runBounded(demand, maxInterference float64) (TaskRecord, float64) {
+	if demand < 0 {
+		panic(fmt.Sprintf("cluster: negative task demand %v", demand))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := TaskRecord{Station: s.name, Demand: demand}
+	now := 0.0
+	remaining := demand
+	taskSeq := s.tasksRun
+	emit := func(kind TraceKind, start, end float64) {
+		if s.trace != nil && end > start {
+			s.trace.add(TraceEvent{Station: s.name, Task: taskSeq, Kind: kind, Start: start, End: end})
+		}
+	}
+
+	// Owner state at task arrival.
+	nextArrival := 0.0
+	if s.params.StationaryStart && s.stream.Float64() < s.params.Utilization() {
+		// Arrived mid-burst: wait out a residual. Sampling burst×U(0,1) is
+		// the exact equilibrium residual for deterministic bursts and a
+		// serviceable approximation otherwise.
+		resid := s.params.OwnerDemand.Sample(s.stream) * s.stream.Float64()
+		emit(TraceOwner, now, now+resid)
+		now += resid
+		rec.OwnerTime += resid
+		rec.Bursts++
+		nextArrival = now + s.params.OwnerThink.Sample(s.stream)
+	} else {
+		// Owner thinking; geometric/exponential thinks are memoryless so a
+		// fresh sample is the exact residual.
+		nextArrival = now + s.params.OwnerThink.Sample(s.stream)
+	}
+
+	for remaining > 0 {
+		if maxInterference >= 0 && rec.OwnerTime > maxInterference {
+			break
+		}
+		if nextArrival <= now {
+			// Owner bursts in; task is preempted for the whole burst.
+			// Zero-length bursts (a dedicated owner) are not counted.
+			b := s.params.OwnerDemand.Sample(s.stream)
+			emit(TraceOwner, now, now+b)
+			now += b
+			rec.OwnerTime += b
+			if b > 0 {
+				rec.Bursts++
+			}
+			nextArrival = now + s.params.OwnerThink.Sample(s.stream)
+			continue
+		}
+		slice := nextArrival - now
+		if slice > remaining {
+			slice = remaining
+		}
+		emit(TraceCompute, now, now+slice)
+		now += slice
+		remaining -= slice
+	}
+
+	rec.Elapsed = now
+	s.tasksRun++
+	s.busyOwner += rec.OwnerTime
+	s.busyTask += demand - remaining
+	return rec, remaining
+}
+
+// ProbeUtilization measures the owner's busy fraction over a virtual
+// horizon with no parallel task present — the analogue of the paper's
+// "mean of the machine utilizations (by using the unix uptime command)
+// over two working days when no PVM programs were executing".
+func (s *Station) ProbeUtilization(horizon float64) float64 {
+	if horizon <= 0 {
+		panic("cluster: probe horizon must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now, busy := 0.0, 0.0
+	for now < horizon {
+		now += s.params.OwnerThink.Sample(s.stream)
+		if now >= horizon {
+			break
+		}
+		b := s.params.OwnerDemand.Sample(s.stream)
+		if now+b > horizon {
+			busy += horizon - now
+			now = horizon
+			break
+		}
+		busy += b
+		now += b
+	}
+	return busy / horizon
+}
+
+// Stats reports cumulative task activity on this station.
+func (s *Station) Stats() (tasksRun int, taskTime, ownerTime float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tasksRun, s.busyTask, s.busyOwner
+}

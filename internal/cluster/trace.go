@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Trace records the interleaving of task compute slices and owner bursts on
+// stations — the timeline behind a TaskRecord. Attach one to a station with
+// SetTrace; the experiment tools export it as CSV for inspection, and tests
+// use it to verify the preemption accounting tiles exactly.
+
+// TraceKind labels a trace interval.
+type TraceKind string
+
+const (
+	// TraceCompute is a slice where the parallel task held the CPU.
+	TraceCompute TraceKind = "compute"
+	// TraceOwner is an owner burst that preempted (or delayed) the task.
+	TraceOwner TraceKind = "owner"
+)
+
+// TraceEvent is one interval on one station, in that station's task-local
+// virtual time (each RunTask starts at 0).
+type TraceEvent struct {
+	Station string
+	Task    int // sequence number of the task run on this station
+	Kind    TraceKind
+	Start   float64
+	End     float64
+}
+
+// Duration is the interval length.
+func (e TraceEvent) Duration() float64 { return e.End - e.Start }
+
+// Trace accumulates events; safe for concurrent stations sharing one trace.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func (tr *Trace) add(e TraceEvent) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, e)
+	tr.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (tr *Trace) Events() []TraceEvent {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]TraceEvent(nil), tr.events...)
+}
+
+// Len is the number of recorded events.
+func (tr *Trace) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.events)
+}
+
+// Reset clears the trace.
+func (tr *Trace) Reset() {
+	tr.mu.Lock()
+	tr.events = nil
+	tr.mu.Unlock()
+}
+
+// CSV renders the trace as "station,task,kind,start,end,duration" rows.
+func (tr *Trace) CSV() string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var sb strings.Builder
+	sb.WriteString("station,task,kind,start,end,duration\n")
+	for _, e := range tr.events {
+		fmt.Fprintf(&sb, "%s,%d,%s,%g,%g,%g\n", e.Station, e.Task, e.Kind, e.Start, e.End, e.Duration())
+	}
+	return sb.String()
+}
+
+// TotalByKind sums interval durations per kind.
+func (tr *Trace) TotalByKind() map[TraceKind]float64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make(map[TraceKind]float64, 2)
+	for _, e := range tr.events {
+		out[e.Kind] += e.Duration()
+	}
+	return out
+}
+
+// SetTrace attaches (or with nil detaches) a trace recorder to the station.
+func (s *Station) SetTrace(tr *Trace) {
+	s.mu.Lock()
+	s.trace = tr
+	s.mu.Unlock()
+}

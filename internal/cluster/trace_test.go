@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTraceTilesTheTimeline(t *testing.T) {
+	p := elcParams(t, 10, 0.2)
+	c, _ := New(1, p, 13)
+	st, _ := c.Station(0)
+	tr := NewTrace()
+	st.SetTrace(tr)
+	rec := st.RunTask(500)
+
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// Events must tile [0, Elapsed] with no gaps or overlaps.
+	cursor := 0.0
+	for i, e := range events {
+		if math.Abs(e.Start-cursor) > 1e-9 {
+			t.Fatalf("event %d starts at %v, expected %v (gap/overlap)", i, e.Start, cursor)
+		}
+		if e.End < e.Start {
+			t.Fatalf("event %d inverted: %+v", i, e)
+		}
+		cursor = e.End
+	}
+	if math.Abs(cursor-rec.Elapsed) > 1e-9 {
+		t.Errorf("trace ends at %v, task elapsed %v", cursor, rec.Elapsed)
+	}
+	// Totals must match the record exactly.
+	tot := tr.TotalByKind()
+	if math.Abs(tot[TraceCompute]-rec.Demand) > 1e-9 {
+		t.Errorf("compute total %v, demand %v", tot[TraceCompute], rec.Demand)
+	}
+	if math.Abs(tot[TraceOwner]-rec.OwnerTime) > 1e-9 {
+		t.Errorf("owner total %v, interference %v", tot[TraceOwner], rec.OwnerTime)
+	}
+}
+
+func TestTraceKindsAlternate(t *testing.T) {
+	p := elcParams(t, 10, 0.3)
+	c, _ := New(1, p, 17)
+	st, _ := c.Station(0)
+	tr := NewTrace()
+	st.SetTrace(tr)
+	st.RunTask(300)
+	events := tr.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Kind == events[i-1].Kind {
+			t.Fatalf("adjacent events share kind %s at %d (should be coalesced by construction)",
+				events[i].Kind, i)
+		}
+	}
+}
+
+func TestTraceTaskSequenceNumbers(t *testing.T) {
+	p := elcParams(t, 10, 0.1)
+	c, _ := New(1, p, 19)
+	st, _ := c.Station(0)
+	tr := NewTrace()
+	st.SetTrace(tr)
+	st.RunTask(50)
+	st.RunTask(50)
+	seqs := map[int]bool{}
+	for _, e := range tr.Events() {
+		seqs[e.Task] = true
+	}
+	if !seqs[0] || !seqs[1] {
+		t.Errorf("expected task sequence numbers 0 and 1, got %v", seqs)
+	}
+}
+
+func TestTraceCSVAndReset(t *testing.T) {
+	p := elcParams(t, 10, 0.1)
+	c, _ := New(1, p, 23)
+	st, _ := c.Station(0)
+	tr := NewTrace()
+	st.SetTrace(tr)
+	st.RunTask(100)
+	csv := tr.CSV()
+	if !strings.HasPrefix(csv, "station,task,kind,start,end,duration\n") {
+		t.Errorf("csv header wrong: %q", strings.Split(csv, "\n")[0])
+	}
+	if !strings.Contains(csv, "elc0,0,compute,") {
+		t.Errorf("csv missing compute rows:\n%s", csv)
+	}
+	n := tr.Len()
+	if n == 0 {
+		t.Fatal("trace empty")
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+	// Detach: no more events recorded.
+	st.SetTrace(nil)
+	st.RunTask(100)
+	if tr.Len() != 0 {
+		t.Error("detached trace still recording")
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	p := elcParams(t, 10, 0.1)
+	c, _ := New(1, p, 29)
+	st, _ := c.Station(0)
+	// Must not panic or allocate traces when none attached.
+	st.RunTask(100)
+}

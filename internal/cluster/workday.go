@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+
+	"feasim/internal/rng"
+)
+
+// Nonstationary owners. The paper calibrated its experiment with uptime
+// measurements "over two working days" — averaging away the fact that
+// owner activity is far higher at 2pm than 2am. PhasedStation models that
+// directly: the owner workload cycles through phases (e.g. a busy day and
+// a quiet night), and tasks experience whichever phases their execution
+// overlaps. Start offsets let experiments launch jobs at chosen points of
+// the cycle.
+
+// Phase is one segment of the owner's repeating schedule.
+type Phase struct {
+	// Name labels the phase in traces and reports.
+	Name string
+	// Duration is the phase length in virtual time.
+	Duration float64
+	// Params is the owner workload during the phase. StationaryStart is
+	// ignored here; the phase schedule defines the state instead.
+	Params StationParams
+}
+
+// Schedule is a repeating sequence of phases.
+type Schedule []Phase
+
+// Validate checks the schedule.
+func (s Schedule) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("cluster: schedule needs at least one phase")
+	}
+	for i, ph := range s {
+		if !(ph.Duration > 0) {
+			return fmt.Errorf("cluster: phase %d (%s) needs positive duration", i, ph.Name)
+		}
+		if err := ph.Params.Validate(); err != nil {
+			return fmt.Errorf("cluster: phase %d (%s): %w", i, ph.Name, err)
+		}
+	}
+	return nil
+}
+
+// CycleLength is the total duration of one cycle.
+func (s Schedule) CycleLength() float64 {
+	var sum float64
+	for _, ph := range s {
+		sum += ph.Duration
+	}
+	return sum
+}
+
+// MeanUtilization is the duration-weighted owner utilization over a cycle.
+func (s Schedule) MeanUtilization() float64 {
+	cycle := s.CycleLength()
+	if cycle == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ph := range s {
+		sum += ph.Params.Utilization() * ph.Duration
+	}
+	return sum / cycle
+}
+
+// phaseAt returns the phase active at absolute time t and the time at which
+// it ends.
+func (s Schedule) phaseAt(t float64) (Phase, float64) {
+	cycle := s.CycleLength()
+	pos := t - float64(int64(t/cycle))*cycle
+	var acc float64
+	for _, ph := range s {
+		acc += ph.Duration
+		if pos < acc {
+			return ph, t + (acc - pos)
+		}
+	}
+	// Floating-point boundary: wrap to the first phase.
+	return s[0], t + s[0].Duration
+}
+
+// Workday builds the canonical two-phase schedule: a busy day and a quiet
+// night.
+func Workday(dayUtil, nightUtil, o, dayLen, nightLen float64) (Schedule, error) {
+	day, err := SunELCParams(o, dayUtil)
+	if err != nil {
+		return nil, err
+	}
+	night, err := SunELCParams(o, nightUtil)
+	if err != nil {
+		return nil, err
+	}
+	s := Schedule{
+		{Name: "day", Duration: dayLen, Params: day},
+		{Name: "night", Duration: nightLen, Params: night},
+	}
+	return s, s.Validate()
+}
+
+// PhasedStation is a workstation whose owner follows a repeating schedule.
+type PhasedStation struct {
+	name     string
+	schedule Schedule
+	stream   *rng.Stream
+}
+
+// NewPhasedStation builds a phased station.
+func NewPhasedStation(name string, schedule Schedule, stream *rng.Stream) (*PhasedStation, error) {
+	if err := schedule.Validate(); err != nil {
+		return nil, err
+	}
+	return &PhasedStation{name: name, schedule: schedule, stream: stream}, nil
+}
+
+// Name returns the station name.
+func (s *PhasedStation) Name() string { return s.name }
+
+// Schedule returns the owner schedule.
+func (s *PhasedStation) Schedule() Schedule { return s.schedule }
+
+// RunTaskAt executes a task of the given demand starting at absolute cycle
+// time start (e.g. 0 = start of day). Owner behaviour switches as the task
+// crosses phase boundaries.
+func (s *PhasedStation) RunTaskAt(start, demand float64) TaskRecord {
+	if demand < 0 {
+		panic(fmt.Sprintf("cluster: negative task demand %v", demand))
+	}
+	rec := TaskRecord{Station: s.name, Demand: demand}
+	now := start
+	remaining := demand
+
+	phase, phaseEnd := s.schedule.phaseAt(now)
+	// Owner state: next arrival sampled from the current phase.
+	nextArrival := now + phase.Params.OwnerThink.Sample(s.stream)
+	for remaining > 0 {
+		// Phase boundary first: resample owner behaviour in the new phase.
+		if now >= phaseEnd {
+			phase, phaseEnd = s.schedule.phaseAt(now)
+			nextArrival = now + phase.Params.OwnerThink.Sample(s.stream)
+			continue
+		}
+		if nextArrival <= now {
+			b := phase.Params.OwnerDemand.Sample(s.stream)
+			// Clip the burst at the phase end: the remainder is re-sampled
+			// under the next phase's behaviour (an approximation that keeps
+			// phases independent).
+			if now+b > phaseEnd {
+				b = phaseEnd - now
+			}
+			now += b
+			rec.OwnerTime += b
+			if b > 0 {
+				rec.Bursts++
+			}
+			nextArrival = now + phase.Params.OwnerThink.Sample(s.stream)
+			continue
+		}
+		slice := nextArrival - now
+		if e := phaseEnd - now; e < slice {
+			slice = e
+		}
+		if slice > remaining {
+			slice = remaining
+		}
+		now += slice
+		remaining -= slice
+	}
+	rec.Elapsed = now - start
+	return rec
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"feasim/internal/rng"
+	"feasim/internal/stats"
+)
+
+func workdaySchedule(t *testing.T) Schedule {
+	t.Helper()
+	// 8-hour busy day at 25%, 16-hour quiet night at 2% (in seconds).
+	s, err := Workday(0.25, 0.02, 10, 8*3600, 16*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{}).Validate(); err == nil {
+		t.Error("empty schedule should fail")
+	}
+	bad := Schedule{{Name: "x", Duration: 0, Params: StationParams{
+		OwnerThink: rng.Deterministic{V: 1}, OwnerDemand: rng.Deterministic{V: 1},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-duration phase should fail")
+	}
+	if err := (Schedule{{Name: "y", Duration: 5, Params: StationParams{}}}).Validate(); err == nil {
+		t.Error("invalid phase params should fail")
+	}
+	if _, err := NewPhasedStation("s", Schedule{}, rng.NewStream(1)); err == nil {
+		t.Error("NewPhasedStation should reject invalid schedules")
+	}
+}
+
+func TestScheduleCycleAndMeanUtil(t *testing.T) {
+	s := workdaySchedule(t)
+	if got := s.CycleLength(); got != 24*3600 {
+		t.Errorf("cycle length %v", got)
+	}
+	// Duration-weighted: (0.25*8 + 0.02*16)/24.
+	want := (0.25*8 + 0.02*16) / 24
+	if got := s.MeanUtilization(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean utilization %v, want %v", got, want)
+	}
+}
+
+func TestPhaseAtWrapsAround(t *testing.T) {
+	s := workdaySchedule(t)
+	day, end := s.phaseAt(0)
+	if day.Name != "day" || end != 8*3600 {
+		t.Errorf("t=0: %s until %v", day.Name, end)
+	}
+	night, nend := s.phaseAt(10 * 3600)
+	if night.Name != "night" || nend != 24*3600 {
+		t.Errorf("t=10h: %s until %v", night.Name, nend)
+	}
+	// Next cycle's day.
+	d2, e2 := s.phaseAt(25 * 3600)
+	if d2.Name != "day" || math.Abs(e2-32*3600) > 1e-6 {
+		t.Errorf("t=25h: %s until %v", d2.Name, e2)
+	}
+}
+
+func TestNightTasksFasterThanDayTasks(t *testing.T) {
+	s := workdaySchedule(t)
+	st, err := NewPhasedStation("ws", s, rng.NewStream(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var day, night stats.Summary
+	const demand = 1800 // 30 minutes: fits inside either phase
+	for i := 0; i < 300; i++ {
+		day.Add(st.RunTaskAt(0, demand).Elapsed)         // 8am start
+		night.Add(st.RunTaskAt(10*3600, demand).Elapsed) // 6pm start
+	}
+	if night.Mean() >= day.Mean() {
+		t.Errorf("night tasks (%.1f) should beat day tasks (%.1f)", night.Mean(), day.Mean())
+	}
+	// Day slowdown should be near 1/(1-0.25); night near 1/(1-0.02).
+	dayStretch := day.Mean() / demand
+	if math.Abs(dayStretch-1/0.75) > 0.05 {
+		t.Errorf("day stretch %.3f, want about %.3f", dayStretch, 1/0.75)
+	}
+	nightStretch := night.Mean() / demand
+	if math.Abs(nightStretch-1/0.98) > 0.03 {
+		t.Errorf("night stretch %.3f, want about %.3f", nightStretch, 1/0.98)
+	}
+}
+
+func TestTaskCrossingPhaseBoundary(t *testing.T) {
+	// A task started one hour before dawn (night→day boundary at 24h)
+	// experiences quiet time first, then the busy day: its stretch should
+	// land between the two phases' stretches.
+	s := workdaySchedule(t)
+	st, err := NewPhasedStation("ws", s, rng.NewStream(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cross stats.Summary
+	const demand = 2 * 3600 // two hours of compute
+	for i := 0; i < 200; i++ {
+		cross.Add(st.RunTaskAt(23*3600, demand).Elapsed)
+	}
+	stretch := cross.Mean() / demand
+	if stretch <= 1.0/0.98-0.005 || stretch >= 1/0.75 {
+		t.Errorf("boundary-crossing stretch %.3f should lie between night and day stretches", stretch)
+	}
+}
+
+func TestPhasedStationRecordConsistency(t *testing.T) {
+	s := workdaySchedule(t)
+	st, err := NewPhasedStation("ws", s, rng.NewStream(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		rec := st.RunTaskAt(float64(i)*1000, 500)
+		if math.Abs(rec.Elapsed-(rec.Demand+rec.OwnerTime)) > 1e-9 {
+			t.Fatalf("record inconsistent: %+v", rec)
+		}
+	}
+	if st.Name() != "ws" {
+		t.Error("name accessor")
+	}
+	if st.Schedule().CycleLength() != 24*3600 {
+		t.Error("schedule accessor")
+	}
+}
+
+func TestPhasedStationNegativeDemandPanics(t *testing.T) {
+	s := workdaySchedule(t)
+	st, _ := NewPhasedStation("ws", s, rng.NewStream(13))
+	defer func() {
+		if recover() == nil {
+			t.Error("negative demand should panic")
+		}
+	}()
+	st.RunTaskAt(0, -1)
+}

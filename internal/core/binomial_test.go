@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialPMFSmallExact(t *testing.T) {
+	// Bin(4, 0.5): pmf = {1,4,6,4,1}/16.
+	b := Binomial{N: 4, P: 0.5}
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		if got := b.PMF(k); math.Abs(got-w) > 1e-14 {
+			t.Errorf("PMF(%d) = %v, want %v", k, got, w)
+		}
+	}
+	if b.PMF(-1) != 0 || b.PMF(5) != 0 {
+		t.Error("PMF outside support must be 0")
+	}
+}
+
+func TestBinomialDegenerateP(t *testing.T) {
+	b0 := Binomial{N: 7, P: 0}
+	if b0.PMF(0) != 1 || b0.PMF(1) != 0 {
+		t.Error("P=0 must be a point mass at 0")
+	}
+	b1 := Binomial{N: 7, P: 1}
+	if b1.PMF(7) != 1 || b1.PMF(6) != 0 {
+		t.Error("P=1 must be a point mass at N")
+	}
+	if b0.CDF(0) != 1 || b1.CDF(6) != 0 || b1.CDF(7) != 1 {
+		t.Error("degenerate CDFs wrong")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw)%200 + 1
+		p := float64(pRaw) / (math.MaxUint16 + 1)
+		b := Binomial{N: n, P: p}
+		var sum float64
+		for k := 0; k <= n; k++ {
+			sum += b.PMF(k)
+		}
+		return math.Abs(sum-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialMeanMatchesPMF(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw)%100 + 1
+		p := float64(pRaw) / (math.MaxUint16 + 1)
+		b := Binomial{N: n, P: p}
+		var mean float64
+		for k := 0; k <= n; k++ {
+			mean += float64(k) * b.PMF(k)
+		}
+		return math.Abs(mean-b.Mean()) < 1e-9*(1+b.Mean())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialCDFMonotone(t *testing.T) {
+	b := Binomial{N: 150, P: 0.03}
+	table := b.CDFTable()
+	prev := 0.0
+	for k, v := range table {
+		if v < prev {
+			t.Fatalf("CDF decreases at k=%d: %v < %v", k, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("CDF out of range at k=%d: %v", k, v)
+		}
+		prev = v
+	}
+	if table[len(table)-1] != 1 {
+		t.Error("CDF must end at exactly 1")
+	}
+}
+
+func TestBinomialLargeNNoUnderflow(t *testing.T) {
+	// (1-P)^N underflows in linear space for these parameters; the log-domain
+	// pmf must still normalize.
+	b := Binomial{N: 200000, P: 0.02}
+	// Sum the pmf over a wide window around the mean (4000 ± 20 sd).
+	mean := b.Mean()
+	sd := math.Sqrt(b.Variance())
+	lo, hi := int(mean-20*sd), int(mean+20*sd)
+	var sum float64
+	for k := lo; k <= hi; k++ {
+		sum += b.PMF(k)
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Errorf("windowed pmf sum = %v, want 1", sum)
+	}
+	if b.PMF(0) != 0 {
+		// Underflow to exactly 0 is expected and fine at k=0 here...
+		t.Logf("PMF(0) = %v", b.PMF(0))
+	}
+	if v := b.LogPMF(0); math.IsNaN(v) || v > 0 {
+		t.Errorf("LogPMF(0) = %v should be a large negative number", v)
+	}
+}
+
+func TestExpectedMaxWOneEqualsMean(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw)%120 + 1
+		p := float64(pRaw)/(math.MaxUint16+1)*0.5 + 1e-4
+		b := Binomial{N: n, P: p}
+		return math.Abs(b.ExpectedMaxOfIID(1)-b.Mean()) < 1e-9*(1+b.Mean())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedMaxMonotoneInW(t *testing.T) {
+	b := Binomial{N: 100, P: 0.05}
+	prev := 0.0
+	for _, w := range []int{1, 2, 4, 8, 20, 60, 100, 500} {
+		m := b.ExpectedMaxOfIID(w)
+		if m < prev {
+			t.Fatalf("E[max] decreased at w=%d: %v < %v", w, m, prev)
+		}
+		if m > float64(b.N) {
+			t.Fatalf("E[max] exceeds support: %v", m)
+		}
+		prev = m
+	}
+}
+
+func TestExpectedMaxAgainstMaxPMF(t *testing.T) {
+	// The tail-sum identity must agree with the paper's Max[W,n] expectation.
+	for _, w := range []int{1, 3, 10, 60} {
+		b := Binomial{N: 40, P: 0.1}
+		viaTail := b.ExpectedMaxOfIID(w)
+		var viaPMF float64
+		for n, prob := range b.MaxPMFTable(w) {
+			viaPMF += float64(n) * prob
+		}
+		if math.Abs(viaTail-viaPMF) > 1e-9 {
+			t.Errorf("w=%d: tail-sum %v vs Max[W,n] %v", w, viaTail, viaPMF)
+		}
+	}
+}
+
+func TestMaxPMFTableIsDistribution(t *testing.T) {
+	b := Binomial{N: 60, P: 0.08}
+	for _, w := range []int{1, 2, 12, 100} {
+		var sum float64
+		for _, p := range b.MaxPMFTable(w) {
+			if p < 0 {
+				t.Fatalf("negative Max pmf entry at w=%d", w)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("w=%d: Max pmf sums to %v", w, sum)
+		}
+	}
+}
+
+func TestExpectedMaxDegenerate(t *testing.T) {
+	if (Binomial{N: 0, P: 0.3}).ExpectedMaxOfIID(5) != 0 {
+		t.Error("N=0 must have zero max")
+	}
+	if (Binomial{N: 9, P: 0}).ExpectedMaxOfIID(5) != 0 {
+		t.Error("P=0 must have zero max")
+	}
+	if got := (Binomial{N: 9, P: 1}).ExpectedMaxOfIID(5); got != 9 {
+		t.Errorf("P=1 max must be N, got %v", got)
+	}
+}
+
+func TestExpectedMaxPanicsOnBadW(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("w=0 should panic")
+		}
+	}()
+	Binomial{N: 5, P: 0.5}.ExpectedMaxOfIID(0)
+}
+
+func TestBinomialValidate(t *testing.T) {
+	if err := (Binomial{N: -1, P: 0.5}).Validate(); err == nil {
+		t.Error("negative N should fail validation")
+	}
+	if err := (Binomial{N: 5, P: 1.5}).Validate(); err == nil {
+		t.Error("P > 1 should fail validation")
+	}
+	if err := (Binomial{N: 5, P: 0.5}).Validate(); err != nil {
+		t.Errorf("valid binomial rejected: %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import "fmt"
+
+// Right-sizing: the inverse question to the threshold solver. Instead of
+// "how big must the job be for this cluster?", ask "how much of the cluster
+// should this job use?". For a fixed-size job, weighted efficiency falls as
+// workstations are added (each task shrinks, so the task ratio drops —
+// Figures 1-4), while raw speedup rises; the useful operating point is the
+// largest W that still meets an efficiency target.
+
+// MaxWorkstations returns the largest W in [1, maxW] whose weighted
+// efficiency meets the target for a job of demand j on machines with owner
+// burst o and utilization util. If even W=1 misses the target, it returns
+// an error carrying the achievable efficiency.
+func MaxWorkstations(j, o, util, target float64, maxW int) (int, error) {
+	if maxW < 1 {
+		return 0, fmt.Errorf("core: maxW must be >= 1, got %d", maxW)
+	}
+	if !(target > 0) || target > 1 {
+		return 0, fmt.Errorf("core: target weighted efficiency must be in (0,1], got %v", target)
+	}
+	eff := func(w int) (float64, error) {
+		p, err := ParamsFromUtilization(j, w, o, util)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Analyze(p)
+		if err != nil {
+			return 0, err
+		}
+		return r.WeightedEfficiency, nil
+	}
+	// The discrete model needs T = J/W >= 1, which caps the usable system
+	// size at floor(J) regardless of maxW.
+	if util > 0 && float64(maxW) > j {
+		maxW = int(j)
+		if maxW < 1 {
+			return 0, fmt.Errorf("core: job demand %v is below one time unit", j)
+		}
+	}
+	one, err := eff(1)
+	if err != nil {
+		return 0, err
+	}
+	if one < target {
+		return 0, fmt.Errorf("core: even one workstation reaches only %.4f weighted efficiency (target %.4f)", one, target)
+	}
+	// Weighted efficiency is monotone nonincreasing in W for fixed J
+	// (property-tested); binary search for the boundary.
+	lo, hi := 1, maxW // eff(lo) >= target
+	top, err := eff(maxW)
+	if err != nil {
+		return 0, err
+	}
+	if top >= target {
+		return maxW, nil
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		e, err := eff(mid)
+		if err != nil {
+			return 0, err
+		}
+		if e >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// PartitionPlan describes how to run a fixed-size job efficiently.
+type PartitionPlan struct {
+	W      int     // workstations to use
+	Result Result  // model output at that W
+	Target float64 // the efficiency target the plan meets
+}
+
+// PlanPartition runs MaxWorkstations and returns the full model output at
+// the chosen size.
+func PlanPartition(j, o, util, target float64, maxW int) (PartitionPlan, error) {
+	w, err := MaxWorkstations(j, o, util, target, maxW)
+	if err != nil {
+		return PartitionPlan{}, err
+	}
+	p, err := ParamsFromUtilization(j, w, o, util)
+	if err != nil {
+		return PartitionPlan{}, err
+	}
+	r, err := Analyze(p)
+	if err != nil {
+		return PartitionPlan{}, err
+	}
+	return PartitionPlan{W: w, Result: r, Target: target}, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import "fmt"
+
+// Scaled-problem analysis (paper Section 3.2). Under memory-bounded scaleup
+// (Sun & Ni, the paper's references [10] and [12]) the job demand grows
+// linearly with the number of workstations, J = T·W, so each task's demand —
+// and therefore the task ratio — stays constant. The paper's finding: with
+// T = 100 and O = 10, going from 1 to 100 workstations raises response time
+// by only 14/30/44/71% at owner utilizations of 1/5/10/20%.
+
+// ScaledPoint is the model output at one system size of a scaled sweep.
+type ScaledPoint struct {
+	W      int
+	Result Result
+	// IncreaseVsDedicated is E_j(W)/T − 1: the increase relative to the
+	// dedicated single-workstation time. The paper's quoted "+14/30/44/71%"
+	// match this baseline numerically (its Figure 9 y-axis starts at T=100),
+	// even though its prose says "one workstation with the same owner
+	// utilization"; see EXPERIMENTS.md.
+	IncreaseVsDedicated float64
+	// IncreaseVsSingle is E_j(W)/E_j(1) − 1: the strict reading of the
+	// paper's prose (baseline keeps the owner interference).
+	IncreaseVsSingle float64
+}
+
+// ScaledSweep evaluates the scaled problem at each system size in ws,
+// holding the per-task demand t and owner parameters fixed.
+func ScaledSweep(t, o, util float64, ws []int) ([]ScaledPoint, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("core: scaled sweep needs at least one system size")
+	}
+	base, err := scaledAt(t, o, util, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScaledPoint, 0, len(ws))
+	for _, w := range ws {
+		r, err := scaledAt(t, o, util, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScaledPoint{
+			W:                   w,
+			Result:              r,
+			IncreaseVsDedicated: r.EJob/t - 1,
+			IncreaseVsSingle:    r.EJob/base.EJob - 1,
+		})
+	}
+	return out, nil
+}
+
+func scaledAt(t, o, util float64, w int) (Result, error) {
+	p, err := ParamsFromUtilization(t*float64(w), w, o, util)
+	if err != nil {
+		return Result{}, err
+	}
+	return Analyze(p)
+}
+
+// ScaledIncreaseAt returns the response-time increase of a scaled problem at
+// system size w against the dedicated baseline (the numbers quoted in the
+// paper's conclusions: +30% at 5% utilization and W=100, +71% at 20%).
+func ScaledIncreaseAt(t, o, util float64, w int) (float64, error) {
+	pts, err := ScaledSweep(t, o, util, []int{w})
+	if err != nil {
+		return 0, err
+	}
+	return pts[0].IncreaseVsDedicated, nil
+}
+
+// Scaleup reports how much more work the scaled system completes per unit
+// time than the single workstation: W·E_j(1)/E_j(W). Perfect memory-bounded
+// scaleup would be W.
+func Scaleup(pt ScaledPoint, base Result) float64 {
+	if pt.Result.EJob == 0 {
+		return 0
+	}
+	return float64(pt.W) * base.EJob / pt.Result.EJob
+}

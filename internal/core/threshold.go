@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThresholdQuery asks: on a system of W workstations each with owner burst
+// demand O and owner utilization Util, how large must the task ratio T/O be
+// for the parallel job to reach TargetWeightedEff weighted efficiency?
+//
+// This is the paper's headline engineering result (Section 5): "the task
+// ratio should be at least 8 for a parallel job to achieve 80 percent of the
+// possible speedup ... for a utilization of 5 percent. At a utilization of
+// 10 percent the task ratio must be 13 or higher, and at a utilization of 20
+// percent the task ratio must be 20 or greater."
+type ThresholdQuery struct {
+	W                 int
+	O                 float64
+	Util              float64
+	TargetWeightedEff float64
+}
+
+// Validate checks the query parameters.
+func (q ThresholdQuery) Validate() error {
+	switch {
+	case q.W < 1:
+		return fmt.Errorf("core: threshold query needs W >= 1, got %d", q.W)
+	case !(q.O > 0):
+		return fmt.Errorf("core: threshold query needs O > 0, got %v", q.O)
+	case q.Util < 0 || q.Util >= 1:
+		return fmt.Errorf("core: threshold query needs utilization in [0,1), got %v", q.Util)
+	case !(q.TargetWeightedEff > 0) || q.TargetWeightedEff > 1:
+		return fmt.Errorf("core: target weighted efficiency must be in (0,1], got %v", q.TargetWeightedEff)
+	}
+	return nil
+}
+
+// weightedEffAtRatio evaluates weighted efficiency at task ratio r (T = r·O).
+func (q ThresholdQuery) weightedEffAtRatio(r float64) (float64, error) {
+	t := r * q.O
+	p, err := ParamsFromUtilization(t*float64(q.W), q.W, q.O, q.Util)
+	if err != nil {
+		return 0, err
+	}
+	res, err := Analyze(p)
+	if err != nil {
+		return 0, err
+	}
+	return res.WeightedEfficiency, nil
+}
+
+// MinTaskRatio returns the smallest integer task ratio achieving the target
+// weighted efficiency, found by exponential-then-binary search. Weighted
+// efficiency is monotone nondecreasing in the task ratio (larger tasks
+// amortize each owner burst over more useful work), which the property tests
+// verify. maxRatio caps the search; if even maxRatio misses the target, an
+// error is returned.
+func (q ThresholdQuery) MinTaskRatio(maxRatio int) (int, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if maxRatio < 1 {
+		return 0, fmt.Errorf("core: maxRatio must be >= 1, got %d", maxRatio)
+	}
+	if q.Util == 0 {
+		return 1, nil // dedicated system: any ratio achieves weighted eff 1
+	}
+	// Exponential search for an upper bracket.
+	hi := 1
+	for {
+		eff, err := q.weightedEffAtRatio(float64(hi))
+		if err != nil {
+			return 0, err
+		}
+		if eff >= q.TargetWeightedEff {
+			break
+		}
+		if hi >= maxRatio {
+			return 0, fmt.Errorf("core: target weighted efficiency %.3f unreachable within task ratio %d (best %.4f)",
+				q.TargetWeightedEff, maxRatio, eff)
+		}
+		hi *= 2
+		if hi > maxRatio {
+			hi = maxRatio
+		}
+	}
+	lo := hi / 2 // eff(lo) known < target when hi > 1
+	if hi == 1 {
+		return 1, nil
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		eff, err := q.weightedEffAtRatio(float64(mid))
+		if err != nil {
+			return 0, err
+		}
+		if eff >= q.TargetWeightedEff {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// ThresholdRow is one line of the conclusions table.
+type ThresholdRow struct {
+	Util        float64
+	MinRatio    int
+	WeightedEff float64 // achieved weighted efficiency at MinRatio
+}
+
+// ThresholdTable reproduces the conclusions table: for each utilization, the
+// minimum task ratio reaching the target weighted efficiency on a system of
+// w workstations with owner demand o.
+func ThresholdTable(w int, o, target float64, utils []float64) ([]ThresholdRow, error) {
+	rows := make([]ThresholdRow, 0, len(utils))
+	for _, u := range utils {
+		q := ThresholdQuery{W: w, O: o, Util: u, TargetWeightedEff: target}
+		ratio, err := q.MinTaskRatio(1 << 20)
+		if err != nil {
+			return nil, err
+		}
+		eff, err := q.weightedEffAtRatio(float64(ratio))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ThresholdRow{Util: u, MinRatio: ratio, WeightedEff: eff})
+	}
+	return rows, nil
+}
+
+// RequiredJobDemand converts a task-ratio threshold into the minimum total
+// job demand J = ratio·O·W, the quantity a user actually controls.
+func RequiredJobDemand(ratio int, o float64, w int) float64 {
+	return float64(ratio) * o * float64(w)
+}
+
+// FeasibilityVerdict classifies a parameter point against a target weighted
+// efficiency, for the advisor example.
+type FeasibilityVerdict struct {
+	Result
+	Target   float64
+	Feasible bool
+	// MinRatio is the threshold ratio at these (W, O, U); 0 when unreachable.
+	MinRatio int
+	// MinJobDemand is the smallest J meeting the target; +Inf when unreachable.
+	MinJobDemand float64
+}
+
+// Assess runs the model and the threshold solver together.
+func Assess(p Params, target float64) (FeasibilityVerdict, error) {
+	res, err := Analyze(p)
+	if err != nil {
+		return FeasibilityVerdict{}, err
+	}
+	v := FeasibilityVerdict{Result: res, Target: target, Feasible: res.WeightedEfficiency >= target}
+	if p.O > 0 && res.U > 0 {
+		q := ThresholdQuery{W: p.W, O: p.O, Util: res.U, TargetWeightedEff: target}
+		ratio, err := q.MinTaskRatio(1 << 20)
+		if err != nil {
+			v.MinJobDemand = math.Inf(1)
+			return v, nil
+		}
+		v.MinRatio = ratio
+		v.MinJobDemand = RequiredJobDemand(ratio, p.O, p.W)
+	} else {
+		v.MinRatio = 1
+		v.MinJobDemand = p.O * float64(p.W)
+	}
+	return v, nil
+}

@@ -1,0 +1,235 @@
+// Package des is a process-oriented discrete-event simulation engine in the
+// style of CSIM (Schwetman 1986, the paper's reference [8]), which the
+// original study used to validate its analysis.
+//
+// Model processes are goroutines that interact with simulated time through a
+// *Proc handle: Hold advances the process through simulated time, Signal and
+// Mailbox synchronize processes, and PreemptiveServer models a CPU serving
+// prioritized customers with preemptive resume. Exactly one goroutine — the
+// engine or a single process — runs at any instant; control is handed off
+// through channels, so the engine is deterministic given a fixed event
+// schedule and safe under the race detector.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is simulated time. The feasibility model is discrete time; it simply
+// schedules at integral Times.
+type Time = float64
+
+// Engine owns the event calendar and the simulated clock.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	procs  map[*Proc]struct{}
+	yield  chan struct{}
+	// running is the process currently executing, nil when the engine is in
+	// control. Used only for misuse diagnostics.
+	running   *Proc
+	processed uint64
+	closed    bool
+}
+
+// NewEngine creates an empty simulation.
+func NewEngine() *Engine {
+	return &Engine{
+		procs: make(map[*Proc]struct{}),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// event is a calendar entry: either an engine-side callback (fn) or the
+// wake-up of a blocked process (proc).
+type event struct {
+	t         Time
+	seq       uint64
+	fn        func()
+	proc      *Proc
+	procSeq   uint64 // the blocking episode this wake belongs to
+	cancelled bool
+	index     int
+}
+
+// Cancel marks the event so it is skipped when its time comes.
+func (ev *event) Cancel() { ev.cancelled = true }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq // schedule order breaks ties deterministically
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// ScheduleFunc runs fn at simulated time t (>= Now). The returned event can
+// be cancelled. Callbacks run in engine context and must not block.
+func (e *Engine) ScheduleFunc(t Time, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, e.now))
+	}
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// scheduleWake schedules the wake-up of p at time t.
+func (e *Engine) scheduleWake(t Time, p *Proc) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, e.now))
+	}
+	ev := &event{t: t, seq: e.seq, proc: p, procSeq: p.blockSeq}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// wakeNow schedules p to resume at the current time (after any events
+// already scheduled for this instant).
+func (e *Engine) wakeNow(p *Proc) *event { return e.scheduleWake(e.now, p) }
+
+// Run executes events until the calendar is empty. Processes still blocked
+// on signals, mailboxes or servers when the calendar drains simply remain
+// blocked; call Close to terminate them.
+func (e *Engine) Run() {
+	e.RunUntil(-1)
+}
+
+// RunUntil executes events with time <= horizon (any horizon < 0 means "run
+// to exhaustion"). The clock is left at the last executed event's time, or
+// at the horizon if it is later.
+func (e *Engine) RunUntil(horizon Time) {
+	if e.closed {
+		panic("des: engine is closed")
+	}
+	for e.events.Len() > 0 {
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if horizon >= 0 && next.t > horizon {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.t
+		e.processed++
+		if next.fn != nil {
+			next.fn()
+			continue
+		}
+		p := next.proc
+		if p.terminated || !p.blocked || next.procSeq != p.blockSeq {
+			continue // terminated target or stale duplicate wake
+		}
+		e.dispatch(p)
+	}
+	if horizon >= 0 && e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Step executes exactly one event; it reports false when the calendar is
+// empty.
+func (e *Engine) Step() bool {
+	if e.closed {
+		panic("des: engine is closed")
+	}
+	for e.events.Len() > 0 {
+		next := heap.Pop(&e.events).(*event)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.t
+		e.processed++
+		if next.fn != nil {
+			next.fn()
+			return true
+		}
+		if next.proc.terminated || !next.proc.blocked || next.procSeq != next.proc.blockSeq {
+			continue
+		}
+		e.dispatch(next.proc)
+		return true
+	}
+	return false
+}
+
+// dispatch hands control to p and blocks until p yields back.
+func (e *Engine) dispatch(p *Proc) {
+	e.running = p
+	p.wake <- wakeRun
+	<-e.yield
+	e.running = nil
+}
+
+// Live returns the number of processes that have been spawned and have not
+// yet terminated.
+func (e *Engine) Live() int { return len(e.procs) }
+
+// Close terminates every live process by unwinding its goroutine, then marks
+// the engine unusable. It is safe to call after Run/RunUntil; it must not be
+// called from inside a process.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	if e.running != nil {
+		panic("des: Close called from inside a process")
+	}
+	e.closed = true
+	for p := range e.procs {
+		if p.started && !p.terminated && p.blocked {
+			e.running = p
+			p.wake <- wakeKill
+			<-e.yield
+			e.running = nil
+		}
+		delete(e.procs, p)
+	}
+}
+
+// errKilled unwinds a process goroutine during Close.
+var errKilled = errors.New("des: process killed")

@@ -1,0 +1,274 @@
+package des
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestHoldAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		p.Hold(5)
+		p.Hold(2.5)
+		at = p.Now()
+	})
+	e.Run()
+	if at != 7.5 {
+		t.Errorf("process finished at %v, want 7.5", at)
+	}
+	if e.Now() != 7.5 {
+		t.Errorf("engine clock %v, want 7.5", e.Now())
+	}
+}
+
+func TestProcessesInterleaveByTime(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	spawnHold := func(name string, d Time) {
+		e.Spawn(name, func(p *Proc) {
+			p.Hold(d)
+			order = append(order, name)
+		})
+	}
+	spawnHold("slow", 5)
+	spawnHold("fast", 3)
+	spawnHold("mid", 4)
+	e.Run()
+	want := []string{"fast", "mid", "slow"}
+	for i, n := range want {
+		if order[i] != n {
+			t.Fatalf("completion order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeTieBreakIsScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Hold(1)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated schedule order: %v", order)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		var times []float64
+		r := rand.New(rand.NewPCG(42, 43))
+		for i := 0; i < 50; i++ {
+			e.Spawn("p", func(p *Proc) {
+				p.Hold(r.Float64() * 100)
+				times = append(times, p.Now())
+			})
+		}
+		e.Run()
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("identical schedules produced different histories")
+		}
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	e := NewEngine()
+	var started Time
+	e.SpawnAt(10, "late", func(p *Proc) { started = p.Now() })
+	e.Run()
+	if started != 10 {
+		t.Errorf("late process started at %v, want 10", started)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := NewEngine()
+	var childAt Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Hold(3)
+		p.Engine().Spawn("child", func(c *Proc) {
+			c.Hold(4)
+			childAt = c.Now()
+		})
+		p.Hold(10)
+	})
+	e.Run()
+	if childAt != 7 {
+		t.Errorf("child finished at %v, want 7", childAt)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	ran := 0
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Hold(1)
+			ran++
+		}
+	})
+	e.RunUntil(4.5)
+	if ran != 4 {
+		t.Errorf("%d holds completed before horizon, want 4", ran)
+	}
+	if e.Now() != 4.5 {
+		t.Errorf("clock %v, want horizon 4.5", e.Now())
+	}
+	e.RunUntil(100)
+	if ran != 10 {
+		t.Errorf("%d holds after second run, want 10", ran)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Spawn("p", func(p *Proc) {
+		p.Hold(1)
+		count++
+		p.Hold(1)
+		count++
+	})
+	if !e.Step() { // start event
+		t.Fatal("first step should succeed")
+	}
+	if count != 0 {
+		t.Fatal("body should be blocked in first Hold")
+	}
+	e.Step()
+	if count != 1 {
+		t.Fatalf("count = %d after second step", count)
+	}
+	e.Step()
+	if count != 2 {
+		t.Fatalf("count = %d after third step", count)
+	}
+	if e.Step() {
+		t.Fatal("no events should remain")
+	}
+}
+
+func TestScheduleFuncAndCancel(t *testing.T) {
+	e := NewEngine()
+	fired := []string{}
+	e.ScheduleFunc(5, func() { fired = append(fired, "keep") })
+	ev := e.ScheduleFunc(3, func() { fired = append(fired, "cancelled") })
+	ev.Cancel()
+	e.Run()
+	if len(fired) != 1 || fired[0] != "keep" {
+		t.Errorf("fired = %v", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock %v, want 5", e.Now())
+	}
+}
+
+func TestPendingAndProcessedCounters(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleFunc(1, func() {})
+	e.ScheduleFunc(2, func() {})
+	ev := e.ScheduleFunc(3, func() {})
+	ev.Cancel()
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2 (cancelled excluded)", e.Pending())
+	}
+	e.Run()
+	if e.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2", e.Processed())
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	e := NewEngine()
+	sig := e.NewSignal("never")
+	for i := 0; i < 5; i++ {
+		e.Spawn("waiter", func(p *Proc) {
+			sig.Wait(p) // never fired
+			t.Error("waiter should not resume")
+		})
+	}
+	e.Run()
+	if e.Live() != 5 {
+		t.Fatalf("Live = %d, want 5 blocked", e.Live())
+	}
+	e.Close()
+	if e.Live() != 0 {
+		t.Errorf("Live after Close = %d", e.Live())
+	}
+	// Close is idempotent.
+	e.Close()
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleFunc(10, func() {})
+	e.Run() // clock now 10
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling into the past should panic")
+		}
+	}()
+	e.ScheduleFunc(5, func() {})
+}
+
+func TestNegativeHoldPanics(t *testing.T) {
+	e := NewEngine()
+	panicked := false
+	e.Spawn("p", func(p *Proc) {
+		// Recovering inside the body turns the misuse panic into a normal
+		// termination, keeping the engine consistent.
+		defer func() { panicked = recover() != nil }()
+		p.Hold(-1)
+	})
+	e.Run()
+	if !panicked {
+		t.Error("negative hold should panic")
+	}
+	if e.Live() != 0 {
+		t.Errorf("Live = %d after recovered panic", e.Live())
+	}
+}
+
+func TestQuickRandomHoldsCompleteInOrder(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 25; trial++ {
+		e := NewEngine()
+		n := 1 + r.IntN(40)
+		type done struct{ at, want float64 }
+		var finished []done
+		for i := 0; i < n; i++ {
+			d := r.Float64() * 50
+			e.Spawn("p", func(p *Proc) {
+				p.Hold(d)
+				finished = append(finished, done{p.Now(), d})
+			})
+		}
+		e.Run()
+		if len(finished) != n {
+			t.Fatalf("trial %d: %d of %d processes finished", trial, len(finished), n)
+		}
+		if !sort.SliceIsSorted(finished, func(i, j int) bool { return finished[i].at < finished[j].at }) {
+			t.Fatalf("trial %d: completions out of time order", trial)
+		}
+		for _, f := range finished {
+			if f.at != f.want {
+				t.Fatalf("trial %d: completion at %v, want %v", trial, f.at, f.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package des
+
+import "fmt"
+
+type wakeKind int
+
+const (
+	wakeRun wakeKind = iota
+	wakeKill
+)
+
+// Proc is the handle a model process uses to interact with simulated time.
+// It is only valid inside the goroutine started by Spawn.
+type Proc struct {
+	eng        *Engine
+	name       string
+	wake       chan wakeKind
+	started    bool
+	terminated bool
+	// blocked is true while the process waits for a wake-up; blockSeq
+	// counts completed blocking episodes. A wake event records the episode
+	// it was created in, and the engine discards wakes from past episodes:
+	// they are stale duplicates (e.g. a timed receive woken by both the
+	// message and the timeout, where the loser event must not disturb a
+	// later Hold at the same timestamp).
+	blocked  bool
+	blockSeq uint64
+}
+
+// Name returns the process name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process that will begin executing body at the current
+// simulated time (after events already scheduled for this instant).
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, body)
+}
+
+// SpawnAt creates a process that will begin executing body at time t.
+func (e *Engine) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
+	if e.closed {
+		panic("des: engine is closed")
+	}
+	p := &Proc{eng: e, name: name, wake: make(chan wakeKind), blocked: true}
+	e.procs[p] = struct{}{}
+	go p.run(body)
+	p.started = true
+	e.scheduleWake(t, p)
+	return p
+}
+
+// run is the goroutine wrapper: it waits for the first wake, executes the
+// body, and hands control back to the engine on termination. A kill during
+// Close unwinds the body via panic(errKilled).
+func (p *Proc) run(body func(p *Proc)) {
+	kind := <-p.wake
+	p.blocked = false
+	p.blockSeq++
+	if kind == wakeKill {
+		p.terminated = true
+		p.eng.yield <- struct{}{}
+		return
+	}
+	defer func() {
+		r := recover()
+		p.terminated = true
+		if r != nil && r != errKilled {
+			// Real model bug: surface it in the engine goroutine by
+			// re-panicking there would be complex; fail loudly here instead.
+			panic(r)
+		}
+		if r == errKilled {
+			p.eng.yield <- struct{}{}
+			return
+		}
+		delete(p.eng.procs, p)
+		p.eng.yield <- struct{}{}
+	}()
+	body(p)
+}
+
+// block yields control to the engine and sleeps until some event wakes this
+// process. Every wake-up must have been scheduled before calling block.
+func (p *Proc) block() {
+	if p.eng.running != p {
+		panic(fmt.Sprintf("des: process %q blocking while not running", p.name))
+	}
+	p.blocked = true
+	p.eng.yield <- struct{}{}
+	kind := <-p.wake
+	p.blocked = false
+	p.blockSeq++
+	if kind == wakeKill {
+		panic(errKilled)
+	}
+}
+
+// Hold advances the process by d units of simulated time.
+func (p *Proc) Hold(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative hold %v in %q", d, p.name))
+	}
+	p.eng.scheduleWake(p.eng.now+d, p)
+	p.block()
+}
+
+// Yield relinquishes control until all other events scheduled for the
+// current instant have run.
+func (p *Proc) Yield() { p.Hold(0) }
+
+// Signal is a broadcast condition: processes Wait on it, Fire releases all
+// current waiters at the current simulated time.
+type Signal struct {
+	eng     *Engine
+	name    string
+	waiters []*Proc
+	fires   uint64
+}
+
+// NewSignal creates a named signal.
+func (e *Engine) NewSignal(name string) *Signal {
+	return &Signal{eng: e, name: name}
+}
+
+// Wait blocks p until the next Fire.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// Fire releases every current waiter. Waiters that arrive after Fire wait
+// for the next one.
+func (s *Signal) Fire() {
+	s.fires++
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		s.eng.wakeNow(w)
+	}
+}
+
+// Waiting returns the number of processes currently blocked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Fires returns how many times the signal has fired.
+func (s *Signal) Fires() uint64 { return s.fires }
+
+// Mailbox is an unbounded FIFO message queue with blocking receive, the
+// des-level analogue of CSIM mailboxes.
+type Mailbox struct {
+	eng     *Engine
+	name    string
+	q       []any
+	waiters []*Proc
+	sent    uint64
+}
+
+// NewMailbox creates a named mailbox.
+func (e *Engine) NewMailbox(name string) *Mailbox {
+	return &Mailbox{eng: e, name: name}
+}
+
+// Send enqueues v and wakes one waiting receiver, if any. Send never blocks
+// and may be called from engine callbacks as well as processes.
+func (m *Mailbox) Send(v any) {
+	m.sent++
+	m.q = append(m.q, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.eng.wakeNow(w)
+	}
+}
+
+// Recv dequeues the oldest message, blocking p until one is available.
+func (m *Mailbox) Recv(p *Proc) any {
+	for len(m.q) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.block()
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v
+}
+
+// TryRecv dequeues a message if one is present.
+func (m *Mailbox) TryRecv() (any, bool) {
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v, true
+}
+
+// RecvTimeout dequeues the oldest message, waiting at most d units of
+// simulated time. It reports ok=false on timeout. A process woken by both
+// the message and the timeout in the same instant receives the message:
+// the duplicate wake-up is discarded by the engine's stale-wake check.
+func (m *Mailbox) RecvTimeout(p *Proc, d Time) (any, bool) {
+	if v, ok := m.TryRecv(); ok {
+		return v, true
+	}
+	if d <= 0 {
+		return nil, false
+	}
+	deadline := m.eng.now + d
+	for {
+		m.waiters = append(m.waiters, p)
+		timeout := m.eng.scheduleWake(deadline, p)
+		p.block()
+		timeout.Cancel()
+		if v, ok := m.TryRecv(); ok {
+			m.removeWaiter(p)
+			return v, true
+		}
+		m.removeWaiter(p)
+		if m.eng.now >= deadline {
+			return nil, false
+		}
+		// Woken by a message another receiver consumed first; keep waiting.
+	}
+}
+
+// removeWaiter drops p from the waiter list if still present.
+func (m *Mailbox) removeWaiter(p *Proc) {
+	for i, w := range m.waiters {
+		if w == p {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Len is the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.q) }
+
+// Sent is the total number of messages ever sent.
+func (m *Mailbox) Sent() uint64 { return m.sent }

@@ -1,0 +1,185 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestSignalReleasesAllWaiters(t *testing.T) {
+	e := NewEngine()
+	sig := e.NewSignal("go")
+	released := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			sig.Wait(p)
+			released++
+			if p.Now() != 9 {
+				t.Errorf("waiter released at %v, want 9", p.Now())
+			}
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Hold(9)
+		if sig.Waiting() != 4 {
+			t.Errorf("Waiting = %d, want 4", sig.Waiting())
+		}
+		sig.Fire()
+	})
+	e.Run()
+	if released != 4 {
+		t.Errorf("released = %d, want 4", released)
+	}
+	if sig.Fires() != 1 {
+		t.Errorf("Fires = %d", sig.Fires())
+	}
+}
+
+func TestSignalLateWaiterNeedsNextFire(t *testing.T) {
+	e := NewEngine()
+	sig := e.NewSignal("gate")
+	var events []string
+	e.Spawn("early", func(p *Proc) {
+		sig.Wait(p)
+		events = append(events, "early")
+	})
+	e.Spawn("ctrl", func(p *Proc) {
+		p.Hold(1)
+		sig.Fire()
+		p.Hold(1)
+		sig.Fire()
+	})
+	e.Spawn("late", func(p *Proc) {
+		p.Hold(1.5) // after the first fire
+		sig.Wait(p)
+		events = append(events, "late")
+	})
+	e.Run()
+	if len(events) != 2 || events[0] != "early" || events[1] != "late" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	var got []int
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, mb.Recv(p).(int))
+		}
+	})
+	e.Spawn("send", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Hold(1)
+			mb.Send(i)
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("messages out of order: %v", got)
+		}
+	}
+	if mb.Sent() != 5 {
+		t.Errorf("Sent = %d", mb.Sent())
+	}
+}
+
+func TestMailboxBufferedBeforeReceive(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	mb.Send("a")
+	mb.Send("b")
+	if mb.Len() != 2 {
+		t.Fatalf("Len = %d", mb.Len())
+	}
+	var got []string
+	e.Spawn("recv", func(p *Proc) {
+		got = append(got, mb.Recv(p).(string))
+		got = append(got, mb.Recv(p).(string))
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	if _, ok := mb.TryRecv(); ok {
+		t.Error("TryRecv on empty should fail")
+	}
+	mb.Send(7)
+	v, ok := mb.TryRecv()
+	if !ok || v.(int) != 7 {
+		t.Errorf("TryRecv = %v, %v", v, ok)
+	}
+	if mb.Len() != 0 {
+		t.Error("TryRecv should consume")
+	}
+}
+
+func TestMailboxMultipleReceiversEachGetOne(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("recv", func(p *Proc) {
+			mb.Recv(p)
+			counts[i]++
+		})
+	}
+	e.Spawn("send", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Hold(1)
+			mb.Send(i)
+		}
+	})
+	e.Run()
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("receiver %d got %d messages", i, c)
+		}
+	}
+}
+
+func TestYieldOrdersWithinInstant(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		p.Yield()
+		order = append(order, "a-after-yield")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "b" || order[1] != "a-after-yield" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("named", func(p *Proc) {
+		if p.Name() != "named" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Engine() != e {
+			t.Error("Engine accessor wrong")
+		}
+	})
+	e.Run()
+}
+
+func TestSpawnOnClosedEnginePanics(t *testing.T) {
+	e := NewEngine()
+	e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Spawn on closed engine should panic")
+		}
+	}()
+	e.Spawn("p", func(*Proc) {})
+}

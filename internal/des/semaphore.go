@@ -1,0 +1,70 @@
+package des
+
+import "fmt"
+
+// Semaphore is a counting semaphore with FIFO waiters — the remaining CSIM
+// synchronization primitive, used for mutual exclusion and bounded
+// resources that do not need the preemptive service of PreemptiveServer.
+type Semaphore struct {
+	eng     *Engine
+	name    string
+	count   int
+	waiters []*Proc
+	acqs    uint64
+}
+
+// NewSemaphore creates a semaphore with the given initial count (permits).
+func (e *Engine) NewSemaphore(name string, initial int) *Semaphore {
+	if initial < 0 {
+		panic(fmt.Sprintf("des: semaphore %q initial count %d < 0", name, initial))
+	}
+	return &Semaphore{eng: e, name: name, count: initial}
+}
+
+// Acquire takes one permit, blocking p until one is available. Waiters are
+// served FIFO.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.count > 0 {
+		s.count--
+		s.acqs++
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block()
+	// The releaser transferred its permit directly to us.
+	s.acqs++
+}
+
+// TryAcquire takes a permit without blocking; it reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.count > 0 {
+		s.count--
+		s.acqs++
+		return true
+	}
+	return false
+}
+
+// Release returns one permit, waking the oldest waiter if any. It may be
+// called from processes or engine callbacks.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.eng.wakeNow(w)
+		return // permit handed to the waiter, count unchanged (still 0)
+	}
+	s.count++
+}
+
+// Available returns the current permit count.
+func (s *Semaphore) Available() int { return s.count }
+
+// Waiting returns the number of blocked acquirers.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// Acquisitions returns the total number of successful acquires.
+func (s *Semaphore) Acquisitions() uint64 { return s.acqs }
+
+// Name returns the semaphore's name.
+func (s *Semaphore) Name() string { return s.name }

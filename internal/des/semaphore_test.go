@@ -1,0 +1,144 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	e := NewEngine()
+	sem := e.NewSemaphore("mutex", 1)
+	inside := 0
+	violations := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("p", func(p *Proc) {
+			sem.Acquire(p)
+			inside++
+			if inside > 1 {
+				violations++
+			}
+			p.Hold(3)
+			inside--
+			sem.Release()
+		})
+	}
+	e.Run()
+	if violations != 0 {
+		t.Errorf("%d mutual-exclusion violations", violations)
+	}
+	if e.Now() != 15 {
+		t.Errorf("5 serialized critical sections of 3: clock %v, want 15", e.Now())
+	}
+	if sem.Acquisitions() != 5 {
+		t.Errorf("acquisitions = %d", sem.Acquisitions())
+	}
+}
+
+func TestSemaphoreCountingParallelism(t *testing.T) {
+	e := NewEngine()
+	sem := e.NewSemaphore("pool", 2)
+	var finished []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("p", func(p *Proc) {
+			sem.Acquire(p)
+			p.Hold(10)
+			sem.Release()
+			finished = append(finished, p.Now())
+		})
+	}
+	e.Run()
+	// Two permits: pairs finish at 10 and 20.
+	want := []Time{10, 10, 20, 20}
+	for i, w := range want {
+		if finished[i] != w {
+			t.Fatalf("finish times %v, want %v", finished, want)
+		}
+	}
+}
+
+func TestSemaphoreFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	sem := e.NewSemaphore("s", 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Hold(Time(i)) // arrival order 0,1,2
+			sem.Acquire(p)
+			order = append(order, i)
+		})
+	}
+	e.Spawn("releaser", func(p *Proc) {
+		p.Hold(10)
+		for i := 0; i < 3; i++ {
+			sem.Release()
+			p.Hold(1)
+		}
+	})
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	e := NewEngine()
+	sem := e.NewSemaphore("s", 1)
+	if !sem.TryAcquire() {
+		t.Fatal("first TryAcquire should succeed")
+	}
+	if sem.TryAcquire() {
+		t.Fatal("second TryAcquire should fail")
+	}
+	sem.Release()
+	if sem.Available() != 1 {
+		t.Errorf("available = %d", sem.Available())
+	}
+	if sem.Name() != "s" {
+		t.Errorf("name = %q", sem.Name())
+	}
+}
+
+func TestSemaphoreNegativeInitialPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative initial count should panic")
+		}
+	}()
+	e.NewSemaphore("bad", -1)
+}
+
+func TestSemaphoreWaitingCount(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	sem := e.NewSemaphore("s", 0)
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) { sem.Acquire(p) })
+	}
+	e.Run()
+	if sem.Waiting() != 3 {
+		t.Errorf("waiting = %d, want 3", sem.Waiting())
+	}
+}
+
+func TestServerQueueLengthStats(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("cpu")
+	// Occupant 0..10; three arrivals at t=0 queue behind it, draining one
+	// every 10: queue length 3 on [0,10), 2 on [10,20), 1 on [20,30), 0 after.
+	for i := 0; i < 4; i++ {
+		e.Spawn("c", func(p *Proc) {
+			s.Use(p, 10, 0)
+		})
+	}
+	e.Run()
+	// Mean over [0,40): (3+2+1+0)*10/40 = 1.5.
+	if got := s.MeanQueueLen(); got < 1.45 || got > 1.55 {
+		t.Errorf("mean queue length %v, want 1.5", got)
+	}
+	if s.MaxQueueLen() != 3 {
+		t.Errorf("max queue length %d, want 3", s.MaxQueueLen())
+	}
+}

@@ -1,0 +1,209 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+
+	"feasim/internal/stats"
+)
+
+// PreemptiveServer is a single CPU serving prioritized customers under
+// preemptive resume: a higher-priority arrival immediately suspends the
+// customer in service; the suspended customer later resumes with its
+// remaining demand intact. Within a priority class, service is FIFO by
+// arrival. This is the workstation of the paper's model — owner processes
+// run at a higher priority than parallel tasks and preempt them on arrival.
+type PreemptiveServer struct {
+	eng  *Engine
+	name string
+
+	occupant *request
+	queue    []*request // waiting requests, kept sorted by (prio desc, seq asc)
+
+	// busyBy accumulates service time delivered to each priority class.
+	busyBy     map[int]Time
+	preemptCnt uint64
+	servedCnt  uint64
+	createdAt  Time
+	// qlen tracks the time-weighted number of waiting (not in service)
+	// requests.
+	qlen stats.TimeWeighted
+}
+
+type request struct {
+	proc       *Proc
+	prio       int
+	remaining  Time
+	seq        uint64 // arrival order, preserved across preemptions
+	done       bool
+	startedAt  Time
+	completion *event
+}
+
+// NewPreemptiveServer creates a named server on e.
+func (e *Engine) NewPreemptiveServer(name string) *PreemptiveServer {
+	srv := &PreemptiveServer{
+		eng:       e,
+		name:      name,
+		busyBy:    make(map[int]Time),
+		createdAt: e.now,
+	}
+	srv.qlen.Observe(e.now, 0)
+	return srv
+}
+
+// Name returns the server's name.
+func (s *PreemptiveServer) Name() string { return s.name }
+
+// Use consumes demand units of service at the given priority (larger is more
+// important), blocking p until the service completes. The call may stretch
+// far beyond demand when higher-priority customers preempt.
+func (s *PreemptiveServer) Use(p *Proc, demand Time, prio int) {
+	if demand < 0 {
+		panic(fmt.Sprintf("des: negative service demand %v on %q", demand, s.name))
+	}
+	if demand == 0 {
+		return
+	}
+	req := &request{proc: p, prio: prio, remaining: demand, seq: s.eng.seq}
+	s.eng.seq++
+	s.arrive(req)
+	for !req.done {
+		p.block()
+	}
+}
+
+func (s *PreemptiveServer) arrive(req *request) {
+	if s.occupant == nil {
+		s.begin(req)
+		return
+	}
+	if req.prio > s.occupant.prio {
+		s.suspendOccupant()
+		s.begin(req)
+		return
+	}
+	s.enqueue(req)
+}
+
+// begin puts req into service and schedules its completion.
+func (s *PreemptiveServer) begin(req *request) {
+	s.occupant = req
+	req.startedAt = s.eng.now
+	req.completion = s.eng.ScheduleFunc(s.eng.now+req.remaining, func() {
+		s.complete(req)
+	})
+}
+
+// suspendOccupant preempts the customer in service, crediting the service it
+// already received and returning it to the queue with its remaining demand.
+func (s *PreemptiveServer) suspendOccupant() {
+	occ := s.occupant
+	s.occupant = nil
+	occ.completion.Cancel()
+	occ.completion = nil
+	served := s.eng.now - occ.startedAt
+	occ.remaining -= served
+	s.busyBy[occ.prio] += served
+	s.preemptCnt++
+	if occ.remaining < 0 {
+		occ.remaining = 0 // float guard; cannot go negative in exact arithmetic
+	}
+	s.enqueue(occ)
+}
+
+func (s *PreemptiveServer) enqueue(req *request) {
+	defer s.observeQueue()
+	i := sort.Search(len(s.queue), func(i int) bool {
+		q := s.queue[i]
+		if q.prio != req.prio {
+			return q.prio < req.prio
+		}
+		return q.seq > req.seq
+	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = req
+}
+
+// complete finishes the occupant's service, wakes its process, and starts
+// the next queued request.
+func (s *PreemptiveServer) complete(req *request) {
+	if s.occupant != req {
+		panic("des: completion for a request not in service")
+	}
+	s.occupant = nil
+	s.busyBy[req.prio] += s.eng.now - req.startedAt
+	req.remaining = 0
+	req.done = true
+	req.completion = nil
+	s.servedCnt++
+	s.eng.wakeNow(req.proc)
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.observeQueue()
+		s.begin(next)
+	}
+}
+
+// observeQueue records the current queue length for time-weighted stats.
+func (s *PreemptiveServer) observeQueue() {
+	s.qlen.Observe(s.eng.now, float64(len(s.queue)))
+}
+
+// MeanQueueLen returns the time-average number of waiting requests since
+// the server was created.
+func (s *PreemptiveServer) MeanQueueLen() float64 {
+	if !s.qlen.Started() {
+		return 0
+	}
+	return s.qlen.Mean(s.eng.now)
+}
+
+// MaxQueueLen returns the largest observed queue length.
+func (s *PreemptiveServer) MaxQueueLen() int { return int(s.qlen.Max()) }
+
+// Busy reports whether a customer is in service.
+func (s *PreemptiveServer) Busy() bool { return s.occupant != nil }
+
+// QueueLen is the number of waiting (not in service) requests.
+func (s *PreemptiveServer) QueueLen() int { return len(s.queue) }
+
+// Preemptions is the number of preemptions so far.
+func (s *PreemptiveServer) Preemptions() uint64 { return s.preemptCnt }
+
+// Served is the number of completed service requests.
+func (s *PreemptiveServer) Served() uint64 { return s.servedCnt }
+
+// BusyTime returns the cumulative service delivered to the given priority
+// class, including the in-progress slice of the current occupant.
+func (s *PreemptiveServer) BusyTime(prio int) Time {
+	t := s.busyBy[prio]
+	if s.occupant != nil && s.occupant.prio == prio {
+		t += s.eng.now - s.occupant.startedAt
+	}
+	return t
+}
+
+// TotalBusyTime returns cumulative service over all priorities.
+func (s *PreemptiveServer) TotalBusyTime() Time {
+	var t Time
+	for prio := range s.busyBy {
+		t += s.busyBy[prio]
+	}
+	if s.occupant != nil {
+		t += s.eng.now - s.occupant.startedAt
+	}
+	return t
+}
+
+// Utilization returns the busy fraction of the given priority class since
+// the server was created.
+func (s *PreemptiveServer) Utilization(prio int) float64 {
+	horizon := s.eng.now - s.createdAt
+	if horizon <= 0 {
+		return 0
+	}
+	return s.BusyTime(prio) / horizon
+}

@@ -1,0 +1,313 @@
+package des
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestServerUncontendedServiceTime(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("cpu")
+	var done Time
+	e.Spawn("task", func(p *Proc) {
+		s.Use(p, 10, 0)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 10 {
+		t.Errorf("uncontended service finished at %v, want 10", done)
+	}
+	if s.Served() != 1 {
+		t.Errorf("Served = %d", s.Served())
+	}
+	if s.Preemptions() != 0 {
+		t.Errorf("Preemptions = %d", s.Preemptions())
+	}
+}
+
+// TestPreemptionStretchesLowPriority is the paper's workstation in
+// miniature: a parallel task of demand 10 is preempted at t=3 by an owner
+// burst of demand 5; the owner finishes at 8, the task at 15.
+func TestPreemptionStretchesLowPriority(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("ws")
+	var taskDone, ownerDone Time
+	e.Spawn("task", func(p *Proc) {
+		s.Use(p, 10, 0)
+		taskDone = p.Now()
+	})
+	e.Spawn("owner", func(p *Proc) {
+		p.Hold(3)
+		s.Use(p, 5, 1)
+		ownerDone = p.Now()
+	})
+	e.Run()
+	if ownerDone != 8 {
+		t.Errorf("owner finished at %v, want 8", ownerDone)
+	}
+	if taskDone != 15 {
+		t.Errorf("task finished at %v, want 15 (preemptive resume)", taskDone)
+	}
+	if s.Preemptions() != 1 {
+		t.Errorf("Preemptions = %d, want 1", s.Preemptions())
+	}
+}
+
+func TestEqualPriorityDoesNotPreempt(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("cpu")
+	var aDone, bDone Time
+	e.Spawn("a", func(p *Proc) {
+		s.Use(p, 10, 1)
+		aDone = p.Now()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Hold(2)
+		s.Use(p, 10, 1)
+		bDone = p.Now()
+	})
+	e.Run()
+	if aDone != 10 || bDone != 20 {
+		t.Errorf("a/b done at %v/%v, want 10/20 (FIFO within class)", aDone, bDone)
+	}
+}
+
+func TestFIFOWithinPriorityClass(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("cpu")
+	var order []string
+	// Occupy the server, then queue three same-priority requests.
+	e.Spawn("holder", func(p *Proc) {
+		s.Use(p, 5, 0)
+	})
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			switch name {
+			case "first":
+				p.Hold(1)
+			case "second":
+				p.Hold(2)
+			case "third":
+				p.Hold(3)
+			}
+			s.Use(p, 1, 0)
+			order = append(order, name)
+		})
+	}
+	e.Run()
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPreemptedResumesBeforeLaterArrivalsOfSameClass(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("cpu")
+	var order []string
+	e.Spawn("victim", func(p *Proc) {
+		s.Use(p, 10, 0) // preempted at t=2
+		order = append(order, "victim")
+	})
+	e.Spawn("owner", func(p *Proc) {
+		p.Hold(2)
+		s.Use(p, 5, 1)
+	})
+	e.Spawn("later", func(p *Proc) {
+		p.Hold(3) // arrives while owner running, same class as victim
+		s.Use(p, 1, 0)
+		order = append(order, "later")
+	})
+	e.Run()
+	// Victim arrived first; it must resume (and finish) before "later".
+	if len(order) != 2 || order[0] != "victim" || order[1] != "later" {
+		t.Errorf("order = %v, want [victim later]", order)
+	}
+}
+
+func TestNestedPreemptionThreeLevels(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("cpu")
+	var done = map[string]Time{}
+	e.Spawn("low", func(p *Proc) {
+		s.Use(p, 10, 0)
+		done["low"] = p.Now()
+	})
+	e.Spawn("mid", func(p *Proc) {
+		p.Hold(2)
+		s.Use(p, 4, 1)
+		done["mid"] = p.Now()
+	})
+	e.Spawn("high", func(p *Proc) {
+		p.Hold(3)
+		s.Use(p, 2, 2)
+		done["high"] = p.Now()
+	})
+	e.Run()
+	// high: 3..5; mid: 2..3 then 5..8; low: 0..2 then 8..16.
+	if done["high"] != 5 {
+		t.Errorf("high done at %v, want 5", done["high"])
+	}
+	if done["mid"] != 8 {
+		t.Errorf("mid done at %v, want 8", done["mid"])
+	}
+	if done["low"] != 16 {
+		t.Errorf("low done at %v, want 16", done["low"])
+	}
+	if s.Preemptions() != 2 {
+		t.Errorf("Preemptions = %d, want 2", s.Preemptions())
+	}
+}
+
+func TestZeroDemandReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("cpu")
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		s.Use(p, 0, 0)
+		at = p.Now()
+	})
+	e.Run()
+	if at != 0 {
+		t.Errorf("zero demand took time: %v", at)
+	}
+	if s.Served() != 0 {
+		t.Errorf("zero demand should not count as served")
+	}
+}
+
+func TestNegativeDemandPanics(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("cpu")
+	panicked := false
+	e.Spawn("p", func(p *Proc) {
+		defer func() { panicked = recover() != nil }()
+		s.Use(p, -1, 0)
+	})
+	e.Run()
+	if !panicked {
+		t.Error("negative demand should panic")
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	e := NewEngine()
+	s := e.NewPreemptiveServer("ws")
+	e.Spawn("task", func(p *Proc) {
+		s.Use(p, 10, 0)
+	})
+	e.Spawn("owner", func(p *Proc) {
+		p.Hold(3)
+		s.Use(p, 5, 1)
+	})
+	e.Run()
+	if bt := s.BusyTime(0); bt != 10 {
+		t.Errorf("task-class busy time %v, want 10", bt)
+	}
+	if bt := s.BusyTime(1); bt != 5 {
+		t.Errorf("owner-class busy time %v, want 5", bt)
+	}
+	if tot := s.TotalBusyTime(); tot != 15 {
+		t.Errorf("total busy %v, want 15", tot)
+	}
+	// Horizon is 15 (no idle): utilizations 10/15 and 5/15.
+	if u := s.Utilization(1); math.Abs(u-5.0/15) > 1e-12 {
+		t.Errorf("owner utilization %v, want %v", u, 5.0/15)
+	}
+}
+
+func TestBusyTimeIncludesInProgressSlice(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	s := e.NewPreemptiveServer("ws")
+	e.Spawn("task", func(p *Proc) {
+		s.Use(p, 10, 0)
+	})
+	e.RunUntil(4)
+	if bt := s.BusyTime(0); bt != 4 {
+		t.Errorf("in-progress busy time %v, want 4", bt)
+	}
+	if !s.Busy() {
+		t.Error("server should be busy at t=4")
+	}
+}
+
+// TestWorkConservation drives random arrivals through the server and checks
+// that delivered service equals the sum of demands once everything drains,
+// and that no customer finishes before its arrival + demand.
+func TestWorkConservation(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		s := e.NewPreemptiveServer("cpu")
+		var totalDemand float64
+		type rec struct{ arrive, demand, done float64 }
+		var recs []*rec
+		n := 2 + r.IntN(30)
+		for i := 0; i < n; i++ {
+			arrive := r.Float64() * 50
+			demand := 0.1 + r.Float64()*10
+			prio := r.IntN(3)
+			totalDemand += demand
+			rc := &rec{arrive: arrive, demand: demand}
+			recs = append(recs, rc)
+			e.Spawn("c", func(p *Proc) {
+				p.Hold(arrive)
+				s.Use(p, demand, prio)
+				rc.done = p.Now()
+			})
+		}
+		e.Run()
+		if got := s.TotalBusyTime(); math.Abs(got-totalDemand) > 1e-6 {
+			t.Fatalf("trial %d: busy %v != total demand %v", trial, got, totalDemand)
+		}
+		for _, rc := range recs {
+			if rc.done < rc.arrive+rc.demand-1e-9 {
+				t.Fatalf("trial %d: customer finished at %v before arrive+demand %v",
+					trial, rc.done, rc.arrive+rc.demand)
+			}
+		}
+		if s.Served() != uint64(n) {
+			t.Fatalf("trial %d: served %d of %d", trial, s.Served(), n)
+		}
+		if s.QueueLen() != 0 || s.Busy() {
+			t.Fatalf("trial %d: server not drained", trial)
+		}
+	}
+}
+
+// TestHighPriorityUnaffectedByLow verifies the paper's core assumption:
+// owner processes never wait for parallel tasks.
+func TestHighPriorityUnaffectedByLow(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 10))
+	e := NewEngine()
+	s := e.NewPreemptiveServer("ws")
+	// A parallel task hogging the CPU from t=0.
+	e.Spawn("task", func(p *Proc) {
+		s.Use(p, 1e6, 0)
+	})
+	// Sparse owner bursts must each take exactly their demand.
+	for i := 0; i < 20; i++ {
+		arrive := 10 + float64(i)*100 + r.Float64()*10
+		demand := 1 + r.Float64()*5
+		e.Spawn("owner", func(p *Proc) {
+			p.Hold(arrive)
+			s.Use(p, demand, 1)
+			if got := p.Now() - arrive; math.Abs(got-demand) > 1e-9 {
+				t.Errorf("owner burst took %v, want %v", got, demand)
+			}
+		})
+	}
+	e.Run()
+}
+
+func TestServerName(t *testing.T) {
+	e := NewEngine()
+	if s := e.NewPreemptiveServer("ws7"); s.Name() != "ws7" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}

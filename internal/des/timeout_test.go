@@ -1,0 +1,158 @@
+package des
+
+import "testing"
+
+func TestRecvTimeoutGetsMessageInTime(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	var got any
+	var ok bool
+	var at Time
+	e.Spawn("recv", func(p *Proc) {
+		got, ok = mb.RecvTimeout(p, 10)
+		at = p.Now()
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Hold(4)
+		mb.Send("hello")
+	})
+	e.Run()
+	if !ok || got != "hello" {
+		t.Fatalf("got %v ok=%v", got, ok)
+	}
+	if at != 4 {
+		t.Errorf("received at %v, want 4", at)
+	}
+}
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	var ok bool
+	var at Time
+	e.Spawn("recv", func(p *Proc) {
+		_, ok = mb.RecvTimeout(p, 7)
+		at = p.Now()
+	})
+	e.Run()
+	if ok {
+		t.Fatal("should have timed out")
+	}
+	if at != 7 {
+		t.Errorf("timed out at %v, want 7", at)
+	}
+	if len(mb.waiters) != 0 {
+		t.Error("timed-out receiver leaked in waiter list")
+	}
+}
+
+func TestRecvTimeoutImmediateMessage(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	mb.Send(42)
+	var got any
+	e.Spawn("recv", func(p *Proc) {
+		got, _ = mb.RecvTimeout(p, 5)
+		if p.Now() != 0 {
+			t.Errorf("queued message should cost no time, now=%v", p.Now())
+		}
+	})
+	e.Run()
+	if got != 42 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestRecvTimeoutZeroDuration(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	var ok bool
+	e.Spawn("recv", func(p *Proc) {
+		_, ok = mb.RecvTimeout(p, 0)
+	})
+	e.Run()
+	if ok {
+		t.Error("zero timeout with empty queue should fail immediately")
+	}
+}
+
+// TestRecvTimeoutSimultaneousSendAndTimeout exercises the stale-wake path:
+// a message sent at exactly the deadline instant. Whichever event fires
+// first, the process must end up with the message exactly once and the
+// engine must not deadlock on the duplicate wake.
+func TestRecvTimeoutSimultaneousSendAndTimeout(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	var got any
+	var ok bool
+	e.Spawn("recv", func(p *Proc) {
+		got, ok = mb.RecvTimeout(p, 5)
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Hold(5) // lands at the deadline instant
+		mb.Send("photo-finish")
+	})
+	e.Run() // must terminate (no stuck duplicate wake)
+	// Either outcome is legal at the exact instant, but the message must
+	// not be lost: if the receive timed out, the message stays queued.
+	if ok {
+		if got != "photo-finish" {
+			t.Errorf("got %v", got)
+		}
+		if mb.Len() != 0 {
+			t.Error("message duplicated")
+		}
+	} else if mb.Len() != 1 {
+		t.Error("message lost on timeout")
+	}
+}
+
+func TestRecvTimeoutCompetingReceiver(t *testing.T) {
+	// Two receivers, one message: the loser of the race must keep waiting
+	// and eventually time out rather than return someone else's message.
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	results := make(map[string]bool)
+	e.Spawn("fast", func(p *Proc) {
+		_, ok := mb.RecvTimeout(p, 100)
+		results["fast"] = ok
+	})
+	e.Spawn("slow", func(p *Proc) {
+		_, ok := mb.RecvTimeout(p, 20)
+		results["slow"] = ok
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Hold(10)
+		mb.Send(1)
+	})
+	e.Run()
+	// "fast" registered first, so it wins the message; "slow" times out.
+	if !results["fast"] {
+		t.Error("first receiver should get the message")
+	}
+	if results["slow"] {
+		t.Error("second receiver should time out")
+	}
+}
+
+func TestStaleWakeDoesNotResurrectHold(t *testing.T) {
+	// A process whose pending duplicate wake fires while it is blocked in a
+	// later Hold must not be woken early.
+	e := NewEngine()
+	mb := e.NewMailbox("q")
+	var holdEnd Time
+	e.Spawn("p", func(p *Proc) {
+		// Timeout at t=5 and message at t=5 produce a potential duplicate.
+		mb.RecvTimeout(p, 5)
+		p.Hold(100) // must not be shortened by any stale wake
+		holdEnd = p.Now()
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Hold(5)
+		mb.Send(1)
+	})
+	e.Run()
+	if holdEnd != 105 {
+		t.Errorf("hold ended at %v, want 105", holdEnd)
+	}
+}

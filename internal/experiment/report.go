@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result pairs a definition with its output for reporting.
+type Result struct {
+	Definition
+	Output
+	Err error
+}
+
+// RunAll executes every experiment with the given configuration.
+func RunAll(cfg Config) []Result {
+	defs := All()
+	out := make([]Result, 0, len(defs))
+	for _, d := range defs {
+		o, err := d.Run(cfg)
+		out = append(out, Result{Definition: d, Output: o, Err: err})
+	}
+	return out
+}
+
+// MarkdownReport renders paper-vs-measured for a set of results — the body
+// of EXPERIMENTS.md.
+func MarkdownReport(results []Result) string {
+	var sb strings.Builder
+	sb.WriteString("| Experiment | Check | Paper | Measured | Status |\n")
+	sb.WriteString("|---|---|---|---|---|\n")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&sb, "| %s | run failed | — | — | ERROR: %v |\n", r.ID, r.Err)
+			continue
+		}
+		if len(r.Checks) == 0 {
+			fmt.Fprintf(&sb, "| %s | (shape only — see %s data) | — | — | OK |\n", r.ID, r.ID)
+			continue
+		}
+		for _, c := range r.Checks {
+			status := "OK"
+			if !c.Pass() {
+				status = "MISS"
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %.4g | %.4g | %s |\n", r.ID, c.Name, c.Paper, c.Got, status)
+		}
+	}
+	var notes []string
+	for _, r := range results {
+		if r.Err == nil && r.Notes != "" {
+			notes = append(notes, fmt.Sprintf("- **%s**: %s", r.ID, r.Notes))
+		}
+	}
+	if len(notes) > 0 {
+		sb.WriteString("\nNotes:\n\n")
+		sb.WriteString(strings.Join(notes, "\n"))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// FailedChecks collects all failing checks across results.
+func FailedChecks(results []Result) []Check {
+	var fails []Check
+	for _, r := range results {
+		for _, c := range r.Checks {
+			if !c.Pass() {
+				fails = append(fails, c)
+			}
+		}
+	}
+	return fails
+}

@@ -1,0 +1,266 @@
+// Package plot renders the experiment results the way the paper presents
+// them: line charts (here as terminal ASCII) plus machine-readable CSV and
+// gnuplot emitters, since the Go ecosystem has no standard plotting stack.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Validate checks that X and Y are the same non-zero length.
+func (s Series) Validate() error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x and %d y points", s.Name, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+// Figure is a titled set of curves over shared axes.
+type Figure struct {
+	ID     string // e.g. "fig07"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Validate checks all series.
+func (f Figure) Validate() error {
+	if len(f.Series) == 0 {
+		return fmt.Errorf("plot: figure %q has no series", f.ID)
+	}
+	for _, s := range f.Series {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("plot: figure %q: %w", f.ID, err)
+		}
+	}
+	return nil
+}
+
+// markers assigns one rune per series, cycling if needed.
+var markers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&', '~', '^'}
+
+// RenderASCII draws the figure on a width×height character grid with axis
+// annotations and a legend.
+func RenderASCII(f Figure, width, height int) (string, error) {
+	if err := f.Validate(); err != nil {
+		return "", err
+	}
+	if width < 20 || height < 5 {
+		return "", fmt.Errorf("plot: grid %dx%d too small", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			c := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			r := height - 1 - int(float64(height-1)*(s.Y[i]-minY)/(maxY-minY))
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = mark
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "%10.4g ┤%s\n", maxY, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&sb, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%10.4g ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&sb, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&sb, "%11s%-10.4g%*s%10.4g\n", "", minX, width-18, "", maxX)
+	fmt.Fprintf(&sb, "%11sx: %s, y: %s\n", "", f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&sb, "%11s%c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return sb.String(), nil
+}
+
+// CSV renders the figure as a comma-separated table: the first column is
+// the union of all X values; one column per series, blank where a series
+// has no point at that X.
+func CSV(f Figure) (string, error) {
+	if err := f.Validate(); err != nil {
+		return "", err
+	}
+	xs := unionX(f)
+	var sb strings.Builder
+	sb.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		sb.WriteByte(',')
+		sb.WriteString(csvEscape(s.Name))
+	}
+	sb.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%g", x)
+		for _, s := range f.Series {
+			sb.WriteByte(',')
+			if y, ok := lookupY(s, x); ok {
+				fmt.Fprintf(&sb, "%g", y)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// Gnuplot renders a .dat block (space-separated, same layout as CSV with
+// "?" for missing points) and a .gp script that plots every series.
+func Gnuplot(f Figure, datName string) (dat, script string, err error) {
+	if err := f.Validate(); err != nil {
+		return "", "", err
+	}
+	xs := unionX(f)
+	var d strings.Builder
+	fmt.Fprintf(&d, "# %s — %s\n# x", f.ID, f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(&d, " %q", s.Name)
+	}
+	d.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&d, "%g", x)
+		for _, s := range f.Series {
+			if y, ok := lookupY(s, x); ok {
+				fmt.Fprintf(&d, " %g", y)
+			} else {
+				d.WriteString(" ?")
+			}
+		}
+		d.WriteByte('\n')
+	}
+	var g strings.Builder
+	fmt.Fprintf(&g, "set title %q\nset xlabel %q\nset ylabel %q\nset key outside\nset datafile missing \"?\"\nplot \\\n", f.Title, f.XLabel, f.YLabel)
+	for i, s := range f.Series {
+		sep := ", \\\n"
+		if i == len(f.Series)-1 {
+			sep = "\n"
+		}
+		fmt.Fprintf(&g, "  %q using 1:%d with linespoints title %q%s", datName, i+2, s.Name, sep)
+	}
+	return d.String(), g.String(), nil
+}
+
+func unionX(f Figure) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func lookupY(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Table is a simple text table (the conclusions threshold table).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render draws the table with aligned columns.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(csvEscape(c))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(csvEscape(cell))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

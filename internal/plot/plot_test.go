@@ -1,0 +1,166 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID:     "figX",
+		Title:  "Sample",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+		},
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	if err := (Series{Name: "ok", X: []float64{1}, Y: []float64{2}}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Series{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty series should fail")
+	}
+	if err := (Series{Name: "ragged", X: []float64{1, 2}, Y: []float64{1}}).Validate(); err == nil {
+		t.Error("ragged series should fail")
+	}
+	if err := (Figure{ID: "f"}).Validate(); err == nil {
+		t.Error("figure without series should fail")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out, err := RenderASCII(sampleFigure(), 60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"figX", "Sample", "x: x, y: y", "* a", "+ b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if strings.Count(out, "\n") < 15 {
+		t.Error("render too short")
+	}
+	if _, err := RenderASCII(sampleFigure(), 5, 2); err == nil {
+		t.Error("tiny grid should fail")
+	}
+	if _, err := RenderASCII(Figure{ID: "bad"}, 60, 15); err == nil {
+		t.Error("invalid figure should fail")
+	}
+}
+
+func TestRenderASCIIConstantSeries(t *testing.T) {
+	fig := Figure{
+		ID: "const", Title: "flat", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "c", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}},
+	}
+	if _, err := RenderASCII(fig, 40, 8); err != nil {
+		t.Fatalf("degenerate ranges must not fail: %v", err)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out, err := CSV(sampleFigure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "x,a,b" {
+		t.Errorf("header %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Errorf("rows = %d, want 4", len(lines))
+	}
+	if lines[1] != "0,0,4" {
+		t.Errorf("row %q", lines[1])
+	}
+}
+
+func TestCSVMismatchedXProducesBlanks(t *testing.T) {
+	fig := Figure{
+		ID: "m", Title: "m", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1}, Y: []float64{10}},
+			{Name: "b", X: []float64{2}, Y: []float64{20}},
+		},
+	}
+	out, err := CSV(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1,10,\n") || !strings.Contains(out, "2,,20\n") {
+		t.Errorf("blank handling wrong:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	fig := Figure{
+		ID: "e", Title: "e", XLabel: `x, "quoted"`, YLabel: "y",
+		Series: []Series{{Name: "a,b", X: []float64{1}, Y: []float64{2}}},
+	}
+	out, err := CSV(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, `"x, ""quoted""","a,b"`) {
+		t.Errorf("escaping wrong: %q", strings.Split(out, "\n")[0])
+	}
+}
+
+func TestGnuplot(t *testing.T) {
+	dat, script, err := Gnuplot(sampleFigure(), "figX.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dat, "# x") || !strings.Contains(dat, "0 0 4") {
+		t.Errorf("dat malformed:\n%s", dat)
+	}
+	if !strings.Contains(script, `"figX.dat" using 1:2`) ||
+		!strings.Contains(script, `using 1:3`) {
+		t.Errorf("script malformed:\n%s", script)
+	}
+	if !strings.Contains(script, `set datafile missing "?"`) {
+		t.Error("script must declare missing marker")
+	}
+}
+
+func TestGnuplotMissingPoints(t *testing.T) {
+	fig := Figure{
+		ID: "m", Title: "m", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1}, Y: []float64{10}},
+			{Name: "b", X: []float64{2}, Y: []float64{20}},
+		},
+	}
+	dat, _, err := Gnuplot(fig, "m.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dat, "1 10 ?") || !strings.Contains(dat, "2 ? 20") {
+		t.Errorf("missing markers wrong:\n%s", dat)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := Table{
+		ID:      "tbl1",
+		Title:   "thresholds",
+		Columns: []string{"util", "ratio"},
+		Rows:    [][]string{{"5%", "8"}, {"10%", "13"}},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"tbl1", "thresholds", "util", "ratio", "5%", "13"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table render missing %q", want)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "util,ratio\n5%,8\n") {
+		t.Errorf("table csv wrong:\n%s", csv)
+	}
+}

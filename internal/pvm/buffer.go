@@ -1,0 +1,225 @@
+package pvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buffer is a typed message buffer in the style of PVM's pack/unpack
+// (pvm_initsend / pvm_pkint / pvm_upkint ...). Values are encoded
+// big-endian (PvmDataDefault's XDR spirit) with a one-byte type tag per
+// item, so mismatched unpacks fail loudly instead of silently corrupting —
+// the classic PVM footgun.
+//
+// Pack methods append; Unpack methods consume from the front. A Buffer is
+// not safe for concurrent use.
+type Buffer struct {
+	data []byte
+	off  int
+}
+
+// NewBuffer returns an empty send buffer (pvm_initsend).
+func NewBuffer() *Buffer { return &Buffer{} }
+
+type wireType byte
+
+const (
+	wtInt32 wireType = iota + 1
+	wtInt64
+	wtFloat64
+	wtString
+	wtBytes
+)
+
+func (w wireType) String() string {
+	switch w {
+	case wtInt32:
+		return "int32"
+	case wtInt64:
+		return "int64"
+	case wtFloat64:
+		return "float64"
+	case wtString:
+		return "string"
+	case wtBytes:
+		return "bytes"
+	}
+	return fmt.Sprintf("wireType(%d)", byte(w))
+}
+
+// Len returns the number of unconsumed bytes.
+func (b *Buffer) Len() int { return len(b.data) - b.off }
+
+// Bytes returns the full encoded contents (including consumed bytes);
+// transports use it to frame messages.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Reset clears the buffer for reuse.
+func (b *Buffer) Reset() { b.data = b.data[:0]; b.off = 0 }
+
+// Clone returns an independent copy with the read cursor rewound, so a
+// message body can be fanned out to several receivers.
+func (b *Buffer) Clone() *Buffer {
+	return &Buffer{data: append([]byte(nil), b.data...)}
+}
+
+// bufferFromBytes wraps a received frame body.
+func bufferFromBytes(p []byte) *Buffer { return &Buffer{data: p} }
+
+func (b *Buffer) packHeader(t wireType) {
+	b.data = append(b.data, byte(t))
+}
+
+// PackInt32 appends a 32-bit integer (pvm_pkint).
+func (b *Buffer) PackInt32(v int32) *Buffer {
+	b.packHeader(wtInt32)
+	b.data = binary.BigEndian.AppendUint32(b.data, uint32(v))
+	return b
+}
+
+// PackInt64 appends a 64-bit integer (pvm_pklong).
+func (b *Buffer) PackInt64(v int64) *Buffer {
+	b.packHeader(wtInt64)
+	b.data = binary.BigEndian.AppendUint64(b.data, uint64(v))
+	return b
+}
+
+// PackFloat64 appends a double (pvm_pkdouble).
+func (b *Buffer) PackFloat64(v float64) *Buffer {
+	b.packHeader(wtFloat64)
+	b.data = binary.BigEndian.AppendUint64(b.data, math.Float64bits(v))
+	return b
+}
+
+// PackString appends a length-prefixed string (pvm_pkstr).
+func (b *Buffer) PackString(s string) *Buffer {
+	b.packHeader(wtString)
+	b.data = binary.BigEndian.AppendUint32(b.data, uint32(len(s)))
+	b.data = append(b.data, s...)
+	return b
+}
+
+// PackBytes appends a length-prefixed byte slice (pvm_pkbyte).
+func (b *Buffer) PackBytes(p []byte) *Buffer {
+	b.packHeader(wtBytes)
+	b.data = binary.BigEndian.AppendUint32(b.data, uint32(len(p)))
+	b.data = append(b.data, p...)
+	return b
+}
+
+// PackFloat64s appends a vector of doubles as individual items.
+func (b *Buffer) PackFloat64s(vs []float64) *Buffer {
+	b.PackInt32(int32(len(vs)))
+	for _, v := range vs {
+		b.PackFloat64(v)
+	}
+	return b
+}
+
+func (b *Buffer) unpackHeader(want wireType) error {
+	if b.Len() < 1 {
+		return fmt.Errorf("pvm: unpack %s: buffer exhausted", want)
+	}
+	got := wireType(b.data[b.off])
+	if got != want {
+		return fmt.Errorf("pvm: unpack type mismatch: have %s, want %s", got, want)
+	}
+	b.off++
+	return nil
+}
+
+func (b *Buffer) take(n int) ([]byte, error) {
+	if b.Len() < n {
+		return nil, fmt.Errorf("pvm: unpack: need %d bytes, have %d", n, b.Len())
+	}
+	p := b.data[b.off : b.off+n]
+	b.off += n
+	return p, nil
+}
+
+// UnpackInt32 consumes a 32-bit integer.
+func (b *Buffer) UnpackInt32() (int32, error) {
+	if err := b.unpackHeader(wtInt32); err != nil {
+		return 0, err
+	}
+	p, err := b.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return int32(binary.BigEndian.Uint32(p)), nil
+}
+
+// UnpackInt64 consumes a 64-bit integer.
+func (b *Buffer) UnpackInt64() (int64, error) {
+	if err := b.unpackHeader(wtInt64); err != nil {
+		return 0, err
+	}
+	p, err := b.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(p)), nil
+}
+
+// UnpackFloat64 consumes a double.
+func (b *Buffer) UnpackFloat64() (float64, error) {
+	if err := b.unpackHeader(wtFloat64); err != nil {
+		return 0, err
+	}
+	p, err := b.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(p)), nil
+}
+
+// UnpackString consumes a string.
+func (b *Buffer) UnpackString() (string, error) {
+	if err := b.unpackHeader(wtString); err != nil {
+		return "", err
+	}
+	lp, err := b.take(4)
+	if err != nil {
+		return "", err
+	}
+	p, err := b.take(int(binary.BigEndian.Uint32(lp)))
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// UnpackBytes consumes a byte slice (copied out of the buffer).
+func (b *Buffer) UnpackBytes() ([]byte, error) {
+	if err := b.unpackHeader(wtBytes); err != nil {
+		return nil, err
+	}
+	lp, err := b.take(4)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.take(int(binary.BigEndian.Uint32(lp)))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), p...), nil
+}
+
+// UnpackFloat64s consumes a vector packed by PackFloat64s.
+func (b *Buffer) UnpackFloat64s() ([]float64, error) {
+	n, err := b.UnpackInt32()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("pvm: negative vector length %d", n)
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		if vs[i], err = b.UnpackFloat64(); err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}

@@ -1,0 +1,219 @@
+package pvm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferRoundTripAllTypes(t *testing.T) {
+	b := NewBuffer()
+	b.PackInt32(-42).PackInt64(1 << 40).PackFloat64(3.14159).
+		PackString("hello pvm").PackBytes([]byte{0, 1, 2, 255})
+	if i, err := b.UnpackInt32(); err != nil || i != -42 {
+		t.Fatalf("int32: %v %v", i, err)
+	}
+	if i, err := b.UnpackInt64(); err != nil || i != 1<<40 {
+		t.Fatalf("int64: %v %v", i, err)
+	}
+	if f, err := b.UnpackFloat64(); err != nil || f != 3.14159 {
+		t.Fatalf("float64: %v %v", f, err)
+	}
+	if s, err := b.UnpackString(); err != nil || s != "hello pvm" {
+		t.Fatalf("string: %q %v", s, err)
+	}
+	p, err := b.UnpackBytes()
+	if err != nil || len(p) != 4 || p[3] != 255 {
+		t.Fatalf("bytes: %v %v", p, err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("buffer should be exhausted, %d left", b.Len())
+	}
+}
+
+func TestBufferTypeMismatchFailsLoudly(t *testing.T) {
+	b := NewBuffer().PackInt32(7)
+	if _, err := b.UnpackFloat64(); err == nil {
+		t.Fatal("unpacking int32 as float64 should fail")
+	}
+	// The failed unpack must not consume the item.
+	if v, err := b.UnpackInt32(); err != nil || v != 7 {
+		t.Fatalf("value lost after mismatch: %v %v", v, err)
+	}
+}
+
+func TestBufferExhaustion(t *testing.T) {
+	b := NewBuffer()
+	if _, err := b.UnpackInt32(); err == nil {
+		t.Fatal("unpack from empty buffer should fail")
+	}
+	b.PackString("x")
+	if _, err := b.UnpackString(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.UnpackString(); err == nil {
+		t.Fatal("second unpack should fail")
+	}
+}
+
+func TestBufferQuickRoundTrip(t *testing.T) {
+	f := func(i32 int32, i64 int64, fl float64, s string, p []byte) bool {
+		if math.IsNaN(fl) {
+			return true // NaN != NaN; skip
+		}
+		b := NewBuffer().PackInt32(i32).PackInt64(i64).PackFloat64(fl).PackString(s).PackBytes(p)
+		gi32, err := b.UnpackInt32()
+		if err != nil || gi32 != i32 {
+			return false
+		}
+		gi64, err := b.UnpackInt64()
+		if err != nil || gi64 != i64 {
+			return false
+		}
+		gfl, err := b.UnpackFloat64()
+		if err != nil || gfl != fl {
+			return false
+		}
+		gs, err := b.UnpackString()
+		if err != nil || gs != s {
+			return false
+		}
+		gp, err := b.UnpackBytes()
+		if err != nil || string(gp) != string(p) {
+			return false
+		}
+		return b.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferFloat64Vector(t *testing.T) {
+	want := []float64{1.5, -2.25, 1e300, 0}
+	b := NewBuffer().PackFloat64s(want)
+	got, err := b.UnpackFloat64s()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("element %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBufferCloneIndependent(t *testing.T) {
+	b := NewBuffer().PackInt32(1).PackInt32(2)
+	if _, err := b.UnpackInt32(); err != nil {
+		t.Fatal(err)
+	}
+	c := b.Clone()
+	// Clone rewinds: both items visible again.
+	if v, err := c.UnpackInt32(); err != nil || v != 1 {
+		t.Fatalf("clone first item: %v %v", v, err)
+	}
+	// Original cursor unaffected by clone reads.
+	if v, err := b.UnpackInt32(); err != nil || v != 2 {
+		t.Fatalf("original cursor moved: %v %v", v, err)
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer().PackString("junk")
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset buffer should be empty")
+	}
+	b.PackInt32(9)
+	if v, err := b.UnpackInt32(); err != nil || v != 9 {
+		t.Fatalf("after reset: %v %v", v, err)
+	}
+}
+
+func TestTIDEncoding(t *testing.T) {
+	for _, c := range []struct{ host, local int }{{0, 1}, {3, 77}, {4095, 1}} {
+		tid := makeTID(c.host, c.local)
+		if !tid.Valid() {
+			t.Errorf("tid for host %d should be valid", c.host)
+		}
+		if tid.Host() != c.host {
+			t.Errorf("host %d round-tripped to %d", c.host, tid.Host())
+		}
+		if tid.local() != c.local {
+			t.Errorf("local %d round-tripped to %d", c.local, tid.local())
+		}
+	}
+	if AnyTID.Valid() {
+		t.Error("AnyTID must not be a valid concrete TID")
+	}
+	if TID(0).Valid() {
+		t.Error("zero TID must be invalid")
+	}
+	for _, tid := range []TID{AnyTID, 0, makeTID(2, 5)} {
+		if tid.String() == "" {
+			t.Error("TID.String should be non-empty")
+		}
+	}
+}
+
+// TestBufferMixedSequenceRoundTrip packs a random sequence of mixed-type
+// items and unpacks them in order, verifying type discipline end to end.
+func TestBufferMixedSequenceRoundTrip(t *testing.T) {
+	type item struct {
+		Kind byte
+		I32  int32
+		I64  int64
+		F    float64
+		S    string
+	}
+	f := func(items []item) bool {
+		b := NewBuffer()
+		for i := range items {
+			switch items[i].Kind % 4 {
+			case 0:
+				b.PackInt32(items[i].I32)
+			case 1:
+				b.PackInt64(items[i].I64)
+			case 2:
+				if math.IsNaN(items[i].F) {
+					items[i].F = 0
+				}
+				b.PackFloat64(items[i].F)
+			case 3:
+				b.PackString(items[i].S)
+			}
+		}
+		for i := range items {
+			switch items[i].Kind % 4 {
+			case 0:
+				v, err := b.UnpackInt32()
+				if err != nil || v != items[i].I32 {
+					return false
+				}
+			case 1:
+				v, err := b.UnpackInt64()
+				if err != nil || v != items[i].I64 {
+					return false
+				}
+			case 2:
+				v, err := b.UnpackFloat64()
+				if err != nil || v != items[i].F {
+					return false
+				}
+			case 3:
+				v, err := b.UnpackString()
+				if err != nil || v != items[i].S {
+					return false
+				}
+			}
+		}
+		return b.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package pvm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Collective operations over groups, mirroring PVM 3.3's pvm_reduce /
+// pvm_gather / pvm_scatter. As in PVM, collectives are built on plain
+// messages: every member must call the collective with the same root and
+// tag, and the root receives/combines.
+
+// ReduceOp combines two float64 values; PVM shipped PvmSum, PvmProduct,
+// PvmMax, PvmMin.
+type ReduceOp func(a, b float64) float64
+
+// Built-in reduction operators.
+var (
+	OpSum     ReduceOp = func(a, b float64) float64 { return a + b }
+	OpProduct ReduceOp = func(a, b float64) float64 { return a * b }
+	OpMax     ReduceOp = math.Max
+	OpMin     ReduceOp = math.Min
+)
+
+// Reduce combines each member's vector element-wise with op; the result
+// lands on the root (identified by group instance number). Every group
+// member must call Reduce with identical root, tag, op semantics and vector
+// length. Non-root members return nil.
+func (t *Task) Reduce(groupName string, rootInstance, tag int, op ReduceOp, values []float64) ([]float64, error) {
+	members := t.GroupMembers(groupName)
+	if len(members) == 0 {
+		return nil, fmt.Errorf("pvm: reduce on empty group %q", groupName)
+	}
+	if rootInstance < 0 || rootInstance >= len(members) {
+		return nil, fmt.Errorf("pvm: reduce root instance %d out of range (group size %d)", rootInstance, len(members))
+	}
+	root := members[rootInstance]
+	if t.tid != root {
+		return nil, t.Send(root, tag, NewBuffer().PackFloat64s(values))
+	}
+	acc := append([]float64(nil), values...)
+	for i := 0; i < len(members)-1; i++ {
+		m, err := t.Recv(AnyTID, tag)
+		if err != nil {
+			return nil, err
+		}
+		vs, err := m.Body.UnpackFloat64s()
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) != len(acc) {
+			return nil, fmt.Errorf("pvm: reduce length mismatch: %d vs %d", len(vs), len(acc))
+		}
+		for j := range acc {
+			acc[j] = op(acc[j], vs[j])
+		}
+	}
+	return acc, nil
+}
+
+// Gather collects each member's vector on the root, ordered by instance
+// number (pvm_gather). Non-root members return nil.
+func (t *Task) Gather(groupName string, rootInstance, tag int, values []float64) ([][]float64, error) {
+	members := t.GroupMembers(groupName)
+	if len(members) == 0 {
+		return nil, fmt.Errorf("pvm: gather on empty group %q", groupName)
+	}
+	if rootInstance < 0 || rootInstance >= len(members) {
+		return nil, fmt.Errorf("pvm: gather root instance %d out of range (group size %d)", rootInstance, len(members))
+	}
+	root := members[rootInstance]
+	myIns := -1
+	for i, m := range members {
+		if m == t.tid {
+			myIns = i
+		}
+	}
+	if myIns < 0 {
+		return nil, fmt.Errorf("pvm: task %v not in group %q", t.tid, groupName)
+	}
+	if t.tid != root {
+		buf := NewBuffer().PackInt32(int32(myIns)).PackFloat64s(values)
+		return nil, t.Send(root, tag, buf)
+	}
+	out := make([][]float64, len(members))
+	out[rootInstance] = append([]float64(nil), values...)
+	for i := 0; i < len(members)-1; i++ {
+		m, err := t.Recv(AnyTID, tag)
+		if err != nil {
+			return nil, err
+		}
+		ins, err := m.Body.UnpackInt32()
+		if err != nil {
+			return nil, err
+		}
+		vs, err := m.Body.UnpackFloat64s()
+		if err != nil {
+			return nil, err
+		}
+		if ins < 0 || int(ins) >= len(out) {
+			return nil, fmt.Errorf("pvm: gather instance %d out of range", ins)
+		}
+		if out[ins] != nil {
+			return nil, fmt.Errorf("pvm: gather received instance %d twice", ins)
+		}
+		out[ins] = vs
+	}
+	return out, nil
+}
+
+// Scatter distributes consecutive chunks of the root's vector to members by
+// instance number (pvm_scatter): member i receives values[i*chunk:(i+1)*chunk].
+// Every member (root included) returns its own chunk. Non-root callers pass
+// values=nil.
+func (t *Task) Scatter(groupName string, rootInstance, tag, chunk int, values []float64) ([]float64, error) {
+	members := t.GroupMembers(groupName)
+	if len(members) == 0 {
+		return nil, fmt.Errorf("pvm: scatter on empty group %q", groupName)
+	}
+	if rootInstance < 0 || rootInstance >= len(members) {
+		return nil, fmt.Errorf("pvm: scatter root instance %d out of range (group size %d)", rootInstance, len(members))
+	}
+	if chunk < 1 {
+		return nil, fmt.Errorf("pvm: scatter chunk must be >= 1, got %d", chunk)
+	}
+	root := members[rootInstance]
+	if t.tid == root {
+		if len(values) != chunk*len(members) {
+			return nil, fmt.Errorf("pvm: scatter needs %d values, got %d", chunk*len(members), len(values))
+		}
+		for i, m := range members {
+			part := values[i*chunk : (i+1)*chunk]
+			if m == t.tid {
+				continue
+			}
+			if err := t.Send(m, tag, NewBuffer().PackFloat64s(part)); err != nil {
+				return nil, err
+			}
+		}
+		own := make([]float64, chunk)
+		copy(own, values[rootInstance*chunk:(rootInstance+1)*chunk])
+		return own, nil
+	}
+	m, err := t.Recv(root, tag)
+	if err != nil {
+		return nil, err
+	}
+	return m.Body.UnpackFloat64s()
+}

@@ -1,0 +1,255 @@
+package pvm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// runGroupProgram spawns n tasks that join a group, barrier, and then run
+// body with their instance number; it waits for all and returns the first
+// error.
+func runGroupProgram(t *testing.T, vm *VM, group string, n int, body func(task *Task, ins int) error) error {
+	t.Helper()
+	tids, err := vm.SpawnN("member", n, 0, func(task *Task) error {
+		ins := task.JoinGroup(group)
+		if err := task.Barrier(group, n); err != nil {
+			return err
+		}
+		return body(task, ins)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.WaitAll(tids)
+}
+
+func TestReduceSum(t *testing.T) {
+	vm := newTestVM(t, 3, InProc)
+	got := make(chan []float64, 1)
+	err := runGroupProgram(t, vm, "r", 5, func(task *Task, ins int) error {
+		vals := []float64{float64(ins), float64(ins * 10)}
+		res, err := task.Reduce("r", 0, 30, OpSum, vals)
+		if err != nil {
+			return err
+		}
+		if ins == 0 {
+			got <- res
+		} else if res != nil {
+			return fmt.Errorf("non-root received a result")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-got
+	// Sum over instances 0..4: 0+1+2+3+4 = 10; tens column 100.
+	if len(res) != 2 || res[0] != 10 || res[1] != 100 {
+		t.Errorf("reduce sum = %v, want [10 100]", res)
+	}
+}
+
+func TestReduceMaxMinProduct(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	type out struct {
+		max, min, prod float64
+	}
+	got := make(chan out, 1)
+	err := runGroupProgram(t, vm, "ops", 4, func(task *Task, ins int) error {
+		v := float64(ins + 1) // 1..4
+		mx, err := task.Reduce("ops", 0, 31, OpMax, []float64{v})
+		if err != nil {
+			return err
+		}
+		mn, err := task.Reduce("ops", 0, 32, OpMin, []float64{v})
+		if err != nil {
+			return err
+		}
+		pr, err := task.Reduce("ops", 0, 33, OpProduct, []float64{v})
+		if err != nil {
+			return err
+		}
+		if ins == 0 {
+			got <- out{mx[0], mn[0], pr[0]}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := <-got
+	if o.max != 4 || o.min != 1 || o.prod != 24 {
+		t.Errorf("max/min/prod = %v/%v/%v, want 4/1/24", o.max, o.min, o.prod)
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	got := make(chan float64, 1)
+	err := runGroupProgram(t, vm, "root2", 3, func(task *Task, ins int) error {
+		res, err := task.Reduce("root2", 2, 34, OpSum, []float64{1})
+		if err != nil {
+			return err
+		}
+		if ins == 2 {
+			got <- res[0]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != 3 {
+		t.Errorf("sum = %v, want 3", v)
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	tid, err := vm.Spawn("lonely", 0, 0, func(task *Task) error {
+		if _, err := task.Reduce("nogroup", 0, 1, OpSum, []float64{1}); err == nil {
+			return fmt.Errorf("empty group should fail")
+		}
+		task.JoinGroup("g")
+		if _, err := task.Reduce("g", 5, 1, OpSum, []float64{1}); err == nil {
+			return fmt.Errorf("bad root should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherOrdersByInstance(t *testing.T) {
+	vm := newTestVM(t, 4, InProc)
+	got := make(chan [][]float64, 1)
+	err := runGroupProgram(t, vm, "gth", 4, func(task *Task, ins int) error {
+		res, err := task.Gather("gth", 1, 40, []float64{float64(ins), float64(ins) * 2})
+		if err != nil {
+			return err
+		}
+		if ins == 1 {
+			got <- res
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-got
+	if len(res) != 4 {
+		t.Fatalf("gathered %d rows", len(res))
+	}
+	for i, row := range res {
+		if len(row) != 2 || row[0] != float64(i) || row[1] != float64(i)*2 {
+			t.Errorf("row %d = %v", i, row)
+		}
+	}
+}
+
+func TestScatterChunks(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	sums := make(chan float64, 4)
+	err := runGroupProgram(t, vm, "sct", 4, func(task *Task, ins int) error {
+		var values []float64
+		if ins == 0 {
+			values = make([]float64, 12) // chunk 3 x 4 members
+			for i := range values {
+				values[i] = float64(i)
+			}
+		}
+		chunk, err := task.Scatter("sct", 0, 41, 3, values)
+		if err != nil {
+			return err
+		}
+		if len(chunk) != 3 {
+			return fmt.Errorf("chunk size %d", len(chunk))
+		}
+		// Member i must hold values 3i, 3i+1, 3i+2.
+		for j, v := range chunk {
+			if v != float64(3*ins+j) {
+				return fmt.Errorf("instance %d chunk %v", ins, chunk)
+			}
+		}
+		sums <- chunk[0] + chunk[1] + chunk[2]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i := 0; i < 4; i++ {
+		total += <-sums
+	}
+	if total != 66 { // 0+1+...+11
+		t.Errorf("scattered total %v, want 66", total)
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	tid, err := vm.Spawn("v", 0, 0, func(task *Task) error {
+		task.JoinGroup("sv")
+		if _, err := task.Scatter("sv", 0, 1, 0, []float64{1}); err == nil {
+			return fmt.Errorf("chunk 0 should fail")
+		}
+		if _, err := task.Scatter("sv", 0, 1, 2, []float64{1}); err == nil {
+			return fmt.Errorf("wrong value count should fail")
+		}
+		if _, err := task.Scatter("sv", 3, 1, 1, []float64{1}); err == nil {
+			return fmt.Errorf("bad root should fail")
+		}
+		// Valid single-member scatter.
+		chunk, err := task.Scatter("sv", 0, 1, 2, []float64{7, 9})
+		if err != nil {
+			return err
+		}
+		if len(chunk) != 2 || chunk[0] != 7 || chunk[1] != 9 {
+			return fmt.Errorf("self-scatter chunk %v", chunk)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectivePipelineOverTCP runs scatter → local work → reduce over the
+// TCP transport, the full bulk-synchronous pattern.
+func TestCollectivePipelineOverTCP(t *testing.T) {
+	vm := newTestVM(t, 3, TCP)
+	got := make(chan float64, 1)
+	err := runGroupProgram(t, vm, "bsp", 3, func(task *Task, ins int) error {
+		var values []float64
+		if ins == 0 {
+			values = []float64{1, 2, 3, 4, 5, 6} // chunks of 2
+		}
+		chunk, err := task.Scatter("bsp", 0, 50, 2, values)
+		if err != nil {
+			return err
+		}
+		local := chunk[0] * chunk[1] // pairwise products: 2, 12, 30
+		res, err := task.Reduce("bsp", 0, 51, OpSum, []float64{local})
+		if err != nil {
+			return err
+		}
+		if ins == 0 {
+			got <- res[0]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; math.Abs(v-44) > 1e-12 {
+		t.Errorf("pipeline result %v, want 44", v)
+	}
+}

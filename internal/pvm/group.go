@@ -1,0 +1,113 @@
+package pvm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// group implements PVM's dynamic process groups (the pvm_joingroup /
+// pvm_barrier / pvm_bcast family). Groups are coordinated centrally by the
+// VM, like PVM's group server.
+type group struct {
+	name string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	members map[TID]int // tid → instance number
+	nextIns int
+	// barrier state: generation counting so reuse is safe
+	barGen     int
+	barWaiting int
+}
+
+func (vm *VM) groupByName(name string) *group {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	g, ok := vm.groups[name]
+	if !ok {
+		g = &group{name: name, members: make(map[TID]int)}
+		g.cond = sync.NewCond(&g.mu)
+		vm.groups[name] = g
+	}
+	return g
+}
+
+// JoinGroup adds the task to a named group and returns its instance number
+// (pvm_joingroup).
+func (t *Task) JoinGroup(name string) int {
+	g := t.vm.groupByName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ins, ok := g.members[t.tid]; ok {
+		return ins
+	}
+	ins := g.nextIns
+	g.nextIns++
+	g.members[t.tid] = ins
+	return ins
+}
+
+// LeaveGroup removes the task from the group (pvm_lvgroup).
+func (t *Task) LeaveGroup(name string) error {
+	g := t.vm.groupByName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[t.tid]; !ok {
+		return fmt.Errorf("pvm: task %v not in group %q", t.tid, name)
+	}
+	delete(g.members, t.tid)
+	return nil
+}
+
+// GroupSize returns the current member count (pvm_gsize).
+func (t *Task) GroupSize(name string) int {
+	g := t.vm.groupByName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// GroupMembers returns the member TIDs ordered by instance number.
+func (t *Task) GroupMembers(name string) []TID {
+	g := t.vm.groupByName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	tids := make([]TID, 0, len(g.members))
+	for tid := range g.members {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return g.members[tids[i]] < g.members[tids[j]] })
+	return tids
+}
+
+// Barrier blocks until count group members have reached it (pvm_barrier).
+// The barrier is reusable: each generation releases together.
+func (t *Task) Barrier(name string, count int) error {
+	if count < 1 {
+		return fmt.Errorf("pvm: barrier count must be >= 1, got %d", count)
+	}
+	g := t.vm.groupByName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[t.tid]; !ok {
+		return fmt.Errorf("pvm: task %v must join group %q before barrier", t.tid, name)
+	}
+	gen := g.barGen
+	g.barWaiting++
+	if g.barWaiting >= count {
+		g.barWaiting = 0
+		g.barGen++
+		g.cond.Broadcast()
+		return nil
+	}
+	for g.barGen == gen {
+		g.cond.Wait()
+	}
+	return nil
+}
+
+// BcastGroup sends buf to every group member except the caller (pvm_bcast).
+func (t *Task) BcastGroup(name string, tag int, buf *Buffer) error {
+	return t.Mcast(t.GroupMembers(name), tag, buf)
+}

@@ -1,0 +1,227 @@
+package pvm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJoinGroupInstanceNumbers(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	instances := make(chan int, 4)
+	tids, err := vm.SpawnN("member", 4, 0, func(task *Task) error {
+		instances <- task.JoinGroup("workers")
+		// Joining twice returns the same instance.
+		first := task.JoinGroup("workers")
+		second := task.JoinGroup("workers")
+		if first != second {
+			return fmt.Errorf("rejoin changed instance %d -> %d", first, second)
+		}
+		return task.Barrier("workers", 4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WaitAll(tids); err != nil {
+		t.Fatal(err)
+	}
+	close(instances)
+	seen := map[int]bool{}
+	for i := range instances {
+		if seen[i] {
+			t.Errorf("duplicate instance %d", i)
+		}
+		seen[i] = true
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Errorf("instance %d missing", i)
+		}
+	}
+}
+
+func TestBarrierBlocksUntilCount(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	var reached, released int32
+	n := 5
+	tids, err := vm.SpawnN("b", n, 0, func(task *Task) error {
+		task.JoinGroup("g")
+		atomic.AddInt32(&reached, 1)
+		if err := task.Barrier("g", n); err != nil {
+			return err
+		}
+		// By the time anyone is released, all must have reached the barrier.
+		if got := atomic.LoadInt32(&reached); got != int32(n) {
+			return fmt.Errorf("released with only %d arrived", got)
+		}
+		atomic.AddInt32(&released, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WaitAll(tids); err != nil {
+		t.Fatal(err)
+	}
+	if released != int32(n) {
+		t.Errorf("released %d of %d", released, n)
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	const rounds = 10
+	var counter int32
+	tids, err := vm.SpawnN("g", 3, 0, func(task *Task) error {
+		task.JoinGroup("gen")
+		for r := 0; r < rounds; r++ {
+			atomic.AddInt32(&counter, 1)
+			if err := task.Barrier("gen", 3); err != nil {
+				return err
+			}
+			// After each barrier every member finished this round.
+			if c := atomic.LoadInt32(&counter); int(c) < 3*(r+1) {
+				return fmt.Errorf("round %d released early at count %d", r, c)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WaitAll(tids); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierRequiresMembership(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	tid, err := vm.Spawn("outsider", 0, 0, func(task *Task) error {
+		return task.Barrier("closed-club", 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err == nil {
+		t.Error("barrier without join should fail")
+	}
+	tid2, err := vm.Spawn("badcount", 0, 0, func(task *Task) error {
+		task.JoinGroup("g2")
+		return task.Barrier("g2", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid2); err == nil {
+		t.Error("barrier count 0 should fail")
+	}
+}
+
+func TestLeaveGroup(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	tid, err := vm.Spawn("lv", 0, 0, func(task *Task) error {
+		task.JoinGroup("g")
+		if n := task.GroupSize("g"); n != 1 {
+			return fmt.Errorf("size %d", n)
+		}
+		if err := task.LeaveGroup("g"); err != nil {
+			return err
+		}
+		if n := task.GroupSize("g"); n != 0 {
+			return fmt.Errorf("size after leave %d", n)
+		}
+		if err := task.LeaveGroup("g"); err == nil {
+			return fmt.Errorf("double leave should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupMembersOrderedByInstance(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	ready := make(chan struct{})
+	var order []TID
+	coord, err := vm.Spawn("coord", 0, 0, func(task *Task) error {
+		<-ready
+		order = task.GroupMembers("team")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined []TID
+	for i := 0; i < 3; i++ {
+		tid, err := vm.Spawn("m", i%2, 0, func(task *Task) error {
+			task.JoinGroup("team")
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Wait(tid); err != nil { // serialize joins → instance order
+			t.Fatal(err)
+		}
+		joined = append(joined, tid)
+	}
+	close(ready)
+	if err := vm.Wait(coord); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("members %v", order)
+	}
+	for i := range joined {
+		if order[i] != joined[i] {
+			t.Errorf("member order %v, want %v", order, joined)
+		}
+	}
+}
+
+func TestBcastGroup(t *testing.T) {
+	vm := newTestVM(t, 3, InProc)
+	const n = 3
+	got := make(chan int32, n)
+	// Members join, barrier, then instance 0 broadcasts.
+	tids, err := vm.SpawnN("bc", n, 0, func(task *Task) error {
+		ins := task.JoinGroup("bcast")
+		if err := task.Barrier("bcast", n); err != nil {
+			return err
+		}
+		if ins == 0 {
+			return task.BcastGroup("bcast", 4, NewBuffer().PackInt32(99))
+		}
+		m, err := task.Recv(AnyTID, 4)
+		if err != nil {
+			return err
+		}
+		v, err := m.Body.UnpackInt32()
+		if err != nil {
+			return err
+		}
+		got <- v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WaitAll(tids); err != nil {
+		t.Fatal(err)
+	}
+	close(got)
+	count := 0
+	for v := range got {
+		if v != 99 {
+			t.Errorf("payload %d", v)
+		}
+		count++
+	}
+	if count != n-1 {
+		t.Errorf("%d members heard the broadcast, want %d", count, n-1)
+	}
+}

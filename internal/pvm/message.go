@@ -1,0 +1,144 @@
+package pvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Message is one tagged message between tasks.
+type Message struct {
+	Src  TID
+	Dst  TID
+	Tag  int
+	Body *Buffer
+}
+
+// matches reports whether the message satisfies a receive filter.
+func (m *Message) matches(src TID, tag int) bool {
+	return (src == AnyTID || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+// frame layout: u32 total-length | i32 src | i32 dst | i32 tag | body bytes.
+const frameHeader = 4 + 4 + 4
+
+// writeFrame serializes m onto w.
+func writeFrame(w io.Writer, m *Message) error {
+	body := m.Body.Bytes()
+	hdr := make([]byte, 4+frameHeader)
+	binary.BigEndian.PutUint32(hdr[0:], uint32(frameHeader+len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(m.Src)))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(int32(m.Dst)))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(int32(m.Tag)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame deserializes one message from r.
+func readFrame(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < frameHeader || total > 1<<30 {
+		return nil, fmt.Errorf("pvm: bad frame length %d", total)
+	}
+	p := make([]byte, total)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, err
+	}
+	return &Message{
+		Src:  TID(int32(binary.BigEndian.Uint32(p[0:]))),
+		Dst:  TID(int32(binary.BigEndian.Uint32(p[4:]))),
+		Tag:  int(int32(binary.BigEndian.Uint32(p[8:]))),
+		Body: bufferFromBytes(p[frameHeader:]),
+	}, nil
+}
+
+// mailbox is a task's incoming message queue with PVM matching semantics:
+// Recv(src, tag) returns the oldest message satisfying the filter, blocking
+// until one arrives. Unmatched messages stay queued.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []*Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// put enqueues a message and wakes blocked receivers.
+func (mb *mailbox) put(m *Message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return // messages to an exited task are dropped, as in PVM
+	}
+	mb.msgs = append(mb.msgs, m)
+	mb.cond.Broadcast()
+}
+
+// errTaskExited reports a receive on a closed mailbox.
+var errTaskExited = fmt.Errorf("pvm: task exited")
+
+// get blocks until a message matching (src, tag) is available and removes
+// it from the queue.
+func (mb *mailbox) get(src TID, tag int) (*Message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if mb.closed {
+			return nil, errTaskExited
+		}
+		for i, m := range mb.msgs {
+			if m.matches(src, tag) {
+				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				return m, nil
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// tryGet is the non-blocking variant (pvm_nrecv).
+func (mb *mailbox) tryGet(src TID, tag int) (*Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.msgs {
+		if m.matches(src, tag) {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// probe reports whether a matching message is queued (pvm_probe).
+func (mb *mailbox) probe(src TID, tag int) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, m := range mb.msgs {
+		if m.matches(src, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// close drops the queue and unblocks receivers with errTaskExited.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.msgs = nil
+	mb.cond.Broadcast()
+}

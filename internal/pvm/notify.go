@@ -1,0 +1,79 @@
+package pvm
+
+import "fmt"
+
+// Dynamic reconfiguration and failure notification — the remaining PVM 3
+// console surface: pvm_addhosts grows the machine at run time, and
+// pvm_notify asks the system to deliver a message when a task exits, the
+// primitive fault-tolerant PVM applications were built on.
+
+// AddHost appends a new host daemon to a running virtual machine and
+// returns its index. With the TCP transport the new daemon starts listening
+// immediately.
+func (vm *VM) AddHost(name string) (int, error) {
+	vm.mu.Lock()
+	if vm.halted {
+		vm.mu.Unlock()
+		return 0, fmt.Errorf("pvm: virtual machine halted")
+	}
+	if len(vm.daemons) >= maxHosts {
+		vm.mu.Unlock()
+		return 0, fmt.Errorf("pvm: host table full (%d)", maxHosts)
+	}
+	idx := len(vm.daemons)
+	if name == "" {
+		name = fmt.Sprintf("ws%d", idx)
+	}
+	d := &Daemon{vm: vm, index: idx, name: name, tasks: make(map[int]*Task)}
+	vm.daemons = append(vm.daemons, d)
+	tr := vm.tr
+	vm.mu.Unlock()
+
+	if tcp, ok := tr.(*tcpTransport); ok {
+		if err := tcp.listen(d); err != nil {
+			return 0, err
+		}
+	}
+	return idx, nil
+}
+
+// exitTag is carried by notification messages.
+const NotifyExitTag = -100
+
+// Notify registers interest in the exit of task watched: when it
+// terminates, the caller receives a message with tag NotifyExitTag whose
+// body packs the watched TID (pvm_notify with PvmTaskExit). If the task has
+// already exited the notification is delivered immediately.
+func (t *Task) Notify(watched TID) error {
+	target, err := t.vm.lookup(watched)
+	if err != nil {
+		return err
+	}
+	me := t.tid
+	go func() {
+		<-target.done
+		// Delivery failure (the watcher itself exited) is dropped, as in
+		// PVM.
+		_ = t.vm.tr.deliver(&Message{
+			Src:  watched,
+			Dst:  me,
+			Tag:  NotifyExitTag,
+			Body: NewBuffer().PackInt32(int32(watched)),
+		})
+	}()
+	return nil
+}
+
+// WaitExit blocks until a previously requested exit notification for any
+// task arrives and returns the exited TID.
+func (t *Task) WaitExit() (TID, error) {
+	m, err := t.Recv(AnyTID, NotifyExitTag)
+	if err != nil {
+		return 0, err
+	}
+	v, err := m.Body.UnpackInt32()
+	if err != nil {
+		return 0, err
+	}
+	return TID(v), nil
+}

@@ -1,0 +1,224 @@
+package pvm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAddHostGrowsMachine(t *testing.T) {
+	for _, kind := range []TransportKind{InProc, TCP} {
+		kind := kind
+		t.Run(fmt.Sprintf("transport=%d", kind), func(t *testing.T) {
+			vm := newTestVM(t, 1, kind)
+			if vm.Hosts() != 1 {
+				t.Fatalf("hosts = %d", vm.Hosts())
+			}
+			idx, err := vm.AddHost("late-joiner")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx != 1 || vm.Hosts() != 2 {
+				t.Fatalf("idx=%d hosts=%d", idx, vm.Hosts())
+			}
+			d, err := vm.Daemon(1)
+			if err != nil || d.Name() != "late-joiner" {
+				t.Fatalf("daemon: %v %v", d, err)
+			}
+			// Tasks on the new host are reachable across transports.
+			echo, err := vm.Spawn("echo", 1, 0, func(task *Task) error {
+				m, err := task.Recv(AnyTID, 1)
+				if err != nil {
+					return err
+				}
+				return task.Send(m.Src, 2, m.Body)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ping, err := vm.Spawn("ping", 0, 0, func(task *Task) error {
+				if err := task.Send(echo, 1, NewBuffer().PackInt32(5)); err != nil {
+					return err
+				}
+				_, err := task.Recv(echo, 2)
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.WaitAll([]TID{echo, ping}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAddHostDefaultName(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	idx, err := vm.AddHost("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := vm.Daemon(idx)
+	if d.Name() != "ws2" {
+		t.Errorf("default name %q", d.Name())
+	}
+}
+
+func TestAddHostAfterHaltFails(t *testing.T) {
+	vm, err := NewVM(Config{Hosts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Halt()
+	if _, err := vm.AddHost("x"); err == nil {
+		t.Error("AddHost after halt should fail")
+	}
+}
+
+func TestNotifyDeliversOnExit(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	release := make(chan struct{})
+	worker, err := vm.Spawn("mortal", 1, 0, func(task *Task) error {
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan TID, 1)
+	watcher, err := vm.Spawn("watcher", 0, 0, func(task *Task) error {
+		if err := task.Notify(worker); err != nil {
+			return err
+		}
+		close(release) // let the worker die only after we are watching
+		tid, err := task.WaitExit()
+		if err != nil {
+			return err
+		}
+		got <- tid
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WaitAll([]TID{worker, watcher}); err != nil {
+		t.Fatal(err)
+	}
+	if tid := <-got; tid != worker {
+		t.Errorf("notified about %v, want %v", tid, worker)
+	}
+}
+
+func TestNotifyAlreadyExited(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	dead, err := vm.Spawn("dead", 0, 0, func(task *Task) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(dead); err != nil {
+		t.Fatal(err)
+	}
+	watcher, err := vm.Spawn("late-watcher", 0, 0, func(task *Task) error {
+		if err := task.Notify(dead); err != nil {
+			return err
+		}
+		tid, err := task.WaitExit()
+		if err != nil {
+			return err
+		}
+		if tid != dead {
+			return fmt.Errorf("wrong tid %v", tid)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(watcher); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotifyUnknownTask(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	tid, err := vm.Spawn("w", 0, 0, func(task *Task) error {
+		if err := task.Notify(makeTID(0, 999)); err == nil {
+			return fmt.Errorf("notify on unknown task should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNotifyFaultTolerancePattern demonstrates the classic PVM restart
+// pattern: a supervisor respawns a crashed worker on notification.
+func TestNotifyFaultTolerancePattern(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	result := make(chan int32, 1)
+	supervisor, err := vm.Spawn("supervisor", 0, 0, func(task *Task) error {
+		work := func(w *Task) error {
+			m, err := w.Recv(AnyTID, 1)
+			if err != nil {
+				return err
+			}
+			v, err := m.Body.UnpackInt32()
+			if err != nil {
+				return err
+			}
+			if v < 0 {
+				panic("injected crash")
+			}
+			return w.Send(w.Parent(), 2, NewBuffer().PackInt32(v*2))
+		}
+		// First attempt crashes (negative input).
+		w1, err := task.Spawn("worker", 1, work)
+		if err != nil {
+			return err
+		}
+		if err := task.Notify(w1); err != nil {
+			return err
+		}
+		if err := task.Send(w1, 1, NewBuffer().PackInt32(-1)); err != nil {
+			return err
+		}
+		crashed, err := task.WaitExit()
+		if err != nil {
+			return err
+		}
+		if crashed != w1 {
+			return fmt.Errorf("unexpected exit %v", crashed)
+		}
+		// Respawn and retry with good input.
+		w2, err := task.Spawn("worker", 1, work)
+		if err != nil {
+			return err
+		}
+		if err := task.Send(w2, 1, NewBuffer().PackInt32(21)); err != nil {
+			return err
+		}
+		m, err := task.Recv(w2, 2)
+		if err != nil {
+			return err
+		}
+		v, err := m.Body.UnpackInt32()
+		if err != nil {
+			return err
+		}
+		result <- v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(supervisor); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-result; v != 42 {
+		t.Errorf("restarted computation returned %d, want 42", v)
+	}
+}

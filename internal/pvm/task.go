@@ -1,0 +1,122 @@
+package pvm
+
+import (
+	"fmt"
+)
+
+// Task is the handle a running task uses to talk to the virtual machine —
+// the libpvm API surface.
+type Task struct {
+	vm     *VM
+	tid    TID
+	parent TID
+	name   string
+	host   int
+	mb     *mailbox
+	done   chan struct{}
+	err    error
+
+	sent, received uint64
+}
+
+// run executes the body and performs the implicit pvm_exit.
+func (t *Task) run(fn TaskFunc) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = fmt.Errorf("pvm: task %v (%s) panicked: %v", t.tid, t.name, r)
+		}
+		t.exit()
+	}()
+	t.err = fn(t)
+}
+
+// exit removes the task from its daemon's routing table (sends to the TID
+// now fail, as in PVM) and closes its mailbox. The VM-level record is kept
+// so Wait works after exit.
+func (t *Task) exit() {
+	d := t.vm.daemons[t.host]
+	d.mu.Lock()
+	delete(d.tasks, t.tid.local())
+	d.mu.Unlock()
+	t.mb.close()
+	close(t.done)
+}
+
+// Mytid returns the task's identifier (pvm_mytid).
+func (t *Task) Mytid() TID { return t.tid }
+
+// Parent returns the spawning task's TID, or 0 for console-spawned tasks
+// (pvm_parent).
+func (t *Task) Parent() TID { return t.parent }
+
+// Name returns the task's spawn name.
+func (t *Task) Name() string { return t.name }
+
+// Host returns the index of the host the task runs on.
+func (t *Task) Host() int { return t.host }
+
+// HostName returns the name of the host the task runs on.
+func (t *Task) HostName() string { return t.vm.daemons[t.host].name }
+
+// VM returns the owning virtual machine.
+func (t *Task) VM() *VM { return t.vm }
+
+// Send packs off buf to dst with the given tag (pvm_send). The buffer is
+// cloned, so the caller may reuse it.
+func (t *Task) Send(dst TID, tag int, buf *Buffer) error {
+	if !dst.Valid() {
+		return fmt.Errorf("pvm: send to invalid TID %v", dst)
+	}
+	t.sent++
+	return t.vm.tr.deliver(&Message{Src: t.tid, Dst: dst, Tag: tag, Body: buf.Clone()})
+}
+
+// Mcast sends buf to every TID in dsts (pvm_mcast).
+func (t *Task) Mcast(dsts []TID, tag int, buf *Buffer) error {
+	for _, d := range dsts {
+		if d == t.tid {
+			continue
+		}
+		if err := t.Send(d, tag, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv blocks for the oldest message matching (src, tag); use AnyTID /
+// AnyTag as wildcards (pvm_recv).
+func (t *Task) Recv(src TID, tag int) (*Message, error) {
+	m, err := t.mb.get(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	t.received++
+	return m, nil
+}
+
+// TryRecv is the non-blocking receive (pvm_nrecv).
+func (t *Task) TryRecv(src TID, tag int) (*Message, bool) {
+	m, ok := t.mb.tryGet(src, tag)
+	if ok {
+		t.received++
+	}
+	return m, ok
+}
+
+// Probe reports whether a matching message is waiting (pvm_probe).
+func (t *Task) Probe(src TID, tag int) bool { return t.mb.probe(src, tag) }
+
+// Stats returns the task's message counters.
+func (t *Task) Stats() (sent, received uint64) { return t.sent, t.received }
+
+// Spawn starts a child task on the given host with this task as parent.
+func (t *Task) Spawn(name string, host int, fn TaskFunc) (TID, error) {
+	return t.vm.Spawn(name, host, t.tid, fn)
+}
+
+// SpawnN starts n children round-robin across hosts with this task as
+// parent.
+func (t *Task) SpawnN(name string, n int, fn TaskFunc) ([]TID, error) {
+	return t.vm.SpawnN(name, n, t.tid, fn)
+}

@@ -1,0 +1,55 @@
+// Package pvm is a PVM-flavoured message-passing library — the substrate
+// the paper's experimental section runs on ("We have chosen to implement
+// our parallel program using the PVM package", Section 4).
+//
+// It reproduces the PVM 3 programming model on a single machine: a virtual
+// machine is assembled from hosts, each host runs a daemon, tasks are
+// spawned onto hosts and addressed by task identifiers (TIDs), and tasks
+// exchange typed, tagged messages through pack/unpack buffers. Two
+// transports are provided: direct in-process delivery, and a TCP loopback
+// transport (one stream per host pair, mirroring pvmd-to-pvmd UDP/TCP
+// routing) for exercising a real network stack. Message delivery is FIFO
+// per (sender, receiver) pair, matching PVM's ordering guarantee.
+package pvm
+
+import "fmt"
+
+// TID identifies a task within a virtual machine. Like real PVM TIDs, it
+// packs the host index and a per-host task number into one integer.
+type TID int32
+
+// AnyTID is the receive wildcard matching any sender (PVM's -1).
+const AnyTID TID = -1
+
+// AnyTag is the receive wildcard matching any message tag (PVM's -1).
+const AnyTag = -1
+
+const (
+	hostShift = 18
+	localMask = (1 << hostShift) - 1
+	maxHosts  = 1 << 12
+)
+
+// makeTID builds a TID from a host index and per-host task number.
+func makeTID(host, local int) TID {
+	return TID((host+1)<<hostShift | (local & localMask))
+}
+
+// Host extracts the host index a TID lives on.
+func (t TID) Host() int { return int(t)>>hostShift - 1 }
+
+// local extracts the per-host task number.
+func (t TID) local() int { return int(t) & localMask }
+
+// Valid reports whether t is a concrete (non-wildcard, non-zero) TID.
+func (t TID) Valid() bool { return t > 0 }
+
+func (t TID) String() string {
+	if t == AnyTID {
+		return "t<any>"
+	}
+	if !t.Valid() {
+		return fmt.Sprintf("t<invalid:%d>", int32(t))
+	}
+	return fmt.Sprintf("t%x", int32(t))
+}

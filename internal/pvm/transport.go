@@ -1,0 +1,137 @@
+package pvm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport moves a message from the sender's host to the destination
+// host's daemon. Implementations must preserve per-(src,dst) ordering.
+type transport interface {
+	// deliver routes m toward its destination host daemon.
+	deliver(m *Message) error
+	// close releases transport resources.
+	close() error
+}
+
+// inprocTransport delivers directly into the destination daemon. Delivery
+// happens on the sender's goroutine; ordering per (src,dst) follows from
+// the sender's program order.
+type inprocTransport struct {
+	vm *VM
+}
+
+func (tr *inprocTransport) deliver(m *Message) error {
+	d, err := tr.vm.daemonFor(m.Dst)
+	if err != nil {
+		return err
+	}
+	return d.localDeliver(m)
+}
+
+func (tr *inprocTransport) close() error { return nil }
+
+// tcpTransport routes messages between host daemons over loopback TCP, one
+// stream per ordered host pair, mirroring PVM's daemon-to-daemon routes.
+// Stream order gives per-(src,dst) FIFO.
+type tcpTransport struct {
+	vm *VM
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[[2]int]net.Conn // (srcHost, dstHost) → stream
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+func newTCPTransport(vm *VM) *tcpTransport {
+	return &tcpTransport{vm: vm, conns: make(map[[2]int]net.Conn)}
+}
+
+// listen starts the accept loop for one host daemon and records its
+// address in the host table.
+func (tr *tcpTransport) listen(d *Daemon) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("pvm: host %d listen: %w", d.index, err)
+	}
+	d.addr = ln.Addr().String()
+	tr.mu.Lock()
+	tr.listeners = append(tr.listeners, ln)
+	tr.mu.Unlock()
+	tr.wg.Add(1)
+	go func() {
+		defer tr.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			tr.wg.Add(1)
+			go func() {
+				defer tr.wg.Done()
+				defer conn.Close()
+				for {
+					m, err := readFrame(conn)
+					if err != nil {
+						return // peer closed or transport shutting down
+					}
+					// Delivery errors (unknown task) are dropped like PVM
+					// drops messages to dead TIDs.
+					_ = d.localDeliver(m)
+				}
+			}()
+		}
+	}()
+	return nil
+}
+
+// deliver sends m over the (srcHost → dstHost) stream, dialing it on first
+// use. Local destinations short-circuit without touching the network.
+func (tr *tcpTransport) deliver(m *Message) error {
+	srcHost := m.Src.Host()
+	dstHost := m.Dst.Host()
+	d, err := tr.vm.daemonFor(m.Dst)
+	if err != nil {
+		return err
+	}
+	if srcHost == dstHost {
+		return d.localDeliver(m)
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.closed {
+		return fmt.Errorf("pvm: transport closed")
+	}
+	key := [2]int{srcHost, dstHost}
+	conn, ok := tr.conns[key]
+	if !ok {
+		conn, err = net.Dial("tcp", d.addr)
+		if err != nil {
+			return fmt.Errorf("pvm: dial host %d: %w", dstHost, err)
+		}
+		tr.conns[key] = conn
+	}
+	if err := writeFrame(conn, m); err != nil {
+		delete(tr.conns, key)
+		conn.Close()
+		return fmt.Errorf("pvm: send to host %d: %w", dstHost, err)
+	}
+	return nil
+}
+
+func (tr *tcpTransport) close() error {
+	tr.mu.Lock()
+	tr.closed = true
+	for _, ln := range tr.listeners {
+		ln.Close()
+	}
+	for k, c := range tr.conns {
+		c.Close()
+		delete(tr.conns, k)
+	}
+	tr.mu.Unlock()
+	tr.wg.Wait()
+	return nil
+}

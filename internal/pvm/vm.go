@@ -1,0 +1,291 @@
+package pvm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TransportKind selects how messages move between hosts.
+type TransportKind int
+
+const (
+	// InProc delivers messages by direct function call (fastest; default).
+	InProc TransportKind = iota
+	// TCP routes inter-host messages over loopback TCP streams, exercising
+	// a real network path like the original PVM daemons.
+	TCP
+)
+
+// Config configures a virtual machine.
+type Config struct {
+	// Hosts is the number of workstations in the virtual machine.
+	Hosts int
+	// Transport selects the inter-host message path.
+	Transport TransportKind
+	// HostNames optionally names each host (defaults to ws0, ws1, ...).
+	HostNames []string
+}
+
+// Daemon is the per-host pvmd: it owns the host's task table and delivers
+// messages to local task mailboxes.
+type Daemon struct {
+	vm    *VM
+	index int
+	name  string
+	addr  string // TCP transport address, when enabled
+
+	mu        sync.Mutex
+	tasks     map[int]*Task // local id → task
+	nextLocal int
+}
+
+// Name returns the host name.
+func (d *Daemon) Name() string { return d.name }
+
+// Index returns the host's index within the VM.
+func (d *Daemon) Index() int { return d.index }
+
+// localDeliver places m into the destination task's mailbox.
+func (d *Daemon) localDeliver(m *Message) error {
+	d.mu.Lock()
+	task, ok := d.tasks[m.Dst.local()]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("pvm: no task %v on host %d", m.Dst, d.index)
+	}
+	task.mb.put(m)
+	return nil
+}
+
+// VM is the virtual machine: a set of host daemons, a task table, and a
+// transport.
+type VM struct {
+	mu      sync.Mutex
+	daemons []*Daemon
+	tasks   map[TID]*Task
+	groups  map[string]*group
+	tr      transport
+	halted  bool
+	// spawn counter for round-robin placement
+	rr int
+}
+
+// NewVM assembles a virtual machine ("pvmd startup + pvm_addhosts").
+func NewVM(cfg Config) (*VM, error) {
+	if cfg.Hosts < 1 || cfg.Hosts > maxHosts {
+		return nil, fmt.Errorf("pvm: host count must be in [1, %d], got %d", maxHosts, cfg.Hosts)
+	}
+	if cfg.HostNames != nil && len(cfg.HostNames) != cfg.Hosts {
+		return nil, fmt.Errorf("pvm: %d host names for %d hosts", len(cfg.HostNames), cfg.Hosts)
+	}
+	vm := &VM{
+		tasks:  make(map[TID]*Task),
+		groups: make(map[string]*group),
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		name := fmt.Sprintf("ws%d", i)
+		if cfg.HostNames != nil {
+			name = cfg.HostNames[i]
+		}
+		vm.daemons = append(vm.daemons, &Daemon{
+			vm:    vm,
+			index: i,
+			name:  name,
+			tasks: make(map[int]*Task),
+		})
+	}
+	switch cfg.Transport {
+	case InProc:
+		vm.tr = &inprocTransport{vm: vm}
+	case TCP:
+		t := newTCPTransport(vm)
+		for _, d := range vm.daemons {
+			if err := t.listen(d); err != nil {
+				t.close()
+				return nil, err
+			}
+		}
+		vm.tr = t
+	default:
+		return nil, fmt.Errorf("pvm: unknown transport %d", cfg.Transport)
+	}
+	return vm, nil
+}
+
+// Hosts returns the number of hosts in the machine ("pvm_config").
+func (vm *VM) Hosts() int { return len(vm.daemons) }
+
+// Daemon returns the daemon for a host index.
+func (vm *VM) Daemon(host int) (*Daemon, error) {
+	if host < 0 || host >= len(vm.daemons) {
+		return nil, fmt.Errorf("pvm: no host %d in a %d-host machine", host, len(vm.daemons))
+	}
+	return vm.daemons[host], nil
+}
+
+func (vm *VM) daemonFor(t TID) (*Daemon, error) {
+	if !t.Valid() {
+		return nil, fmt.Errorf("pvm: invalid destination %v", t)
+	}
+	return vm.Daemon(t.Host())
+}
+
+// TaskFunc is a task body. Returning ends the task (implicit pvm_exit);
+// the returned error is reported through Wait.
+type TaskFunc func(t *Task) error
+
+// Spawn starts one task on the given host ("pvm_spawn" with explicit
+// placement). parent is the spawning task's TID, or 0 for a console spawn.
+func (vm *VM) Spawn(name string, host int, parent TID, fn TaskFunc) (TID, error) {
+	vm.mu.Lock()
+	if vm.halted {
+		vm.mu.Unlock()
+		return 0, fmt.Errorf("pvm: virtual machine halted")
+	}
+	vm.mu.Unlock()
+	d, err := vm.Daemon(host)
+	if err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	d.nextLocal++
+	local := d.nextLocal
+	tid := makeTID(host, local)
+	task := &Task{
+		vm:     vm,
+		tid:    tid,
+		parent: parent,
+		name:   name,
+		host:   host,
+		mb:     newMailbox(),
+		done:   make(chan struct{}),
+	}
+	d.tasks[local] = task
+	d.mu.Unlock()
+
+	vm.mu.Lock()
+	vm.tasks[tid] = task
+	vm.mu.Unlock()
+
+	go task.run(fn)
+	return tid, nil
+}
+
+// SpawnN starts n copies of a task round-robin across all hosts, returning
+// their TIDs in spawn order ("pvm_spawn" with PvmTaskDefault placement).
+func (vm *VM) SpawnN(name string, n int, parent TID, fn TaskFunc) ([]TID, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pvm: SpawnN needs n >= 1, got %d", n)
+	}
+	tids := make([]TID, 0, n)
+	for i := 0; i < n; i++ {
+		vm.mu.Lock()
+		host := vm.rr % len(vm.daemons)
+		vm.rr++
+		vm.mu.Unlock()
+		tid, err := vm.Spawn(fmt.Sprintf("%s#%d", name, i), host, parent, fn)
+		if err != nil {
+			return tids, err
+		}
+		tids = append(tids, tid)
+	}
+	return tids, nil
+}
+
+// Lookup resolves a TID to its task.
+func (vm *VM) lookup(t TID) (*Task, error) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	task, ok := vm.tasks[t]
+	if !ok {
+		return nil, fmt.Errorf("pvm: unknown task %v", t)
+	}
+	return task, nil
+}
+
+// Wait blocks until the task exits and returns its error.
+func (vm *VM) Wait(t TID) error {
+	task, err := vm.lookup(t)
+	if err != nil {
+		return err
+	}
+	<-task.done
+	return task.err
+}
+
+// WaitAll waits for several tasks, returning the first error encountered
+// (all tasks are waited for regardless).
+func (vm *VM) WaitAll(tids []TID) error {
+	var first error
+	for _, t := range tids {
+		if err := vm.Wait(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// TaskInfo describes one task for introspection ("pvm_tasks").
+type TaskInfo struct {
+	TID     TID
+	Parent  TID
+	Name    string
+	Host    int
+	Running bool
+}
+
+// Tasks lists every task ever spawned, in TID order, with its current
+// state. It is the console's view of the machine.
+func (vm *VM) Tasks() []TaskInfo {
+	vm.mu.Lock()
+	infos := make([]TaskInfo, 0, len(vm.tasks))
+	for _, t := range vm.tasks {
+		running := true
+		select {
+		case <-t.done:
+			running = false
+		default:
+		}
+		infos = append(infos, TaskInfo{
+			TID: t.tid, Parent: t.parent, Name: t.name, Host: t.host, Running: running,
+		})
+	}
+	vm.mu.Unlock()
+	sortTaskInfos(infos)
+	return infos
+}
+
+func sortTaskInfos(infos []TaskInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].TID < infos[j-1].TID; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+// Send injects a message from outside the task system (console send); src
+// may be 0.
+func (vm *VM) Send(src, dst TID, tag int, body *Buffer) error {
+	return vm.tr.deliver(&Message{Src: src, Dst: dst, Tag: tag, Body: body})
+}
+
+// Halt shuts the machine down: transports close and subsequent Spawn calls
+// fail. Running tasks blocked in Recv are unblocked with an error
+// ("pvm_halt").
+func (vm *VM) Halt() error {
+	vm.mu.Lock()
+	if vm.halted {
+		vm.mu.Unlock()
+		return nil
+	}
+	vm.halted = true
+	tasks := make([]*Task, 0, len(vm.tasks))
+	for _, t := range vm.tasks {
+		tasks = append(tasks, t)
+	}
+	vm.mu.Unlock()
+	for _, t := range tasks {
+		t.mb.close()
+	}
+	return vm.tr.close()
+}

@@ -1,0 +1,486 @@
+package pvm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func newTestVM(t *testing.T, hosts int, kind TransportKind) *VM {
+	t.Helper()
+	vm, err := NewVM(Config{Hosts: hosts, Transport: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { vm.Halt() })
+	return vm
+}
+
+func TestVMConfigValidation(t *testing.T) {
+	if _, err := NewVM(Config{Hosts: 0}); err == nil {
+		t.Error("0 hosts should fail")
+	}
+	if _, err := NewVM(Config{Hosts: maxHosts + 1}); err == nil {
+		t.Error("too many hosts should fail")
+	}
+	if _, err := NewVM(Config{Hosts: 2, HostNames: []string{"only-one"}}); err == nil {
+		t.Error("host name count mismatch should fail")
+	}
+	if _, err := NewVM(Config{Hosts: 1, Transport: TransportKind(99)}); err == nil {
+		t.Error("unknown transport should fail")
+	}
+}
+
+func TestVMHostNames(t *testing.T) {
+	vm, err := NewVM(Config{Hosts: 2, HostNames: []string{"elc0", "elc1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Halt()
+	d, err := vm.Daemon(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "elc1" || d.Index() != 1 {
+		t.Errorf("daemon = %q idx %d", d.Name(), d.Index())
+	}
+	if _, err := vm.Daemon(5); err == nil {
+		t.Error("out-of-range host should fail")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	for _, kind := range []TransportKind{InProc, TCP} {
+		kind := kind
+		t.Run(fmt.Sprintf("transport=%d", kind), func(t *testing.T) {
+			vm := newTestVM(t, 2, kind)
+			echoTid, err := vm.Spawn("echo", 1, 0, func(task *Task) error {
+				m, err := task.Recv(AnyTID, 1)
+				if err != nil {
+					return err
+				}
+				v, err := m.Body.UnpackInt32()
+				if err != nil {
+					return err
+				}
+				return task.Send(m.Src, 2, NewBuffer().PackInt32(v+1))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got int32
+			ping, err := vm.Spawn("ping", 0, 0, func(task *Task) error {
+				if err := task.Send(echoTid, 1, NewBuffer().PackInt32(41)); err != nil {
+					return err
+				}
+				m, err := task.Recv(echoTid, 2)
+				if err != nil {
+					return err
+				}
+				got, err = m.Body.UnpackInt32()
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.WaitAll([]TID{echoTid, ping}); err != nil {
+				t.Fatal(err)
+			}
+			if got != 42 {
+				t.Errorf("pingpong result %d, want 42", got)
+			}
+		})
+	}
+}
+
+func TestFIFOPerSenderReceiverPair(t *testing.T) {
+	for _, kind := range []TransportKind{InProc, TCP} {
+		kind := kind
+		t.Run(fmt.Sprintf("transport=%d", kind), func(t *testing.T) {
+			vm := newTestVM(t, 3, kind)
+			const n = 200
+			recvTid, err := vm.Spawn("sink", 2, 0, func(task *Task) error {
+				last := map[TID]int32{}
+				for i := 0; i < 2*n; i++ {
+					m, err := task.Recv(AnyTID, AnyTag)
+					if err != nil {
+						return err
+					}
+					seq, err := m.Body.UnpackInt32()
+					if err != nil {
+						return err
+					}
+					if seq != last[m.Src]+1 {
+						return fmt.Errorf("from %v: got seq %d after %d", m.Src, seq, last[m.Src])
+					}
+					last[m.Src] = seq
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sender := func(task *Task) error {
+				for i := int32(1); i <= n; i++ {
+					if err := task.Send(recvTid, 5, NewBuffer().PackInt32(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			s1, err := vm.Spawn("s1", 0, 0, sender)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := vm.Spawn("s2", 1, 0, sender)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.WaitAll([]TID{recvTid, s1, s2}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRecvTagFiltering(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	tid, err := vm.Spawn("filter", 0, 0, func(task *Task) error {
+		// tag-7 message must be returned even though tag-3 arrived first.
+		m7, err := task.Recv(AnyTID, 7)
+		if err != nil {
+			return err
+		}
+		if v, _ := m7.Body.UnpackInt32(); v != 70 {
+			return fmt.Errorf("tag 7 payload %d", v)
+		}
+		m3, err := task.Recv(AnyTID, 3)
+		if err != nil {
+			return err
+		}
+		if v, _ := m3.Body.UnpackInt32(); v != 30 {
+			return fmt.Errorf("tag 3 payload %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Send(0, tid, 3, NewBuffer().PackInt32(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Send(0, tid, 7, NewBuffer().PackInt32(70)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvSrcFiltering(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	gate := make(chan TID, 2)
+	sink, err := vm.Spawn("sink", 0, 0, func(task *Task) error {
+		want := <-gate // the specific source to wait for
+		m, err := task.Recv(want, AnyTag)
+		if err != nil {
+			return err
+		}
+		if m.Src != want {
+			return fmt.Errorf("recv from %v, want %v", m.Src, want)
+		}
+		// The other message is still queued.
+		if !task.Probe(AnyTID, AnyTag) {
+			return fmt.Errorf("other message should remain queued")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(host int) TID {
+		tid, err := vm.Spawn("src", host, 0, func(task *Task) error {
+			return task.Send(sink, 1, NewBuffer().PackInt32(int32(host)))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Wait(tid); err != nil {
+			t.Fatal(err)
+		}
+		return tid
+	}
+	mk(0)
+	second := mk(1)
+	gate <- second
+	if err := vm.Wait(sink); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecvAndProbe(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	tid, err := vm.Spawn("t", 0, 0, func(task *Task) error {
+		// Filter on tag 8, which is never sent: must not match regardless of
+		// whether the console's tag-9 message has arrived yet.
+		if _, ok := task.TryRecv(AnyTID, 8); ok {
+			return fmt.Errorf("TryRecv matched a never-sent tag")
+		}
+		if task.Probe(AnyTID, 8) {
+			return fmt.Errorf("Probe matched a never-sent tag")
+		}
+		// Blocking receive to synchronize with the console send.
+		if _, err := task.Recv(AnyTID, 9); err != nil {
+			return err
+		}
+		if task.Probe(AnyTID, 9) {
+			return fmt.Errorf("consumed message still probeable")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Send(0, tid, 9, NewBuffer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnNRoundRobin(t *testing.T) {
+	vm := newTestVM(t, 4, InProc)
+	var hostHits [4]int32
+	tids, err := vm.SpawnN("worker", 8, 0, func(task *Task) error {
+		atomic.AddInt32(&hostHits[task.Host()], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 8 {
+		t.Fatalf("spawned %d", len(tids))
+	}
+	if err := vm.WaitAll(tids); err != nil {
+		t.Fatal(err)
+	}
+	for h, c := range hostHits {
+		if c != 2 {
+			t.Errorf("host %d ran %d tasks, want 2", h, c)
+		}
+	}
+}
+
+func TestParentChildRelationship(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	result := make(chan TID, 1)
+	master, err := vm.Spawn("master", 0, 0, func(task *Task) error {
+		child, err := task.Spawn("child", 1, func(c *Task) error {
+			result <- c.Parent()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return task.VM().Wait(child)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(master); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-result; got != master {
+		t.Errorf("child's parent = %v, want %v", got, master)
+	}
+	// Console-spawned master has no parent.
+	done := make(chan TID, 1)
+	orphan, _ := vm.Spawn("orphan", 0, 0, func(task *Task) error {
+		done <- task.Parent()
+		return nil
+	})
+	vm.Wait(orphan)
+	if got := <-done; got != 0 {
+		t.Errorf("console task parent = %v, want 0", got)
+	}
+}
+
+func TestTaskErrorAndPanicPropagation(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	bad, err := vm.Spawn("bad", 0, 0, func(task *Task) error {
+		return fmt.Errorf("deliberate failure")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(bad); err == nil {
+		t.Error("task error should propagate through Wait")
+	}
+	pan, err := vm.Spawn("panicky", 0, 0, func(task *Task) error {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(pan); err == nil {
+		t.Error("task panic should surface as error")
+	}
+}
+
+func TestSendToUnknownTaskFails(t *testing.T) {
+	vm := newTestVM(t, 1, InProc)
+	tid, err := vm.Spawn("t", 0, 0, func(task *Task) error {
+		return task.Send(makeTID(0, 999), 1, NewBuffer())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err == nil {
+		t.Error("send to nonexistent task should fail")
+	}
+	if err := vm.Send(0, AnyTID, 1, NewBuffer()); err == nil {
+		t.Error("send to wildcard should fail")
+	}
+}
+
+func TestHaltUnblocksReceivers(t *testing.T) {
+	vm, err := NewVM(Config{Hosts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := vm.Spawn("stuck", 0, 0, func(task *Task) error {
+		_, err := task.Recv(AnyTID, AnyTag) // nothing will ever arrive
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Halt(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err == nil {
+		t.Error("receiver should be unblocked with an error on halt")
+	}
+	if _, err := vm.Spawn("late", 0, 0, func(*Task) error { return nil }); err == nil {
+		t.Error("spawn after halt should fail")
+	}
+	if err := vm.Halt(); err != nil {
+		t.Errorf("double halt: %v", err)
+	}
+}
+
+func TestTaskAccessors(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	tid, err := vm.Spawn("acc", 1, 0, func(task *Task) error {
+		if task.Mytid() == 0 || task.Host() != 1 {
+			return fmt.Errorf("bad tid/host")
+		}
+		if task.HostName() != "ws1" {
+			return fmt.Errorf("host name %q", task.HostName())
+		}
+		if task.Name() != "acc" {
+			return fmt.Errorf("name %q", task.Name())
+		}
+		if err := task.Send(task.Mytid(), 1, NewBuffer().PackInt32(1)); err != nil {
+			return err
+		}
+		if _, err := task.Recv(task.Mytid(), 1); err != nil {
+			return err
+		}
+		s, r := task.Stats()
+		if s != 1 || r != 1 {
+			return fmt.Errorf("stats %d/%d", s, r)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(tid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageFrameRoundTrip(t *testing.T) {
+	f := func(src, dst int32, tag int16, payload []byte) bool {
+		m := &Message{
+			Src: TID(src), Dst: TID(dst), Tag: int(tag),
+			Body: NewBuffer().PackBytes(payload),
+		}
+		var sink frameSink
+		if err := writeFrame(&sink, m); err != nil {
+			return false
+		}
+		got, err := readFrame(&sink)
+		if err != nil {
+			return false
+		}
+		gp, err := got.Body.UnpackBytes()
+		if err != nil {
+			return false
+		}
+		return got.Src == m.Src && got.Dst == m.Dst && got.Tag == m.Tag && string(gp) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// frameSink is an in-memory io.ReadWriter for frame tests.
+type frameSink struct{ buf []byte }
+
+func (s *frameSink) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+func (s *frameSink) Read(p []byte) (int, error) {
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	return n, nil
+}
+
+func TestTasksIntrospection(t *testing.T) {
+	vm := newTestVM(t, 2, InProc)
+	gate := make(chan struct{})
+	running, err := vm.Spawn("runner", 1, 0, func(task *Task) error {
+		<-gate
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := vm.Spawn("finished", 0, 0, func(task *Task) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Wait(done); err != nil {
+		t.Fatal(err)
+	}
+	infos := vm.Tasks()
+	if len(infos) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(infos))
+	}
+	byTID := map[TID]TaskInfo{}
+	for _, info := range infos {
+		byTID[info.TID] = info
+	}
+	if info := byTID[running]; !info.Running || info.Host != 1 || info.Name != "runner" {
+		t.Errorf("running task info: %+v", info)
+	}
+	if info := byTID[done]; info.Running {
+		t.Errorf("finished task still reported running: %+v", info)
+	}
+	// Sorted by TID.
+	for i := 1; i < len(infos); i++ {
+		if infos[i].TID < infos[i-1].TID {
+			t.Error("tasks not sorted by TID")
+		}
+	}
+	close(gate)
+	if err := vm.Wait(running); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+
+	"feasim/internal/des"
+	"feasim/internal/rng"
+)
+
+// Priorities on the workstation CPU: owner processes preempt parallel tasks.
+const (
+	PrioTask  = 0
+	PrioOwner = 1
+)
+
+// StationConfig describes the owner workload of one workstation in the
+// general model. Owner processes cycle: think (wall-clock) then compute for
+// a sampled demand at preemptive priority.
+type StationConfig struct {
+	OwnerThink  rng.Dist // wall-clock think time between owner bursts
+	OwnerDemand rng.Dist // owner burst service demand
+}
+
+// Utilization returns the station's long-run owner utilization
+// E[demand] / (E[think] + E[demand]).
+func (c StationConfig) Utilization() float64 {
+	d, z := c.OwnerDemand.Mean(), c.OwnerThink.Mean()
+	if d <= 0 {
+		return 0
+	}
+	return d / (z + d)
+}
+
+// GeneralConfig configures the des-based simulator.
+type GeneralConfig struct {
+	// Stations lists per-workstation owner workloads; len(Stations) is W.
+	// Homogeneous systems repeat the same StationConfig.
+	Stations []StationConfig
+	// TaskDemand is the per-task demand distribution. The paper's model is
+	// Deterministic{J/W}; imbalance ablations use wider distributions.
+	TaskDemand rng.Dist
+	// Seed drives all sampling.
+	Seed uint64
+	// WarmupJobs are discarded executions that bring the owner processes to
+	// steady state before measurement begins.
+	WarmupJobs int
+}
+
+// HomogeneousGeometric builds the general-model configuration matching the
+// paper's workload: W identical stations, geometric owner think with
+// per-unit probability p, deterministic owner burst o, deterministic task
+// demand t.
+func HomogeneousGeometric(w int, t, o, p float64) GeneralConfig {
+	st := StationConfig{
+		OwnerThink:  rng.Geometric{P: p},
+		OwnerDemand: rng.Deterministic{V: o},
+	}
+	cfg := GeneralConfig{TaskDemand: rng.Deterministic{V: t}}
+	for i := 0; i < w; i++ {
+		cfg.Stations = append(cfg.Stations, st)
+	}
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c GeneralConfig) Validate() error {
+	if len(c.Stations) == 0 {
+		return fmt.Errorf("sim: general config needs at least one station")
+	}
+	if c.TaskDemand == nil {
+		return fmt.Errorf("sim: general config needs a task demand distribution")
+	}
+	for i, s := range c.Stations {
+		if s.OwnerThink == nil || s.OwnerDemand == nil {
+			return fmt.Errorf("sim: station %d missing owner distributions", i)
+		}
+	}
+	return nil
+}
+
+// MeanUtilization is the average configured owner utilization across
+// stations.
+func (c GeneralConfig) MeanUtilization() float64 {
+	var sum float64
+	for _, s := range c.Stations {
+		sum += s.Utilization()
+	}
+	return sum / float64(len(c.Stations))
+}
+
+// General is the des-based simulator. Each Run constructs a fresh engine;
+// jobs execute back-to-back against continuously running owner processes.
+type General struct {
+	cfg GeneralConfig
+}
+
+// NewGeneral builds the simulator.
+func NewGeneral(cfg GeneralConfig) (*General, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &General{cfg: cfg}, nil
+}
+
+// GeneralStats augments the job samples with observed station behaviour.
+type GeneralStats struct {
+	Samples []JobSample
+	// ObservedUtil is the measured owner busy fraction averaged over
+	// stations, to be compared against the configured utilization.
+	ObservedUtil float64
+	// Preemptions counts task preemptions by owner processes.
+	Preemptions uint64
+}
+
+// Run simulates n measured job executions (after warmup) and returns the
+// samples plus observed statistics.
+func (g *General) Run(n int) (GeneralStats, error) {
+	if n < 1 {
+		return GeneralStats{}, fmt.Errorf("sim: need at least one sample, got %d", n)
+	}
+	w := len(g.cfg.Stations)
+	eng := des.NewEngine()
+	defer eng.Close()
+
+	root := rng.NewStream(g.cfg.Seed)
+	taskStream := root.Split(0)
+
+	servers := make([]*des.PreemptiveServer, w)
+	for i := range servers {
+		servers[i] = eng.NewPreemptiveServer(fmt.Sprintf("ws%d", i))
+	}
+
+	// Owner processes: run forever; Close unwinds them at the end.
+	for i, st := range g.cfg.Stations {
+		i, st := i, st
+		ostream := root.Split(uint64(1 + i))
+		eng.Spawn(fmt.Sprintf("owner%d", i), func(p *des.Proc) {
+			for {
+				p.Hold(st.OwnerThink.Sample(ostream))
+				servers[i].Use(p, st.OwnerDemand.Sample(ostream), PrioOwner)
+			}
+		})
+	}
+
+	total := g.cfg.WarmupJobs + n
+	stats := GeneralStats{Samples: make([]JobSample, 0, n)}
+	doneMB := eng.NewMailbox("taskdone")
+	finished := false
+
+	eng.Spawn("driver", func(p *des.Proc) {
+		for job := 0; job < total; job++ {
+			jobStart := p.Now()
+			var sumTask, maxTask float64
+			for t := 0; t < w; t++ {
+				t := t
+				demand := g.cfg.TaskDemand.Sample(taskStream)
+				eng.Spawn(fmt.Sprintf("task%d", t), func(tp *des.Proc) {
+					start := tp.Now()
+					servers[t].Use(tp, demand, PrioTask)
+					doneMB.Send(tp.Now() - start)
+				})
+			}
+			for t := 0; t < w; t++ {
+				d := doneMB.Recv(p).(float64)
+				sumTask += d
+				if d > maxTask {
+					maxTask = d
+				}
+			}
+			if job >= g.cfg.WarmupJobs {
+				stats.Samples = append(stats.Samples, JobSample{
+					JobTime:  p.Now() - jobStart,
+					MeanTask: sumTask / float64(w),
+				})
+			}
+		}
+		finished = true
+	})
+
+	for !finished && eng.Step() {
+	}
+	if !finished {
+		return GeneralStats{}, fmt.Errorf("sim: engine drained before %d samples completed", n)
+	}
+
+	var busy, horizon float64
+	for _, s := range servers {
+		busy += s.BusyTime(PrioOwner)
+		stats.Preemptions += s.Preemptions()
+	}
+	horizon = eng.Now() * float64(w)
+	if horizon > 0 {
+		stats.ObservedUtil = busy / horizon
+	}
+	return stats, nil
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"feasim/internal/rng"
+)
+
+func multiCfg(w, jobs int) MultiJobConfig {
+	base := HomogeneousGeometric(w, 100, 10, 1.0/90) // 10% owners
+	return MultiJobConfig{
+		Stations:     base.Stations,
+		TaskDemand:   base.TaskDemand,
+		Jobs:         jobs,
+		JobThink:     rng.Exponential{M: 50},
+		Seed:         77,
+		WarmupPerJob: 5,
+	}
+}
+
+func TestMultiJobValidate(t *testing.T) {
+	bad := []MultiJobConfig{
+		{},
+		{Stations: multiCfg(2, 1).Stations, Jobs: 1},                                                                // missing dists
+		{Stations: multiCfg(2, 1).Stations, TaskDemand: rng.Deterministic{V: 1}, JobThink: rng.Deterministic{V: 1}}, // Jobs 0
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := RunMultiJob(multiCfg(2, 1), 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestMultiJobSingleJobMatchesGeneral(t *testing.T) {
+	// K=1 reduces to the paper's single-job model; compare against the
+	// General simulator at the same operating point.
+	cfg := multiCfg(6, 1)
+	st, err := RunMultiJob(cfg, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGeneral(HomogeneousGeometric(6, 100, 10, 1.0/90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := gen.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gm float64
+	for _, s := range gs.Samples {
+		gm += s.JobTime
+	}
+	gm /= float64(len(gs.Samples))
+	if rel := math.Abs(st.Response.Mean()-gm) / gm; rel > 0.05 {
+		t.Errorf("K=1 multi-job mean %.2f vs general %.2f (rel %.3f)", st.Response.Mean(), gm, rel)
+	}
+}
+
+func TestMultiJobCompetitionDegradesResponse(t *testing.T) {
+	// More competing jobs → longer mean response (tasks queue behind each
+	// other at every station).
+	pts, err := MultiJobSweepLevels(multiCfg(4, 0), []int{1, 2, 4}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanResponse <= pts[i-1].MeanResponse {
+			t.Errorf("response did not grow: K=%d %.2f vs K=%d %.2f",
+				pts[i-1].Jobs, pts[i-1].MeanResponse, pts[i].Jobs, pts[i].MeanResponse)
+		}
+	}
+	// Sanity: even K=1 cannot beat the pure demand.
+	if pts[0].MeanResponse < 100 {
+		t.Errorf("K=1 mean response %.2f below task demand", pts[0].MeanResponse)
+	}
+}
+
+func TestMultiJobThroughputBounded(t *testing.T) {
+	// Throughput cannot exceed the cluster's task-capacity: W stations with
+	// ~90% of cycles available, tasks of demand 100, each job needs W tasks
+	// → at most (1-U)/100 jobs per unit time... per-station bound: a job
+	// occupies each station for >= 100 units of service, so throughput
+	// <= 0.9/100 jobs per time unit regardless of K.
+	st, err := RunMultiJob(multiCfg(4, 3), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Throughput > 0.9/100+1e-6 {
+		t.Errorf("throughput %.5f exceeds service capacity bound %.5f", st.Throughput, 0.9/100)
+	}
+	if st.Throughput <= 0 {
+		t.Error("throughput should be positive")
+	}
+	if st.Completed != int64(3*150) {
+		t.Errorf("completed %d executions, want %d", st.Completed, 3*150)
+	}
+}
+
+func TestMultiJobPerJobFairness(t *testing.T) {
+	// Symmetric jobs should see similar means (FIFO within the task class).
+	st, err := RunMultiJob(multiCfg(4, 3), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerJob) != 3 {
+		t.Fatalf("per-job summaries = %d", len(st.PerJob))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range st.PerJob {
+		m := s.Mean()
+		lo, hi = math.Min(lo, m), math.Max(hi, m)
+	}
+	if (hi-lo)/lo > 0.10 {
+		t.Errorf("per-job means spread too wide: [%.2f, %.2f]", lo, hi)
+	}
+}
+
+func TestMultiJobObservedUtil(t *testing.T) {
+	st, err := RunMultiJob(multiCfg(4, 2), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.ObservedUtil-0.10) > 0.02 {
+		t.Errorf("observed owner utilization %.4f, configured 0.10", st.ObservedUtil)
+	}
+}
+
+func TestMultiJobSweepErrors(t *testing.T) {
+	if _, err := MultiJobSweepLevels(multiCfg(2, 0), nil, 10); err == nil {
+		t.Error("empty sweep should fail")
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BatchMeans implements the batch-means output-analysis method the paper
+// uses (reference [4], Kobayashi 1978): the observation stream is split into
+// fixed-size consecutive batches, each batch mean is treated as one
+// (approximately independent) sample, and a Student-t interval is formed
+// over the batch means. The paper runs 20 batches of 1000 samples and
+// requires a relative 90% CI half-width of at most 1%.
+type BatchMeans struct {
+	batchSize int
+	cur       Summary   // accumulates the in-progress batch
+	means     []float64 // completed batch means
+	all       Summary   // grand summary over every observation
+}
+
+// NewBatchMeans creates a collector with the given batch size.
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize < 1 {
+		panic("stats: batch size must be >= 1")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add appends one observation, closing a batch when it fills.
+func (b *BatchMeans) Add(x float64) {
+	b.all.Add(x)
+	b.cur.Add(x)
+	if int(b.cur.N()) == b.batchSize {
+		b.means = append(b.means, b.cur.Mean())
+		b.cur = Summary{}
+	}
+}
+
+// Batches is the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.means) }
+
+// BatchSize is the configured batch size.
+func (b *BatchMeans) BatchSize() int { return b.batchSize }
+
+// N is the total number of observations, including any partial batch.
+func (b *BatchMeans) N() int64 { return b.all.N() }
+
+// GrandMean is the mean over all observations.
+func (b *BatchMeans) GrandMean() float64 { return b.all.Mean() }
+
+// ErrTooFewBatches is returned when a CI is requested before at least two
+// batches have completed.
+var ErrTooFewBatches = errors.New("stats: need at least 2 completed batches")
+
+// MeanCI forms the batch-means confidence interval at the given level.
+// Only completed batches participate; the partial batch is excluded so the
+// batch means are identically distributed.
+func (b *BatchMeans) MeanCI(level float64) (CI, error) {
+	k := len(b.means)
+	if k < 2 {
+		return CI{}, ErrTooFewBatches
+	}
+	var s Summary
+	s.AddAll(b.means)
+	t := TQuantile(0.5+level/2, float64(k-1))
+	return CI{Mean: s.Mean(), HalfWidth: t * s.StdDev() / math.Sqrt(float64(k)), Level: level}, nil
+}
+
+// LagOneAutocorrelation estimates the lag-1 autocorrelation of the batch
+// means. Values near zero support the independence assumption that batch
+// means rest on; large positive values mean the batch size is too small.
+func (b *BatchMeans) LagOneAutocorrelation() float64 {
+	k := len(b.means)
+	if k < 3 {
+		return 0
+	}
+	var s Summary
+	s.AddAll(b.means)
+	m := s.Mean()
+	var num, den float64
+	for i := 0; i < k; i++ {
+		d := b.means[i] - m
+		den += d * d
+		if i+1 < k {
+			num += d * (b.means[i+1] - m)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func (b *BatchMeans) String() string {
+	return fmt.Sprintf("batches=%d size=%d grand-mean=%.6g", len(b.means), b.batchSize, b.GrandMean())
+}
+
+// RunToPrecision drives a sample generator until the batch-means CI at the
+// given level has relative half-width at most rel, with the given batch size
+// and a minimum number of batches (the paper's protocol is minBatches=20,
+// batchSize=1000, level=0.90, rel=0.01). maxSamples bounds the run; if the
+// bound is hit the best available CI is returned along with ok=false.
+func RunToPrecision(gen func() float64, batchSize, minBatches int, level, rel float64, maxSamples int64) (CI, *BatchMeans, bool) {
+	bm := NewBatchMeans(batchSize)
+	var n int64
+	for {
+		for i := 0; i < batchSize; i++ {
+			bm.Add(gen())
+		}
+		n += int64(batchSize)
+		if bm.Batches() >= minBatches {
+			ci, err := bm.MeanCI(level)
+			if err == nil && ci.Relative() <= rel {
+				return ci, bm, true
+			}
+			if n >= maxSamples {
+				return ci, bm, false
+			}
+		} else if n >= maxSamples {
+			ci, _ := bm.MeanCI(level)
+			return ci, bm, false
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi) with underflow and
+// overflow buckets. It is used by the experiment harness to characterize
+// task-time distributions beyond their means.
+type Histogram struct {
+	Lo, Hi   float64
+	bins     []int64
+	under    int64
+	over     int64
+	observed Summary
+}
+
+// NewHistogram creates a histogram with n equal-width bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 || !(hi > lo) {
+		panic("stats: histogram needs hi > lo and n >= 1")
+	}
+	return &Histogram{Lo: lo, Hi: hi, bins: make([]int64, n)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.observed.Add(x)
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int(float64(len(h.bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.bins) { // x == Hi - epsilon rounding guard
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the number of observations in bin i.
+func (h *Histogram) Count(i int) int64 { return h.bins[i] }
+
+// Bins returns the number of interior bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Under and Over return the outlier counts.
+func (h *Histogram) Under() int64 { return h.under }
+
+// Over returns the count of observations at or above Hi.
+func (h *Histogram) Over() int64 { return h.over }
+
+// N is the total number of observations, outliers included.
+func (h *Histogram) N() int64 { return h.observed.N() }
+
+// Summary exposes the running summary of all observations.
+func (h *Histogram) Summary() Summary { return h.observed }
+
+// Quantile returns an estimate of the q-quantile by linear interpolation
+// within bins. Outlier buckets clamp to the range endpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile requires 0 <= q <= 1")
+	}
+	total := h.N()
+	if total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(total)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.Lo
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.bins))
+	for i, c := range h.bins {
+		if cum+float64(c) >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.Lo + width*(float64(i)+frac)
+		}
+		cum += float64(c)
+	}
+	return h.Hi
+}
+
+// Render draws a simple horizontal bar chart, maxWidth characters wide.
+func (h *Histogram) Render(maxWidth int) string {
+	var peak int64 = 1
+	for _, c := range h.bins {
+		if c > peak {
+			peak = c
+		}
+	}
+	var sb strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.bins))
+	for i, c := range h.bins {
+		bar := int(float64(c) / float64(peak) * float64(maxWidth))
+		fmt.Fprintf(&sb, "[%10.3f, %10.3f) %8d %s\n",
+			h.Lo+width*float64(i), h.Lo+width*float64(i+1), c, strings.Repeat("#", bar))
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&sb, "underflow: %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&sb, "overflow: %d\n", h.over)
+	}
+	return sb.String()
+}

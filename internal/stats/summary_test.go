@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("zero-value summary should be empty")
+	}
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if !almost(s.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Variance() != 0 || s.StdDev() != 0 {
+		t.Error("variance of one observation must be 0")
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Error("min/max of single observation")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		var whole Summary
+		whole.AddAll(xs)
+		k := 0
+		if len(xs) > 0 {
+			k = int(split) % (len(xs) + 1)
+		}
+		var a, b Summary
+		a.AddAll(xs[:k])
+		b.AddAll(xs[k:])
+		a.Merge(b)
+		return a.N() == whole.N() &&
+			almost(a.Mean(), whole.Mean(), 1e-8*(1+math.Abs(whole.Mean()))) &&
+			almost(a.Variance(), whole.Variance(), 1e-6*(1+whole.Variance())) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merge with empty changed summary")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestSummaryMeanCI(t *testing.T) {
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 10)) // mean 4.5
+	}
+	ci := s.MeanCI(0.95)
+	if !ci.Contains(4.5) {
+		t.Errorf("CI %v should contain 4.5", ci)
+	}
+	if ci.Lo() >= ci.Hi() {
+		t.Error("CI endpoints inverted")
+	}
+	var one Summary
+	one.Add(5)
+	if ci := one.MeanCI(0.9); !math.IsInf(ci.HalfWidth, 1) {
+		t.Error("CI with one sample should have infinite half-width")
+	}
+}
+
+func TestCIHelpers(t *testing.T) {
+	ci := CI{Mean: 10, HalfWidth: 1, Level: 0.9}
+	if ci.Lo() != 9 || ci.Hi() != 11 {
+		t.Error("Lo/Hi wrong")
+	}
+	if !ci.Contains(9) || !ci.Contains(11) || ci.Contains(8.999) {
+		t.Error("Contains wrong at boundaries")
+	}
+	if !almost(ci.Relative(), 0.1, 1e-12) {
+		t.Errorf("Relative = %v", ci.Relative())
+	}
+	zero := CI{}
+	if zero.Relative() != 0 {
+		t.Error("zero CI should have zero relative width")
+	}
+	if r := (CI{Mean: 0, HalfWidth: 1}).Relative(); !math.IsInf(r, 1) {
+		t.Error("zero-mean nonzero-width CI should be infinite relative")
+	}
+	if ci.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHistogramCountsAndQuantiles(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 10) // 0.0 .. 9.9 uniformly
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 10 {
+			t.Errorf("bin %d count = %d, want 10", i, h.Count(i))
+		}
+	}
+	med := h.Quantile(0.5)
+	if med < 4 || med > 6 {
+		t.Errorf("median estimate %v not near 5", med)
+	}
+	if h.Render(40) == "" {
+		t.Error("Render empty")
+	}
+}
+
+func TestHistogramOutliers(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-1)
+	h.Add(10)
+	h.Add(15)
+	h.Add(5)
+	if h.Under() != 1 || h.Over() != 2 {
+		t.Errorf("under/over = %d/%d", h.Under(), h.Over())
+	}
+	if h.N() != 4 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Bins() != 5 {
+		t.Errorf("Bins = %d", h.Bins())
+	}
+	if got := h.Summary().Max(); got != 15 {
+		t.Errorf("summary max = %v", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("quantile of empty histogram should be NaN")
+	}
+	h.Add(0.5)
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q < 0.5 || q > 1 {
+		t.Errorf("q1 = %v", q)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("quantile outside [0,1] should panic")
+		}
+	}()
+	h.Quantile(1.5)
+}
+
+func TestHistogramPanicsOnBadConstruction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with hi <= lo should panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
