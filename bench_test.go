@@ -7,6 +7,7 @@
 package feasim_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -262,6 +263,40 @@ func BenchmarkBatchMeansAdd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bm.Add(s.Float64())
+	}
+}
+
+// BenchmarkSweep measures the parallel sweep engine on a 100-point
+// analytic grid (25 system sizes × 4 utilizations) at 1, 4 and 8 workers.
+// The per-point work is pure analysis — no simulation — so this isolates
+// the engine's fan-out, seed-splitting and channel overhead and shows how
+// the worker pool scales on a CPU-bound grid.
+func BenchmarkSweep(b *testing.B) {
+	ws := make([]int, 0, 25)
+	for w := 4; w <= 100; w += 4 {
+		ws = append(ws, w)
+	}
+	spec := feasim.SweepSpec{
+		Base:     feasim.Scenario{Name: "bench", J: 10000, O: 10},
+		W:        ws,
+		Util:     []float64{0.01, 0.05, 0.1, 0.2},
+		Backends: []string{feasim.BackendAnalytic},
+		Seed:     1993,
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := feasim.CollectSweep(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != 100 {
+					b.Fatalf("got %d points, want 100", len(res))
+				}
+			}
+			b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "points/s")
+		})
 	}
 }
 

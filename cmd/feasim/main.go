@@ -3,6 +3,8 @@
 //
 // Subcommands:
 //
+//	run        answer a scenario JSON file with any or all solver backends
+//	sweep      fan a scenario grid across a parallel worker pool
 //	analyze    evaluate the model at one parameter point
 //	assess     feasibility verdict against a weighted-efficiency target
 //	threshold  minimum task ratio table (the paper's conclusions)
@@ -11,6 +13,9 @@
 //
 // Examples:
 //
+//	feasim run testdata/scenario.json
+//	feasim run -backend des -timeout 30s scenario.json
+//	feasim sweep -workers 8 -json sweep.json
 //	feasim analyze -j 1000 -w 100 -o 10 -util 0.05
 //	feasim assess -j 600 -w 60 -o 10 -util 0.2 -target 0.8
 //	feasim threshold -w 60 -o 10 -target 0.8 -utils 0.05,0.1,0.2
@@ -19,11 +24,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"feasim"
 )
@@ -35,6 +43,10 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
 	case "assess":
@@ -59,8 +71,195 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: feasim <analyze|assess|threshold|scaled|simulate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: feasim <run|sweep|analyze|assess|threshold|scaled|simulate> [flags]
 run "feasim <subcommand> -h" for flags`)
+}
+
+// solveContext builds the run/sweep context, honoring an optional timeout.
+func solveContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// parseProtocol parses the shared -protocol flag ("batches,batchsize", e.g.
+// "20,1000"); empty keeps the paper's protocol.
+func parseProtocol(spec string) (feasim.Protocol, error) {
+	if spec == "" {
+		return feasim.DefaultProtocol(), nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return feasim.Protocol{}, fmt.Errorf("bad -protocol %q: want batches,batchsize", spec)
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return feasim.Protocol{}, fmt.Errorf("bad -protocol %q: %v", spec, err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return feasim.Protocol{}, fmt.Errorf("bad -protocol %q: %v", spec, err)
+	}
+	pr := feasim.DefaultProtocol()
+	pr.Batches, pr.BatchSize = b, n
+	return pr, nil
+}
+
+// cmdRun answers one scenario file with the selected backend(s).
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	backend := fs.String("backend", "all", `solver backend: analytic, exact, des, or "all"`)
+	protocol := fs.String("protocol", "", "simulation protocol as batches,batchsize (default: the paper's 20,1000)")
+	timeout := fs.Duration("timeout", 0, "overall deadline for the solve (0 = none)")
+	asJSON := fs.Bool("json", false, "emit reports as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: want exactly one scenario JSON file, got %d args", fs.NArg())
+	}
+	s, err := feasim.LoadScenario(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pr, err := parseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+	backends := []string{*backend}
+	if *backend == "all" {
+		backends = feasim.Backends()
+	}
+	ctx, cancel := solveContext(*timeout)
+	defer cancel()
+	for _, name := range backends {
+		solver, err := feasim.SolverByName(name, pr)
+		if err != nil {
+			return err
+		}
+		rep, err := solver.Solve(ctx, s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if *asJSON {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+		} else {
+			printReport(rep)
+		}
+	}
+	return nil
+}
+
+// printReport renders one report as aligned text.
+func printReport(r feasim.Report) {
+	name := r.Scenario.Name
+	if name == "" {
+		name = "scenario"
+	}
+	fmt.Printf("%s [%s] W=%d util=%.4g\n", name, r.Backend, r.W, r.U)
+	ci := func(iv feasim.Interval) string {
+		if iv.Zero() {
+			return ""
+		}
+		return fmt.Sprintf("  [%.4f, %.4f]", iv.Lo, iv.Hi)
+	}
+	fmt.Printf("  E[job time]            %12.4f%s\n", r.EJob, ci(r.EJobCI))
+	fmt.Printf("  E[task time]           %12.4f%s\n", r.ETask, ci(r.ETaskCI))
+	if r.TaskRatio > 0 {
+		fmt.Printf("  task ratio T/O         %12.4f\n", r.TaskRatio)
+	}
+	fmt.Printf("  speedup                %12.4f\n", r.Speedup)
+	fmt.Printf("  efficiency             %12.4f\n", r.Efficiency)
+	fmt.Printf("  weighted efficiency    %12.4f%s\n", r.WeightedEfficiency, ci(r.WeffCI))
+	if r.Samples > 0 {
+		fmt.Printf("  samples                %12d\n", r.Samples)
+	}
+	if r.Feasible != nil {
+		verdict := "FEASIBLE"
+		if !*r.Feasible {
+			verdict = "NOT FEASIBLE"
+		}
+		fmt.Printf("  verdict                %12s (target %.2f)\n", verdict, r.Scenario.TargetEff)
+		if r.MinRatio > 0 {
+			fmt.Printf("  required task ratio    %12d (J >= %.0f)\n", r.MinRatio, r.MinJobDemand)
+		}
+	}
+	if r.DeadlineProb != nil {
+		fmt.Printf("  P(done by %-8.4g)    %12.6f\n", r.Scenario.Deadline, *r.DeadlineProb)
+	}
+}
+
+// cmdSweep fans a sweep spec file across the worker pool, streaming one
+// line per grid point as results complete.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "overall deadline for the sweep (0 = none)")
+	asJSON := fs.Bool("json", false, "emit one JSON object per result line")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("sweep: want exactly one sweep spec JSON file, got %d args", fs.NArg())
+	}
+	spec, err := feasim.LoadSweep(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *workers > 0 {
+		spec.Workers = *workers
+	}
+	ctx, cancel := solveContext(*timeout)
+	defer cancel()
+	ch, err := feasim.RunSweep(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !*asJSON {
+		fmt.Printf("%-6s %-9s %-5s %-8s %-8s %-10s %-22s %s\n",
+			"point", "backend", "W", "util", "ratio", "weff", "E[job]", "notes")
+	}
+	done, failed := 0, 0
+	for res := range ch {
+		if res.Err != nil {
+			failed++
+		} else {
+			done++
+		}
+		if *asJSON {
+			data, err := json.Marshal(res)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			continue
+		}
+		if res.Err != nil {
+			fmt.Printf("%-6d %-9s %-5s %-8s %-8s %-10s %-22s error: %v\n",
+				res.Point.Index, res.Point.Backend, "-", "-", "-", "-", "-", res.Err)
+			continue
+		}
+		r := res.Report
+		notes := ""
+		if res.Cached {
+			notes = "cached"
+		}
+		ejob := fmt.Sprintf("%.3f", r.EJob)
+		if !r.EJobCI.Zero() {
+			ejob = fmt.Sprintf("%.3f±%.3f", r.EJob, r.EJobCI.Width()/2)
+		}
+		fmt.Printf("%-6d %-9s %-5d %-8.4g %-8.4g %-10.4f %-22s %s\n",
+			res.Point.Index, res.Point.Backend, r.W, r.U, r.TaskRatio, r.WeightedEfficiency, ejob, notes)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sweep stopped after %d points: %w", done+failed, err)
+	}
+	if failed > 0 {
+		return fmt.Errorf("sweep finished: %d points solved, %d failed", done, failed)
+	}
+	fmt.Printf("%d points solved\n", done)
+	return nil
 }
 
 // modelFlags registers the shared model parameters on a flag set.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -20,6 +21,77 @@ func discardStdout(t *testing.T) {
 		os.Stdout = old
 		null.Close()
 	})
+}
+
+// writeFile drops JSON content into a temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testScenario = `{"name":"t","j":1000,"w":10,"o":10,"util":0.05,"target_eff":0.8,"seed":7}`
+
+func TestCmdRun(t *testing.T) {
+	discardStdout(t)
+	path := writeFile(t, "scenario.json", testScenario)
+	// All three backends on one scenario; a small protocol keeps it fast.
+	if err := cmdRun([]string{"-protocol", "5,100", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-backend", "analytic", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-backend", "csim", path}); err == nil {
+		t.Error("unknown backend should error")
+	}
+	if err := cmdRun([]string{path, "extra"}); err == nil {
+		t.Error("extra args should error")
+	}
+	if err := cmdRun([]string{filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := cmdRun([]string{"-protocol", "20", path}); err == nil {
+		t.Error("malformed protocol should error")
+	}
+	bad := writeFile(t, "bad.json", `{"j": 100, "w": 10, "o": 10, "wiggle": 1}`)
+	if err := cmdRun([]string{bad}); err == nil {
+		t.Error("unknown scenario field should error")
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	discardStdout(t)
+	path := writeFile(t, "sweep.json", `{
+		"base": {"j": 1000, "w": 10, "o": 10, "seed": 3},
+		"util": [0.05, 0.1],
+		"task_ratio": [5, 10],
+		"backends": ["analytic", "exact"],
+		"protocol": {"Batches": 5, "BatchSize": 100, "Level": 0.9}
+	}`)
+	if err := cmdSweep([]string{"-workers", "2", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{}); err == nil {
+		t.Error("missing spec file should error")
+	}
+	bad := writeFile(t, "bad.json", `{"base": {"j": 1000, "w": 10, "o": 10}, "backends": ["csim"]}`)
+	if err := cmdSweep([]string{bad}); err == nil {
+		t.Error("unknown backend should error")
+	}
+	// Every point fails (T = 1000/7 is not integral): the summary must
+	// surface that as an error rather than reporting success.
+	failing := writeFile(t, "failing.json",
+		`{"base": {"j": 1000, "w": 7, "o": 10, "util": 0.05}, "backends": ["exact"]}`)
+	if err := cmdSweep([]string{failing}); err == nil {
+		t.Error("sweep with failed points should error")
+	}
 }
 
 func TestCmdAnalyze(t *testing.T) {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,15 +29,24 @@ func main() {
 	fmt.Printf("job: %.0f s of dedicated compute; window: %.0f s; owners: %.0f%% in %gs bursts\n\n",
 		jobDemand, window, ownerUtil*100, ownerBurst)
 
-	// Sweep candidate allocations and report completion-time quantiles.
+	// Sweep candidate allocations with the declarative API: one Scenario
+	// per W, each carrying the deadline, answered by the analytic solver.
+	// The quantile columns still come from the exact completion-time
+	// distribution.
+	ctx := context.Background()
+	solver := feasim.NewAnalyticSolver()
 	fmt.Printf("%-6s %-12s %-12s %-12s %-12s %-14s\n",
 		"W", "E[job] (s)", "p50 (s)", "p95 (s)", "p99.9 (s)", "P(make window)")
 	for _, w := range []int{4, 8, 10, 12, 16} {
-		p, err := feasim.ParamsFromUtilization(jobDemand, w, ownerBurst, ownerUtil)
+		s := feasim.Scenario{
+			Name: "overnight", J: jobDemand, W: w, O: ownerBurst, Util: ownerUtil,
+			Deadline: window,
+		}
+		rep, err := solver.Solve(ctx, s)
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := feasim.Analyze(p)
+		p, err := feasim.ParamsFromUtilization(jobDemand, w, ownerBurst, ownerUtil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,12 +54,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		prob, err := feasim.DeadlineProb(p, window)
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("%-6d %-12.0f %-12.0f %-12.0f %-12.0f %-14.6f\n",
-			w, r.EJob, d.Quantile(0.5), d.Quantile(0.95), d.Quantile(0.999), prob)
+			w, rep.EJob, d.Quantile(0.5), d.Quantile(0.95), d.Quantile(0.999), *rep.DeadlineProb)
 	}
 
 	// The efficiency-aware choice: the largest W still meeting 85% weighted
@@ -58,10 +64,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prob, err := feasim.DeadlineProb(feasim.NewParams(jobDemand, plan.W, ownerBurst, plan.Result.P), window)
+	chosen := feasim.Scenario{
+		Name: "overnight", J: jobDemand, W: plan.W, O: ownerBurst, Util: ownerUtil,
+		Deadline: window,
+	}
+	rep, err := solver.Solve(ctx, chosen)
 	if err != nil {
 		log.Fatal(err)
 	}
+	prob := *rep.DeadlineProb
 	fmt.Printf("\nrecommended allocation: W=%d (weighted efficiency %.3f, task ratio %.0f)\n",
 		plan.W, plan.Result.WeightedEfficiency, plan.Result.Metrics.TaskRatio)
 	fmt.Printf("deadline confidence at W=%d: %.6f\n", plan.W, prob)

@@ -1,9 +1,10 @@
-// Quickstart: evaluate the feasibility model at one point, check the
-// verdict, and validate the analysis by simulation — the library's three
-// core calls in ~40 lines.
+// Quickstart: declare the feasibility question once as a Scenario, then ask
+// all three solver backends — the paper's exact analysis, the discrete-time
+// validation simulator, and the discrete-event engine — to answer it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,38 +12,51 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A 12,000-unit job on 60 workstations whose owners use 5% of their
-	// machines in 10-unit bursts.
-	p, err := feasim.ParamsFromUtilization(12000, 60, 10, 0.05)
-	if err != nil {
-		log.Fatal(err)
+	// machines in 10-unit bursts. The paper's bar: 80% of the possible
+	// speedup.
+	s := feasim.Scenario{
+		Name: "quickstart",
+		J:    12000, W: 60, O: 10, Util: 0.05,
+		TargetEff: 0.80,
+		Seed:      42,
 	}
 
-	r, err := feasim.Analyze(p)
+	// 1. The paper's exact analysis (equations (1)-(8) + threshold solver).
+	ana, err := feasim.NewAnalyticSolver().Solve(ctx, s)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("task ratio %.1f → speedup %.1f of %d, weighted efficiency %.2f\n",
-		r.Metrics.TaskRatio, r.Speedup, p.W, r.WeightedEfficiency)
-
-	// Is that good enough? The paper's bar: 80% of the possible speedup.
-	v, err := feasim.Assess(p, 0.80)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if v.Feasible {
+		ana.TaskRatio, ana.Speedup, ana.W, ana.WeightedEfficiency)
+	if *ana.Feasible {
 		fmt.Println("verdict: feasible — idle cycles are worth stealing")
 	} else {
 		fmt.Printf("verdict: infeasible — grow the job to J >= %.0f (task ratio %d)\n",
-			v.MinJobDemand, v.MinRatio)
+			ana.MinJobDemand, ana.MinRatio)
 	}
 
-	// Trust but verify: the paper's own validation, simulation vs analysis.
+	// 2. Trust but verify: the discrete-time simulator answers the same
+	// scenario under the paper's batch-means protocol.
 	pr := feasim.Protocol{Batches: 20, BatchSize: 500, Level: 0.90, MaxSamples: 1 << 20}
-	run, ana, ok, err := feasim.ValidateAgainstAnalysis(p, pr, 42, 0.5)
+	exact, err := feasim.NewExactSimSolver(pr).Solve(ctx, s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulated E[job time] %v vs analysis %.2f — agreement: %v\n",
-		run.JobTime, ana.EJob, ok)
+	fmt.Printf("simulated weighted efficiency [%.3f, %.3f] vs analysis %.3f — agreement: %v\n",
+		exact.WeffCI.Lo, exact.WeffCI.Hi, ana.WeightedEfficiency,
+		exact.WeffCI.Widen(0.5).Contains(ana.WeightedEfficiency))
+
+	// 3. Drop the model's optimistic assumptions: wall-clock owner think
+	// times and high-variance owner bursts on the discrete-event engine.
+	noisy := s
+	noisy.OwnerCV2 = 16
+	des, err := feasim.NewDESSolver(pr, 10).Solve(ctx, noisy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with CV²=16 owner bursts the DES backend measures weighted efficiency %.3f (analysis sees only the mean: %.3f)\n",
+		des.WeightedEfficiency, ana.WeightedEfficiency)
 }

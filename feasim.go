@@ -9,8 +9,25 @@
 // answer — and this library's central metric — is the task ratio: the
 // per-task demand divided by the mean owner burst demand.
 //
+// # Unified Scenario/Solver API
+//
+// The recommended entry point is declarative: describe the question once as
+// a Scenario (JSON-serializable), then ask any backend to answer it —
+// NewAnalyticSolver (the paper's equations), NewExactSimSolver (the
+// discrete-time validation simulator), or NewDESSolver (the discrete-event
+// engine that drops the model's simplifying assumptions). RunSweep fans a
+// scenario grid across a context-cancellable worker pool with deterministic
+// per-point seeding.
+//
+//	s := feasim.Scenario{J: 12000, W: 60, O: 10, Util: 0.05, TargetEff: 0.8}
+//	rep, _ := feasim.NewAnalyticSolver().Solve(ctx, s)
+//	fmt.Printf("task ratio %.0f → weighted efficiency %.2f\n",
+//	    rep.TaskRatio, rep.WeightedEfficiency)
+//
 // # Layers
 //
+//   - Scenario/Solver/Sweep (Scenario, Solver, Report, RunSweep): the
+//     declarative facade over every layer below.
 //   - The analytical model (Analyze, Assess, ThresholdTable, ScaledSweep):
 //     exact discrete-time results from the paper's equations (1)-(8).
 //   - Simulation (NewExactSimulator, NewGeneralSimulator, RunExact,
@@ -22,13 +39,6 @@
 //     virtual non-dedicated Sun ELC workstations.
 //   - Experiments (Experiments, RunExperiment): regenerate every figure and
 //     table in the paper.
-//
-// # Quick start
-//
-//	p, _ := feasim.ParamsFromUtilization(10000, 60, 10, 0.05)
-//	r, _ := feasim.Analyze(p)
-//	fmt.Printf("task ratio %.0f → weighted efficiency %.2f\n",
-//	    r.Metrics.TaskRatio, r.WeightedEfficiency)
 //
 // All types are aliases of the implementation packages under internal/, so
 // the godoc for methods lives with the types shown here.
@@ -157,9 +167,15 @@ type Protocol = sim.Protocol
 type SimResult = sim.RunResult
 
 // NewExactSimulator builds the exact simulator.
+//
+// Deprecated: use NewExactSimSolver with a Scenario; it wraps the simulator
+// and the batch-means protocol in one context-aware call.
 func NewExactSimulator(p Params, seed uint64) (*ExactSimulator, error) { return sim.NewExact(p, seed) }
 
 // NewGeneralSimulator builds the general simulator.
+//
+// Deprecated: use NewDESSolver with a Scenario; it wraps the simulator and
+// the batch-means protocol in one context-aware call.
 func NewGeneralSimulator(cfg GeneralConfig) (*GeneralSimulator, error) { return sim.NewGeneral(cfg) }
 
 // HomogeneousGeometric builds the paper's workload for the general
@@ -173,13 +189,20 @@ func HomogeneousGeometric(w int, t, o, p float64) GeneralConfig {
 func DefaultProtocol() Protocol { return sim.DefaultProtocol() }
 
 // RunExact applies the protocol to the exact simulator.
+//
+// Deprecated: use NewExactSimSolver(pr).Solve with a Scenario.
 func RunExact(x *ExactSimulator, pr Protocol) (SimResult, error) { return sim.RunExact(x, pr) }
 
 // RunGeneral applies the protocol to the general simulator.
+//
+// Deprecated: use NewDESSolver(pr, warmup).Solve with a Scenario.
 func RunGeneral(g *GeneralSimulator, pr Protocol) (SimResult, error) { return sim.RunGeneral(g, pr) }
 
 // ValidateAgainstAnalysis runs the paper's validation: simulation CIs must
 // cover the analytic values.
+//
+// Deprecated: solve one Scenario with NewAnalyticSolver and NewExactSimSolver
+// and compare the analytic point estimate against the simulated intervals.
 func ValidateAgainstAnalysis(p Params, pr Protocol, seed uint64, slack float64) (SimResult, Result, bool, error) {
 	return sim.ValidateAgainstAnalysis(p, pr, seed, slack)
 }

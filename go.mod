@@ -1,0 +1,3 @@
+module feasim
+
+go 1.22

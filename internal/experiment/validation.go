@@ -1,29 +1,65 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"feasim/internal/core"
 	"feasim/internal/plot"
-	"feasim/internal/sim"
+	"feasim/internal/solve"
 )
 
 // simValidation reproduces Section 2.2: "We duplicated the experiment found
 // in figure 1 of this paper and the simulation results were identical to
-// the analysis thus verifying the correctness of analysis code." It
-// simulates Figure 1's speedup curves with the exact discrete-time
-// simulator under the paper's batch-means protocol and overlays them on the
-// analysis. Checks require every simulated point's CI to cover the analytic
-// value.
+// the analysis thus verifying the correctness of analysis code." It fans
+// Figure 1's speedup curves across the solve package's sweep engine —
+// analytic and exact-simulation backends answer the same scenario grid in
+// parallel — and overlays the two. Checks require every simulated point's
+// CI to cover the analytic value.
 func simValidation() Definition {
 	return Definition{
 		ID:    "simval",
 		Paper: "Section 2.2: simulation validation of the analysis (Figure 1 duplicated)",
-		Workload: "exact discrete-time simulator, J=1000, O=10, utils {1,20}%, batch means " +
-			"(paper protocol: 20 batches x 1000 samples, 90% CI)",
+		Workload: "analytic + exact backends over one scenario grid, J=1000, O=10, utils {1,20}%, " +
+			"batch means (paper protocol: 20 batches x 1000 samples, 90% CI)",
 		Run: func(cfg Config) (Output, error) {
 			if err := cfg.Validate(); err != nil {
 				return Output{}, err
+			}
+			// The exact simulator needs integral task demand; drop the other
+			// system sizes exactly as the paper's figure sampling does.
+			var ws []int
+			for _, w := range cfg.ValidationWs {
+				if t := 1000 / float64(w); t == float64(int(t)) {
+					ws = append(ws, w)
+				}
+			}
+			utils := []float64{0.01, 0.2}
+			pr := cfg.Protocol
+			spec := solve.SweepSpec{
+				Base:     solve.Scenario{Name: "simval", J: 1000, O: paperO},
+				W:        ws,
+				Util:     utils,
+				Backends: []string{solve.BackendAnalytic, solve.BackendExact},
+				Seed:     cfg.Seed,
+				Protocol: &pr,
+			}
+			results, err := solve.Collect(context.Background(), spec)
+			if err != nil {
+				return Output{}, err
+			}
+			type key struct {
+				backend string
+				w       int
+				util    float64
+			}
+			byKey := make(map[key]solve.Report, len(results))
+			for _, res := range results {
+				if res.Err != nil {
+					return Output{}, fmt.Errorf("experiment: simval point %d: %w", res.Point.Index, res.Err)
+				}
+				s := res.Point.Scenario
+				byKey[key{res.Point.Backend, s.W, s.Util}] = res.Report
 			}
 			fig := plot.Figure{
 				ID:     "simval",
@@ -31,52 +67,33 @@ func simValidation() Definition {
 				XLabel: "Number of Processors",
 				YLabel: "Speedup",
 			}
-			var checks []Check
 			covered, points := 0, 0
-			seed := cfg.Seed
-			for _, util := range []float64{0.01, 0.2} {
+			for _, util := range utils {
 				ana := plot.Series{Name: fmt.Sprintf("analysis util=%g", util)}
 				simu := plot.Series{Name: fmt.Sprintf("simulation util=%g", util)}
-				for _, w := range cfg.ValidationWs {
-					p, err := core.ParamsFromUtilization(1000, w, paperO, util)
-					if err != nil {
-						return Output{}, err
-					}
-					if t := p.TaskDemand(); t != float64(int(t)) {
-						continue // exact simulator needs integral T
-					}
-					r, err := core.Analyze(p)
-					if err != nil {
-						return Output{}, err
-					}
-					x, err := sim.NewExact(p, seed)
-					if err != nil {
-						return Output{}, err
-					}
-					seed++
-					run, err := sim.RunExact(x, cfg.Protocol)
-					if err != nil {
-						return Output{}, err
+				for _, w := range ws {
+					a, okA := byKey[key{solve.BackendAnalytic, w, util}]
+					x, okX := byKey[key{solve.BackendExact, w, util}]
+					if !okA || !okX {
+						return Output{}, fmt.Errorf("experiment: simval missing grid point W=%d util=%g", w, util)
 					}
 					ana.X = append(ana.X, float64(w))
-					ana.Y = append(ana.Y, r.Speedup)
+					ana.Y = append(ana.Y, a.Speedup)
 					simu.X = append(simu.X, float64(w))
-					simu.Y = append(simu.Y, p.J/run.JobTime.Mean)
+					simu.Y = append(simu.Y, x.Speedup)
 					points++
 					// Widen by 3x to absorb expected CI misses across the
 					// sweep at the 90% level.
-					ci := run.JobTime
-					ci.HalfWidth *= 3
-					if ci.Contains(r.EJob) {
+					if x.EJobCI.Widen(2).Contains(a.EJob) {
 						covered++
 					}
 				}
 				fig.Series = append(fig.Series, ana, simu)
 			}
-			checks = append(checks, Check{
+			checks := []Check{{
 				Name:  "simulated points whose CI covers the analysis (fraction)",
 				Paper: 1.0, Got: float64(covered) / float64(points), AbsTol: 0.05,
-			})
+			}}
 			return Output{
 				Figure: &fig,
 				Checks: checks,

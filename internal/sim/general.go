@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"feasim/internal/des"
@@ -115,6 +116,12 @@ type GeneralStats struct {
 // Run simulates n measured job executions (after warmup) and returns the
 // samples plus observed statistics.
 func (g *General) Run(n int) (GeneralStats, error) {
+	return g.RunCtx(context.Background(), n)
+}
+
+// RunCtx is Run with cancellation: the event loop checks ctx periodically
+// and returns ctx.Err() once cancelled.
+func (g *General) RunCtx(ctx context.Context, n int) (GeneralStats, error) {
 	if n < 1 {
 		return GeneralStats{}, fmt.Errorf("sim: need at least one sample, got %d", n)
 	}
@@ -177,9 +184,18 @@ func (g *General) Run(n int) (GeneralStats, error) {
 		finished = true
 	})
 
-	for !finished && eng.Step() {
+	const ctxCheckEvery = 4096
+	for steps := 0; !finished && eng.Step(); steps++ {
+		if steps%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return GeneralStats{}, err
+			}
+		}
 	}
 	if !finished {
+		if err := ctx.Err(); err != nil {
+			return GeneralStats{}, err
+		}
 		return GeneralStats{}, fmt.Errorf("sim: engine drained before %d samples completed", n)
 	}
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"feasim/internal/core"
@@ -51,6 +52,12 @@ type RunResult struct {
 
 // RunExact applies the protocol to the exact simulator.
 func RunExact(x *Exact, pr Protocol) (RunResult, error) {
+	return RunExactCtx(context.Background(), x, pr)
+}
+
+// RunExactCtx is RunExact with cancellation: the sampling loop checks ctx
+// between batches and returns ctx.Err() on cancellation.
+func RunExactCtx(ctx context.Context, x *Exact, pr Protocol) (RunResult, error) {
 	if err := pr.Validate(); err != nil {
 		return RunResult{}, err
 	}
@@ -61,12 +68,18 @@ func RunExact(x *Exact, pr Protocol) (RunResult, error) {
 		job.Add(s.JobTime)
 		task.Add(s.MeanTask)
 	}
-	return drive(job, task, gen, pr)
+	return drive(ctx, job, task, gen, pr)
 }
 
 // RunGeneral applies the protocol to the general simulator. The engine runs
 // in slabs of one batch between precision checks.
 func RunGeneral(g *General, pr Protocol) (RunResult, error) {
+	return RunGeneralCtx(context.Background(), g, pr)
+}
+
+// RunGeneralCtx is RunGeneral with cancellation: the engine checks ctx
+// periodically while stepping and between precision attempts.
+func RunGeneralCtx(ctx context.Context, g *General, pr Protocol) (RunResult, error) {
 	if err := pr.Validate(); err != nil {
 		return RunResult{}, err
 	}
@@ -78,7 +91,7 @@ func RunGeneral(g *General, pr Protocol) (RunResult, error) {
 	// met.
 	n := pr.Batches * pr.BatchSize
 	for attempt := 0; ; attempt++ {
-		st, err := g.Run(n)
+		st, err := g.RunCtx(ctx, n)
 		if err != nil {
 			return RunResult{}, err
 		}
@@ -101,10 +114,15 @@ func RunGeneral(g *General, pr Protocol) (RunResult, error) {
 	}
 }
 
-func drive(job, task *stats.BatchMeans, gen func(), pr Protocol) (RunResult, error) {
+func drive(ctx context.Context, job, task *stats.BatchMeans, gen func(), pr Protocol) (RunResult, error) {
 	minSamples := int64(pr.Batches * pr.BatchSize)
 	for job.N() < minSamples {
-		gen()
+		if err := ctx.Err(); err != nil {
+			return RunResult{}, err
+		}
+		for i := 0; i < pr.BatchSize; i++ {
+			gen()
+		}
 	}
 	res, err := summarize(job, task, pr)
 	if err != nil {
@@ -112,6 +130,9 @@ func drive(job, task *stats.BatchMeans, gen func(), pr Protocol) (RunResult, err
 	}
 	if pr.MaxRel > 0 {
 		for !res.MetPrecision && job.N() < pr.MaxSamples {
+			if err := ctx.Err(); err != nil {
+				return RunResult{}, err
+			}
 			for i := 0; i < pr.BatchSize; i++ {
 				gen()
 			}

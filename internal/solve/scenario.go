@@ -1,0 +1,317 @@
+// Package solve is the unified entry point to the feasibility study: a
+// declarative, JSON-serializable Scenario describes the question ("this job,
+// this cluster, these owners — is stealing the idle cycles worth it?"), a
+// Solver answers it with one of the repository's three methods (exact
+// analysis, discrete-time simulation, discrete-event simulation), and the
+// Sweep engine fans a grid of scenarios across a context-cancellable worker
+// pool.
+//
+// The three backends adapt the existing layers:
+//
+//   - "analytic" wraps core.Analyze/Assess — the paper's equations (1)-(8).
+//   - "exact" wraps sim.Exact under the batch-means Protocol — the paper's
+//     CSIM validation study.
+//   - "des" wraps sim.General — the engine that drops the model's
+//     simplifying assumptions (wall-clock owner think times, arbitrary
+//     distributions, heterogeneous stations).
+//
+// All three answer the same Scenario, so callers can cross-validate methods
+// or trade precision for speed without restating the workload.
+package solve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"feasim/internal/core"
+	"feasim/internal/rng"
+	"feasim/internal/sim"
+)
+
+// StationSpec declares one (or Count identical) workstation owner workloads
+// by distribution spec strings (the rng.Parse syntax, e.g. "exp:90" or
+// "hyper:0.1,55,5"). Explicit stations are understood only by the DES
+// backend; the discrete model has no notion of per-station distributions.
+type StationSpec struct {
+	// OwnerThink is the wall-clock think time between owner bursts.
+	OwnerThink string `json:"owner_think"`
+	// OwnerDemand is the owner burst service demand.
+	OwnerDemand string `json:"owner_demand"`
+	// Count repeats this spec; 0 means 1.
+	Count int `json:"count,omitempty"`
+}
+
+func (ss StationSpec) count() int {
+	if ss.Count < 1 {
+		return 1
+	}
+	return ss.Count
+}
+
+// configs expands the spec into per-station simulator configurations.
+func (ss StationSpec) configs() ([]sim.StationConfig, error) {
+	think, err := rng.Parse(ss.OwnerThink)
+	if err != nil {
+		return nil, fmt.Errorf("solve: station owner_think: %w", err)
+	}
+	demand, err := rng.Parse(ss.OwnerDemand)
+	if err != nil {
+		return nil, fmt.Errorf("solve: station owner_demand: %w", err)
+	}
+	cfgs := make([]sim.StationConfig, ss.count())
+	for i := range cfgs {
+		cfgs[i] = sim.StationConfig{OwnerThink: think, OwnerDemand: demand}
+	}
+	return cfgs, nil
+}
+
+// Scenario is the declarative input shared by every Solver. It describes the
+// workload either in the paper's aggregate terms — total job demand J on W
+// workstations with owner bursts O at utilization Util (or request
+// probability P) — or, for the DES backend, as explicit per-station
+// distributions. The zero value is invalid; every field is JSON-stable so
+// scenarios round-trip through files untouched.
+type Scenario struct {
+	// Name labels the scenario in reports and sweep output.
+	Name string `json:"name,omitempty"`
+
+	// J is the total job demand in time units (the paper's J).
+	J float64 `json:"j,omitempty"`
+	// W is the number of workstations (= number of tasks).
+	W int `json:"w,omitempty"`
+	// O is the mean owner burst demand in time units.
+	O float64 `json:"o,omitempty"`
+	// Util is the owner utilization in [0,1); P is derived via equation (8).
+	// Exactly one of Util and P should be set (both zero means dedicated).
+	Util float64 `json:"util,omitempty"`
+	// P is the owner request probability per unit of task progress.
+	P float64 `json:"p,omitempty"`
+
+	// OwnerCV2 is the squared coefficient of variation of the owner burst
+	// demand. Zero or 1 keeps the paper's deterministic bursts; above 1 the
+	// DES backend draws bursts from a balanced hyperexponential with mean O.
+	// The analytic and exact backends see only the mean, so they are
+	// unaffected — which is exactly what a variance ablation measures.
+	OwnerCV2 float64 `json:"owner_cv2,omitempty"`
+
+	// Stations, when non-empty, replaces the aggregate owner description
+	// with explicit per-station distributions (DES backend only).
+	Stations []StationSpec `json:"stations,omitempty"`
+	// TaskDemand optionally overrides the per-task demand distribution as an
+	// rng.Parse spec; empty means the paper's Deterministic{J/W}.
+	TaskDemand string `json:"task_demand,omitempty"`
+
+	// Deadline, when positive, asks for P(job completes within Deadline).
+	Deadline float64 `json:"deadline,omitempty"`
+	// TargetEff, when positive, asks for a feasibility verdict against this
+	// weighted-efficiency target (the paper's bar is 0.8).
+	TargetEff float64 `json:"target_eff,omitempty"`
+
+	// Seed drives all stochastic backends. The sweep engine overrides it
+	// per grid point by splitting a root rng.Stream.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Explicit reports whether the scenario uses explicit per-station
+// distributions instead of the aggregate J/W/O/util description.
+func (s Scenario) Explicit() bool { return len(s.Stations) > 0 }
+
+// Validate checks the scenario for internal consistency.
+func (s Scenario) Validate() error {
+	if s.Explicit() {
+		total := 0
+		for i, ss := range s.Stations {
+			if ss.OwnerThink == "" || ss.OwnerDemand == "" {
+				return fmt.Errorf("solve: station %d needs owner_think and owner_demand specs", i)
+			}
+			if _, err := ss.configs(); err != nil {
+				return err
+			}
+			total += ss.count()
+		}
+		if s.W != 0 && s.W != total {
+			return fmt.Errorf("solve: w=%d disagrees with %d explicit stations", s.W, total)
+		}
+		if s.TaskDemand == "" && !(s.J > 0) {
+			return fmt.Errorf("solve: explicit scenario needs task_demand or j")
+		}
+	} else {
+		if _, err := s.Params(); err != nil {
+			return err
+		}
+		if !(s.O > 0) {
+			return fmt.Errorf("solve: owner burst demand o must be positive, got %v", s.O)
+		}
+	}
+	if s.Util != 0 && s.P != 0 {
+		return fmt.Errorf("solve: set util or p, not both")
+	}
+	if s.OwnerCV2 < 0 {
+		return fmt.Errorf("solve: owner_cv2 must be >= 0, got %v", s.OwnerCV2)
+	}
+	if s.Deadline < 0 {
+		return fmt.Errorf("solve: deadline must be >= 0, got %v", s.Deadline)
+	}
+	if s.TargetEff < 0 || s.TargetEff > 1 {
+		return fmt.Errorf("solve: target_eff must be in [0,1], got %v", s.TargetEff)
+	}
+	if s.TaskDemand != "" {
+		if _, err := rng.Parse(s.TaskDemand); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Params reduces an aggregate scenario to the discrete model's parameters.
+// Explicit-station scenarios are not reducible and return an error.
+func (s Scenario) Params() (core.Params, error) {
+	if s.Explicit() {
+		return core.Params{}, fmt.Errorf("solve: scenario %q uses explicit stations; the discrete model needs the aggregate J/W/O/util form", s.Name)
+	}
+	if s.P > 0 {
+		p := core.NewParams(s.J, s.W, s.O, s.P)
+		return p, p.Validate()
+	}
+	return core.ParamsFromUtilization(s.J, s.W, s.O, s.Util)
+}
+
+// StationCount returns the number of workstations, for either description
+// form.
+func (s Scenario) StationCount() int {
+	if !s.Explicit() {
+		return s.W
+	}
+	total := 0
+	for _, ss := range s.Stations {
+		total += ss.count()
+	}
+	return total
+}
+
+// GeneralConfig lowers the scenario onto the DES simulator.
+func (s Scenario) GeneralConfig() (sim.GeneralConfig, error) {
+	if err := s.Validate(); err != nil {
+		return sim.GeneralConfig{}, err
+	}
+	var cfg sim.GeneralConfig
+	cfg.Seed = s.Seed
+	if s.Explicit() {
+		for _, ss := range s.Stations {
+			sts, err := ss.configs()
+			if err != nil {
+				return sim.GeneralConfig{}, err
+			}
+			cfg.Stations = append(cfg.Stations, sts...)
+		}
+	} else {
+		p, err := s.Params()
+		if err != nil {
+			return sim.GeneralConfig{}, err
+		}
+		demand := rng.Dist(rng.Deterministic{V: s.O})
+		if s.OwnerCV2 > 1 {
+			demand = rng.BalancedHyperExp(s.O, s.OwnerCV2)
+		}
+		st := sim.StationConfig{OwnerThink: rng.Geometric{P: p.P}, OwnerDemand: demand}
+		for i := 0; i < s.W; i++ {
+			cfg.Stations = append(cfg.Stations, st)
+		}
+	}
+	switch {
+	case s.TaskDemand != "":
+		d, err := rng.Parse(s.TaskDemand)
+		if err != nil {
+			return sim.GeneralConfig{}, err
+		}
+		cfg.TaskDemand = d
+	case s.J > 0:
+		cfg.TaskDemand = rng.Deterministic{V: s.J / float64(s.StationCount())}
+	default:
+		return sim.GeneralConfig{}, fmt.Errorf("solve: scenario %q has no task demand", s.Name)
+	}
+	return cfg, nil
+}
+
+// TotalDemand is the job demand J: the aggregate field when present,
+// otherwise stations × mean task demand.
+func (s Scenario) TotalDemand() (float64, error) {
+	if s.J > 0 {
+		return s.J, nil
+	}
+	if s.TaskDemand == "" {
+		return 0, fmt.Errorf("solve: scenario %q has neither j nor task_demand", s.Name)
+	}
+	d, err := rng.Parse(s.TaskDemand)
+	if err != nil {
+		return 0, err
+	}
+	return d.Mean() * float64(s.StationCount()), nil
+}
+
+// Utilization is the owner utilization the weighted metrics divide by:
+// the configured aggregate value, or the mean across explicit stations.
+func (s Scenario) Utilization() (float64, error) {
+	if !s.Explicit() {
+		p, err := s.Params()
+		if err != nil {
+			return 0, err
+		}
+		return p.Utilization(), nil
+	}
+	cfg, err := s.GeneralConfig()
+	if err != nil {
+		return 0, err
+	}
+	return cfg.MeanUtilization(), nil
+}
+
+// WithSeed returns a copy of the scenario with the given seed.
+func (s Scenario) WithSeed(seed uint64) Scenario {
+	s.Seed = seed
+	return s
+}
+
+// analyticKey is the deduplication key for the sweep engine's analytic
+// cache: everything the analytic backend's answer depends on. Seed, Name and
+// OwnerCV2 are deliberately excluded — the exact analysis sees only the mean
+// owner demand, so grid points differing only in those fields share one
+// solve.
+func (s Scenario) analyticKey() (string, bool) {
+	p, err := s.Params()
+	if err != nil {
+		return "", false
+	}
+	if s.TaskDemand != "" {
+		return "", false // not the discrete model's workload
+	}
+	return fmt.Sprintf("J=%g|W=%d|O=%g|P=%g|dl=%g|tgt=%g",
+		p.J, p.W, p.O, p.P, s.Deadline, s.TargetEff), true
+}
+
+// ParseScenario decodes a scenario from JSON, rejecting unknown fields so
+// typos in hand-written files fail loudly.
+func ParseScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := unmarshalStrict(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("solve: bad scenario: %w", err)
+	}
+	return s, s.Validate()
+}
+
+// LoadScenario reads and decodes a scenario JSON file.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return ParseScenario(data)
+}
+
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

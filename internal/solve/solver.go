@@ -1,0 +1,306 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"feasim/internal/core"
+	"feasim/internal/sim"
+	"feasim/internal/stats"
+)
+
+// Backend names accepted by SolverFor and SweepSpec.Backends.
+const (
+	BackendAnalytic = "analytic"
+	BackendExact    = "exact"
+	BackendDES      = "des"
+)
+
+// Backends lists the backend names in canonical order.
+func Backends() []string { return []string{BackendAnalytic, BackendExact, BackendDES} }
+
+// Interval is a closed interval [Lo, Hi]. Simulation backends report one per
+// metric; the analytic backend leaves them zero (its answers are exact).
+// Unlike stats.CI it need not be symmetric around the point estimate, which
+// matters for metrics obtained by monotone transforms of the job time.
+type Interval struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Width is Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Zero reports whether the interval is the zero value (no CI available).
+func (iv Interval) Zero() bool { return iv.Lo == 0 && iv.Hi == 0 }
+
+// Widen returns the interval scaled about its midpoint by (1 + slack), the
+// same convention as sim.ValidateAgainstAnalysis.
+func (iv Interval) Widen(slack float64) Interval {
+	mid := (iv.Lo + iv.Hi) / 2
+	half := (iv.Hi - iv.Lo) / 2 * (1 + slack)
+	return Interval{Lo: mid - half, Hi: mid + half}
+}
+
+func intervalFromCI(ci stats.CI) Interval { return Interval{Lo: ci.Lo(), Hi: ci.Hi()} }
+
+// Report is the answer every backend returns for a Scenario. Point estimates
+// are always filled; confidence intervals and sample counts only by the
+// simulation backends (the analytic backend leaves them at the zero
+// Interval — test with Interval.Zero); the feasibility block only when the
+// scenario sets TargetEff; DeadlineProb only when it sets Deadline
+// (analytic backend).
+type Report struct {
+	Scenario Scenario `json:"scenario"`
+	Backend  string   `json:"backend"`
+
+	W int     `json:"w"`
+	U float64 `json:"u"` // owner utilization used by the weighted metrics
+
+	EJob               float64 `json:"e_job"`
+	ETask              float64 `json:"e_task"`
+	TaskRatio          float64 `json:"task_ratio,omitempty"`
+	Speedup            float64 `json:"speedup"`
+	Efficiency         float64 `json:"efficiency"`
+	WeightedEfficiency float64 `json:"weighted_efficiency"`
+
+	EJobCI  Interval `json:"e_job_ci"`
+	ETaskCI Interval `json:"e_task_ci"`
+	// WeffCI is the weighted-efficiency interval induced by EJobCI (weighted
+	// efficiency is a decreasing function of the job time, so the endpoints
+	// swap).
+	WeffCI       Interval `json:"weff_ci"`
+	Samples      int64    `json:"samples,omitempty"`
+	MetPrecision bool     `json:"met_precision,omitempty"`
+
+	// Feasible is non-nil when the scenario sets TargetEff.
+	Feasible *bool `json:"feasible,omitempty"`
+	// MinRatio and MinJobDemand are the analytic backend's prescription for
+	// an infeasible point: the threshold task ratio and the job demand that
+	// reaches it.
+	MinRatio     int     `json:"min_ratio,omitempty"`
+	MinJobDemand float64 `json:"min_job_demand,omitempty"`
+
+	// DeadlineProb is non-nil when the scenario sets Deadline and the
+	// backend can compute P(job time <= Deadline).
+	DeadlineProb *float64 `json:"deadline_prob,omitempty"`
+
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// Solver answers a Scenario. Implementations must honor ctx: a cancelled
+// context makes Solve return ctx.Err() promptly.
+type Solver interface {
+	// Name is the backend name ("analytic", "exact", "des").
+	Name() string
+	// Solve answers the scenario.
+	Solve(ctx context.Context, s Scenario) (Report, error)
+}
+
+// SolverFor builds the named backend. A zero protocol means
+// sim.DefaultProtocol() for the simulation backends.
+func SolverFor(name string, pr sim.Protocol) (Solver, error) {
+	switch name {
+	case BackendAnalytic:
+		return Analytic{}, nil
+	case BackendExact:
+		return ExactSim{Protocol: pr}, nil
+	case BackendDES:
+		return DES{Protocol: pr}, nil
+	default:
+		return nil, fmt.Errorf("solve: unknown backend %q (want %v)", name, Backends())
+	}
+}
+
+// protocolOrDefault resolves a zero protocol to the paper's.
+func protocolOrDefault(pr sim.Protocol) sim.Protocol {
+	if pr == (sim.Protocol{}) {
+		return sim.DefaultProtocol()
+	}
+	return pr
+}
+
+// weightedEff computes J/((1-u)·W·ejob), the weighted efficiency of
+// equation form used throughout Section 3.
+func weightedEff(j float64, w int, u, ejob float64) float64 {
+	if ejob <= 0 || u >= 1 {
+		return 0
+	}
+	return j / ((1 - u) * float64(w) * ejob)
+}
+
+// simReport assembles the common part of a simulation backend's report.
+func simReport(s Scenario, backend string, j float64, w int, u float64, run sim.RunResult) Report {
+	ejob := run.JobTime.Mean
+	r := Report{
+		Scenario:     s,
+		Backend:      backend,
+		W:            w,
+		U:            u,
+		EJob:         ejob,
+		ETask:        run.MeanTask.Mean,
+		EJobCI:       intervalFromCI(run.JobTime),
+		ETaskCI:      intervalFromCI(run.MeanTask),
+		Samples:      run.Samples,
+		MetPrecision: run.MetPrecision,
+	}
+	if s.O > 0 {
+		r.TaskRatio = j / float64(w) / s.O
+	}
+	if ejob > 0 {
+		r.Speedup = j / ejob
+		r.Efficiency = r.Speedup / float64(w)
+		r.WeightedEfficiency = weightedEff(j, w, u, ejob)
+		r.WeffCI = Interval{
+			Lo: weightedEff(j, w, u, run.JobTime.Hi()),
+			Hi: weightedEff(j, w, u, run.JobTime.Lo()),
+		}
+	}
+	if s.TargetEff > 0 {
+		ok := r.WeightedEfficiency >= s.TargetEff
+		r.Feasible = &ok
+	}
+	return r
+}
+
+// Analytic answers scenarios with the paper's exact discrete-time analysis
+// (equations (1)-(8)) plus the threshold solver and deadline distribution.
+type Analytic struct{}
+
+// Name implements Solver.
+func (Analytic) Name() string { return BackendAnalytic }
+
+// Solve implements Solver.
+func (Analytic) Solve(ctx context.Context, s Scenario) (Report, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Report{}, err
+	}
+	p, err := s.Params()
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := core.Analyze(p)
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{
+		Scenario:           s,
+		Backend:            BackendAnalytic,
+		W:                  p.W,
+		U:                  res.U,
+		EJob:               res.EJob,
+		ETask:              res.ETask,
+		TaskRatio:          res.Metrics.TaskRatio,
+		Speedup:            res.Speedup,
+		Efficiency:         res.Efficiency,
+		WeightedEfficiency: res.WeightedEfficiency,
+	}
+	if s.TargetEff > 0 {
+		v, err := core.Assess(p, s.TargetEff)
+		if err != nil {
+			return Report{}, err
+		}
+		r.Feasible = &v.Feasible
+		r.MinRatio = v.MinRatio
+		r.MinJobDemand = v.MinJobDemand
+	}
+	if s.Deadline > 0 {
+		prob, err := core.DeadlineProb(p, s.Deadline)
+		if err != nil {
+			return Report{}, err
+		}
+		r.DeadlineProb = &prob
+	}
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+// ExactSim answers scenarios with the discrete-time simulator of the
+// analyzed model under the batch-means protocol — the paper's validation
+// study as a backend.
+type ExactSim struct {
+	// Protocol is the output-analysis protocol; zero means the paper's.
+	Protocol sim.Protocol
+}
+
+// Name implements Solver.
+func (ExactSim) Name() string { return BackendExact }
+
+// Solve implements Solver.
+func (x ExactSim) Solve(ctx context.Context, s Scenario) (Report, error) {
+	start := time.Now()
+	if err := s.Validate(); err != nil {
+		return Report{}, err
+	}
+	p, err := s.Params()
+	if err != nil {
+		return Report{}, err
+	}
+	xs, err := sim.NewExact(p, s.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	run, err := sim.RunExactCtx(ctx, xs, protocolOrDefault(x.Protocol))
+	if err != nil {
+		return Report{}, err
+	}
+	r := simReport(s, BackendExact, p.J, p.W, p.Utilization(), run)
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+// DES answers scenarios with the discrete-event simulator: wall-clock owner
+// think times, arbitrary distributions (OwnerCV2, TaskDemand, explicit
+// stations) and heterogeneous machines.
+type DES struct {
+	// Protocol is the output-analysis protocol; zero means the paper's.
+	Protocol sim.Protocol
+	// Warmup is the number of discarded job executions that bring the owner
+	// processes to steady state; negative disables, zero means a default.
+	Warmup int
+}
+
+// DefaultDESWarmup is the warmup used when DES.Warmup is zero.
+const DefaultDESWarmup = 10
+
+// Name implements Solver.
+func (DES) Name() string { return BackendDES }
+
+// Solve implements Solver.
+func (d DES) Solve(ctx context.Context, s Scenario) (Report, error) {
+	start := time.Now()
+	cfg, err := s.GeneralConfig()
+	if err != nil {
+		return Report{}, err
+	}
+	switch {
+	case d.Warmup > 0:
+		cfg.WarmupJobs = d.Warmup
+	case d.Warmup == 0:
+		cfg.WarmupJobs = DefaultDESWarmup
+	}
+	g, err := sim.NewGeneral(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	run, err := sim.RunGeneralCtx(ctx, g, protocolOrDefault(d.Protocol))
+	if err != nil {
+		return Report{}, err
+	}
+	j, err := s.TotalDemand()
+	if err != nil {
+		return Report{}, err
+	}
+	u := cfg.MeanUtilization()
+	r := simReport(s, BackendDES, j, s.StationCount(), u, run)
+	r.Elapsed = time.Since(start)
+	return r, nil
+}

@@ -1,0 +1,320 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"feasim/internal/rng"
+	"feasim/internal/sim"
+)
+
+// SweepSpec declares a scenario grid: a base scenario plus per-axis value
+// lists. The grid is the cross product of every non-empty axis (an empty
+// axis contributes the base value), crossed with the backend list. The spec
+// is JSON-serializable so sweeps live in files next to scenarios.
+type SweepSpec struct {
+	// Base is the scenario every grid point starts from.
+	Base Scenario `json:"base"`
+
+	// W varies the workstation count.
+	W []int `json:"w,omitempty"`
+	// Util varies the owner utilization (clears any base P).
+	Util []float64 `json:"util,omitempty"`
+	// TaskRatio varies the task ratio T/O by setting J = ratio·O·W.
+	TaskRatio []float64 `json:"task_ratio,omitempty"`
+	// OwnerCV2 varies the owner burst demand's squared coefficient of
+	// variation (felt by the DES backend; the discrete model sees the mean).
+	OwnerCV2 []float64 `json:"owner_cv2,omitempty"`
+
+	// Backends lists the solvers to fan each point across; empty means
+	// analytic only.
+	Backends []string `json:"backends,omitempty"`
+
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Seed is the root of the deterministic per-point seed split.
+	Seed uint64 `json:"seed,omitempty"`
+	// Protocol overrides the simulation backends' output-analysis protocol.
+	Protocol *sim.Protocol `json:"protocol,omitempty"`
+	// Warmup overrides the DES backend's warmup job count.
+	Warmup int `json:"warmup,omitempty"`
+}
+
+// Point is one cell of the expanded grid.
+type Point struct {
+	// Index is the point's position in grid order; results stream in
+	// completion order and can be re-sorted by it.
+	Index    int      `json:"index"`
+	Backend  string   `json:"backend"`
+	Scenario Scenario `json:"scenario"`
+}
+
+// PointReport is one streamed sweep result: the point, its report or error,
+// and whether the report was served from the analytic cache.
+type PointReport struct {
+	Point  Point  `json:"point"`
+	Report Report `json:"report"`
+	// Err is non-nil when the point's solve failed; the sweep keeps going.
+	Err error `json:"-"`
+	// Error mirrors Err for JSON output.
+	Error string `json:"error,omitempty"`
+	// Cached marks analytic points deduplicated by the in-memory cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// backends resolves the backend list.
+func (sp SweepSpec) backends() []string {
+	if len(sp.Backends) == 0 {
+		return []string{BackendAnalytic}
+	}
+	return sp.Backends
+}
+
+// Points expands the grid in deterministic order and assigns each point a
+// seed split from the root stream, so a sweep's randomness is a pure
+// function of (spec, grid order) no matter how many workers run it or how
+// the scheduler interleaves them.
+func (sp SweepSpec) Points() ([]Point, error) {
+	for _, b := range sp.backends() {
+		if _, err := SolverFor(b, sim.Protocol{}); err != nil {
+			return nil, err
+		}
+	}
+	ws := sp.W
+	if len(ws) == 0 {
+		ws = []int{sp.Base.W}
+	}
+	utils := sp.Util
+	if len(utils) == 0 {
+		utils = []float64{-1} // sentinel: keep base util/p
+	}
+	ratios := sp.TaskRatio
+	if len(ratios) == 0 {
+		ratios = []float64{-1} // sentinel: keep base J
+	}
+	cv2s := sp.OwnerCV2
+	if len(cv2s) == 0 {
+		cv2s = []float64{-1} // sentinel: keep base owner_cv2
+	}
+	root := rng.NewStream(sp.Seed)
+	var pts []Point
+	for _, backend := range sp.backends() {
+		for _, w := range ws {
+			for _, util := range utils {
+				for _, ratio := range ratios {
+					for _, cv2 := range cv2s {
+						sc := sp.Base
+						sc.W = w
+						if util >= 0 {
+							sc.Util = util
+							sc.P = 0
+						}
+						if ratio >= 0 {
+							sc.J = ratio * sc.O * float64(w)
+						}
+						if cv2 >= 0 {
+							sc.OwnerCV2 = cv2
+						}
+						if sc.Name == "" {
+							sc.Name = fmt.Sprintf("point%04d", len(pts))
+						} else {
+							sc.Name = fmt.Sprintf("%s/point%04d", sp.Base.Name, len(pts))
+						}
+						i := len(pts)
+						sc.Seed = root.Split(uint64(i)).Uint64()
+						if err := sc.Validate(); err != nil {
+							return nil, fmt.Errorf("solve: grid point %d (%s): %w", i, backend, err)
+						}
+						pts = append(pts, Point{Index: i, Backend: backend, Scenario: sc})
+					}
+				}
+			}
+		}
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("solve: sweep expands to an empty grid")
+	}
+	return pts, nil
+}
+
+// analyticCache deduplicates repeated analytic grid points. The analytic
+// backend is deterministic, so points sharing an analyticKey (e.g. the same
+// J/W/O/P crossed with several OwnerCV2 values or seeds) are solved once.
+type analyticCache struct {
+	mu    sync.Mutex
+	byKey map[string]Report
+	hits  int
+}
+
+func newAnalyticCache() *analyticCache {
+	return &analyticCache{byKey: make(map[string]Report)}
+}
+
+// get returns a cached report for the scenario, if one exists.
+func (c *analyticCache) get(key string) (Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.byKey[key]
+	if ok {
+		c.hits++
+	}
+	return r, ok
+}
+
+func (c *analyticCache) put(key string, r Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byKey[key] = r
+}
+
+// Hits reports how many points were served from the cache.
+func (c *analyticCache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Sweep runs the expanded grid on a context-cancellable worker pool and
+// streams results over the returned channel in completion order. The
+// channel is closed once every point has been solved or the context is
+// cancelled; after cancellation no further results arrive. Errors on
+// individual points are reported in their PointReport and do not stop the
+// sweep.
+func Sweep(ctx context.Context, spec SweepSpec) (<-chan PointReport, error) {
+	pts, err := spec.Points()
+	if err != nil {
+		return nil, err
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	var pr sim.Protocol
+	if spec.Protocol != nil {
+		pr = *spec.Protocol
+	}
+	solvers := make(map[string]Solver)
+	for _, b := range spec.backends() {
+		s, err := SolverFor(b, pr)
+		if err != nil {
+			return nil, err
+		}
+		if d, ok := s.(DES); ok && spec.Warmup != 0 {
+			d.Warmup = spec.Warmup
+			s = d
+		}
+		solvers[b] = s
+	}
+	cache := newAnalyticCache()
+
+	in := make(chan Point)
+	out := make(chan PointReport, workers)
+	var wg sync.WaitGroup
+
+	// Feeder: stops handing out points as soon as the context is done.
+	go func() {
+		defer close(in)
+		for _, p := range pts {
+			select {
+			case <-ctx.Done():
+				return
+			case in <- p:
+			}
+		}
+	}()
+
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range in {
+				res := solvePoint(ctx, solvers[p.Backend], cache, p)
+				select {
+				case <-ctx.Done():
+					return
+				case out <- res:
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, nil
+}
+
+// solvePoint answers one grid point, consulting the analytic cache first.
+func solvePoint(ctx context.Context, solver Solver, cache *analyticCache, p Point) PointReport {
+	res := PointReport{Point: p}
+	key, cacheable := "", false
+	if p.Backend == BackendAnalytic {
+		key, cacheable = p.Scenario.analyticKey()
+	}
+	if cacheable {
+		if r, ok := cache.get(key); ok {
+			r.Scenario = p.Scenario // the cached solve may carry a sibling's name/seed
+			res.Report = r
+			res.Cached = true
+			return res
+		}
+	}
+	r, err := solver.Solve(ctx, p.Scenario)
+	if err != nil {
+		res.Err = err
+		res.Error = err.Error()
+		return res
+	}
+	res.Report = r
+	if cacheable {
+		cache.put(key, r)
+	}
+	return res
+}
+
+// Collect drains a sweep into a slice sorted by grid index. It returns
+// ctx.Err() when the sweep was cut short by cancellation, along with
+// whatever results completed before the cut.
+func Collect(ctx context.Context, spec SweepSpec) ([]PointReport, error) {
+	ch, err := Sweep(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	var results []PointReport
+	for r := range ch {
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Point.Index < results[j].Point.Index })
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// ParseSweep decodes a sweep spec from JSON, rejecting unknown fields.
+func ParseSweep(data []byte) (SweepSpec, error) {
+	var sp SweepSpec
+	if err := unmarshalStrict(data, &sp); err != nil {
+		return SweepSpec{}, fmt.Errorf("solve: bad sweep spec: %w", err)
+	}
+	if _, err := sp.Points(); err != nil {
+		return SweepSpec{}, err
+	}
+	return sp, nil
+}
+
+// LoadSweep reads and decodes a sweep spec JSON file.
+func LoadSweep(path string) (SweepSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SweepSpec{}, err
+	}
+	return ParseSweep(data)
+}

@@ -1,0 +1,109 @@
+package feasim_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"feasim"
+)
+
+// TestScenarioJSONRoundTrip marshals a fully populated scenario —
+// including per-station distribution specs in the rng.Parse syntax — and
+// requires the unmarshalled value to be deeply equal to the original.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	cases := []feasim.Scenario{
+		{
+			Name: "aggregate", J: 12000, W: 60, O: 10, Util: 0.05,
+			Deadline: 400, TargetEff: 0.8, Seed: 42,
+		},
+		{
+			Name: "aggregate-p", J: 1000, W: 10, O: 10, P: 0.01,
+			OwnerCV2: 16, Seed: 7,
+		},
+		{
+			Name: "explicit",
+			Stations: []feasim.StationSpec{
+				{OwnerThink: "exp:90", OwnerDemand: "hyper:0.1,55,5", Count: 8},
+				{OwnerThink: "geom:0.01", OwnerDemand: "det:10", Count: 4},
+			},
+			TaskDemand: "unif:50,150",
+			Seed:       11,
+		},
+	}
+	for _, want := range cases {
+		t.Run(want.Name, func(t *testing.T) {
+			if err := want.Validate(); err != nil {
+				t.Fatalf("fixture invalid: %v", err)
+			}
+			data, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := feasim.ParseScenario(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestScenarioGoldenFile loads the checked-in scenario, requires it to
+// survive a marshal/unmarshal cycle unchanged, and solves it analytically.
+func TestScenarioGoldenFile(t *testing.T) {
+	s, err := feasim.LoadScenario("testdata/scenario.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "paper-baseline" || s.J != 1000 || s.W != 10 || s.O != 10 {
+		t.Errorf("golden scenario fields changed: %+v", s)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := feasim.ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Errorf("golden scenario does not round trip:\n got %+v\nwant %+v", back, s)
+	}
+	rep, err := feasim.NewAnalyticSolver().Solve(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible == nil || rep.DeadlineProb == nil {
+		t.Fatal("golden scenario sets target_eff and deadline; report should answer both")
+	}
+	if *rep.DeadlineProb <= 0 || *rep.DeadlineProb > 1 {
+		t.Errorf("deadline probability out of range: %v", *rep.DeadlineProb)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		json string
+	}{
+		{"unknown field", `{"j": 100, "w": 10, "o": 10, "jitter": 3}`},
+		{"util and p", `{"j": 100, "w": 10, "o": 10, "util": 0.1, "p": 0.01}`},
+		{"negative deadline", `{"j": 100, "w": 10, "o": 10, "deadline": -1}`},
+		{"target out of range", `{"j": 100, "w": 10, "o": 10, "target_eff": 1.5}`},
+		{"zero owner demand", `{"j": 100, "w": 10, "util": 0.1}`},
+		{"bad dist spec", `{"j": 100, "w": 10, "o": 10, "task_demand": "wiggly:3"}`},
+		{"station count mismatch", `{"w": 3, "j": 100, "stations": [{"owner_think": "exp:90", "owner_demand": "det:10", "count": 2}]}`},
+		{"station missing demand", `{"j": 100, "stations": [{"owner_think": "exp:90"}]}`},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := feasim.ParseScenario([]byte(c.json)); err == nil {
+				t.Errorf("expected error for %s", c.json)
+			}
+		})
+	}
+}

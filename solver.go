@@ -1,0 +1,55 @@
+package feasim
+
+import (
+	"feasim/internal/solve"
+)
+
+// Solver answers a Scenario; implementations honor context cancellation.
+// The three backends are NewAnalyticSolver (the paper's equations),
+// NewExactSimSolver (the discrete-time validation simulator) and
+// NewDESSolver (the discrete-event engine with arbitrary distributions).
+type Solver = solve.Solver
+
+// Report is a Solver's answer: point estimates for the Section 3 metrics,
+// confidence intervals from the simulation backends, and the optional
+// feasibility verdict and deadline probability.
+type Report = solve.Report
+
+// Interval is a closed interval [Lo, Hi]; simulation Reports carry one per
+// metric.
+type Interval = solve.Interval
+
+// Backend names accepted by SolverByName and SweepSpec.Backends.
+const (
+	BackendAnalytic = solve.BackendAnalytic
+	BackendExact    = solve.BackendExact
+	BackendDES      = solve.BackendDES
+)
+
+// Backends lists the backend names in canonical order.
+func Backends() []string { return solve.Backends() }
+
+// NewAnalyticSolver answers scenarios with the paper's exact discrete-time
+// analysis (equations (1)-(8)), the threshold solver, and the deadline
+// distribution.
+func NewAnalyticSolver() Solver { return solve.Analytic{} }
+
+// NewExactSimSolver answers scenarios with the discrete-time simulator of
+// the analyzed model under the given batch-means protocol (zero value: the
+// paper's protocol).
+func NewExactSimSolver(pr Protocol) Solver { return solve.ExactSim{Protocol: pr} }
+
+// NewDESSolver answers scenarios with the discrete-event simulator:
+// wall-clock owner think times, arbitrary distributions and heterogeneous
+// stations. warmup < 0 disables warmup; 0 uses a small default.
+func NewDESSolver(pr Protocol, warmup int) Solver { return solve.DES{Protocol: pr, Warmup: warmup} }
+
+// SolverByName builds the named backend ("analytic", "exact", "des") with
+// the given protocol (ignored by the analytic backend).
+func SolverByName(name string, pr Protocol) (Solver, error) {
+	s, err := solve.SolverFor(name, pr)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,40 @@
+package feasim
+
+import (
+	"context"
+
+	"feasim/internal/solve"
+)
+
+// SweepSpec declares a scenario grid: a base Scenario plus axis value lists
+// (W, Util, TaskRatio, OwnerCV2) crossed with a backend list. See RunSweep.
+type SweepSpec = solve.SweepSpec
+
+// SweepPoint is one cell of an expanded sweep grid.
+type SweepPoint = solve.Point
+
+// SweepResult is one streamed sweep result: the point, its Report or error,
+// and whether it was served from the analytic deduplication cache.
+type SweepResult = solve.PointReport
+
+// RunSweep fans the expanded grid across a context-cancellable worker pool
+// (spec.Workers, default GOMAXPROCS) and streams results over the returned
+// channel as they complete. Per-point seeds are split deterministically from
+// spec.Seed, so results are reproducible regardless of worker count;
+// repeated analytic points are deduplicated through an in-memory cache.
+func RunSweep(ctx context.Context, spec SweepSpec) (<-chan SweepResult, error) {
+	return solve.Sweep(ctx, spec)
+}
+
+// CollectSweep drains RunSweep into a slice sorted by grid index. When ctx
+// is cancelled mid-sweep it returns the completed prefix along with
+// ctx.Err().
+func CollectSweep(ctx context.Context, spec SweepSpec) ([]SweepResult, error) {
+	return solve.Collect(ctx, spec)
+}
+
+// ParseSweep decodes a SweepSpec from JSON, rejecting unknown fields.
+func ParseSweep(data []byte) (SweepSpec, error) { return solve.ParseSweep(data) }
+
+// LoadSweep reads and decodes a sweep spec JSON file.
+func LoadSweep(path string) (SweepSpec, error) { return solve.LoadSweep(path) }

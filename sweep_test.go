@@ -1,0 +1,199 @@
+package feasim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"feasim"
+)
+
+// TestSweepDeterministicAcrossWorkerCounts runs the same grid on 1 and 4
+// workers and requires identical per-point results: seeds are split from
+// the root stream by grid index, not by worker scheduling.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	pr := feasim.Protocol{Batches: 5, BatchSize: 50, Level: 0.90}
+	spec := feasim.SweepSpec{
+		Base:      feasim.Scenario{J: 1000, W: 10, O: 10},
+		Util:      []float64{0.05, 0.1, 0.2},
+		TaskRatio: []float64{5, 10},
+		Backends:  []string{feasim.BackendAnalytic, feasim.BackendExact},
+		Seed:      2024,
+		Protocol:  &pr,
+	}
+	run := func(workers int) []feasim.SweepResult {
+		spec.Workers = workers
+		res, err := feasim.CollectSweep(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(4)
+	if len(serial) != 12 || len(parallel) != 12 {
+		t.Fatalf("grid sizes %d, %d; want 12 (2 backends x 3 utils x 2 ratios)", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Point.Index != b.Point.Index || a.Point.Backend != b.Point.Backend {
+			t.Fatalf("point %d: ordering mismatch", i)
+		}
+		if a.Report.Scenario.Seed != b.Report.Scenario.Seed {
+			t.Errorf("point %d: seeds differ across worker counts", i)
+		}
+		if a.Report.EJob != b.Report.EJob || a.Report.WeightedEfficiency != b.Report.WeightedEfficiency {
+			t.Errorf("point %d (%s): results differ across worker counts: %v vs %v",
+				i, a.Point.Backend, a.Report.EJob, b.Report.EJob)
+		}
+	}
+}
+
+// TestSweepCancelReturnsPromptly cancels a sweep of deliberately slow DES
+// points and requires CollectSweep to come back quickly with
+// context.Canceled.
+func TestSweepCancelReturnsPromptly(t *testing.T) {
+	pr := feasim.Protocol{Batches: 20, BatchSize: 1000, Level: 0.90}
+	spec := feasim.SweepSpec{
+		Base:     feasim.Scenario{J: 6000, W: 60, O: 10},
+		Util:     []float64{0.05, 0.1, 0.2, 0.3},
+		Backends: []string{feasim.BackendDES},
+		Workers:  2,
+		Protocol: &pr,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := feasim.CollectSweep(ctx, spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled sweep took %v to return", elapsed)
+	}
+}
+
+// TestSweepCancelMidFlight starts a long sweep, cancels after the first
+// result arrives, and requires the stream to close promptly.
+func TestSweepCancelMidFlight(t *testing.T) {
+	pr := feasim.Protocol{Batches: 20, BatchSize: 1000, Level: 0.90, MaxRel: 0.001, MaxSamples: 1 << 30}
+	spec := feasim.SweepSpec{
+		Base:     feasim.Scenario{J: 6000, W: 60, O: 10},
+		Util:     []float64{0.05, 0.1, 0.2, 0.3, 0.25, 0.15},
+		Backends: []string{feasim.BackendDES},
+		Workers:  2,
+		Protocol: &pr,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := feasim.RunSweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	start := time.Now()
+	for range ch {
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("sweep stream took %v to close after cancellation", elapsed)
+	}
+}
+
+// TestSweepDedupesRepeatedAnalyticPoints crosses the analytic backend with
+// an OwnerCV2 axis. The discrete model sees only the mean owner demand, so
+// the three grid points share one solve; two must come from the cache.
+func TestSweepDedupesRepeatedAnalyticPoints(t *testing.T) {
+	spec := feasim.SweepSpec{
+		Base:     feasim.Scenario{J: 1000, W: 10, O: 10, Util: 0.1},
+		OwnerCV2: []float64{1, 4, 16},
+		Backends: []string{feasim.BackendAnalytic},
+		Workers:  1, // serial so cache hits are deterministic
+		Seed:     5,
+	}
+	res, err := feasim.CollectSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	cached := 0
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("point %d: %v", r.Point.Index, r.Err)
+		}
+		if r.Cached {
+			cached++
+		}
+		if r.Report.EJob != res[0].Report.EJob {
+			t.Errorf("analytic answers should agree across OwnerCV2: %v vs %v",
+				r.Report.EJob, res[0].Report.EJob)
+		}
+	}
+	if cached != 2 {
+		t.Errorf("cache served %d points, want 2", cached)
+	}
+}
+
+// TestSweepTaskRatioAxis checks the J = ratio·O·W expansion.
+func TestSweepTaskRatioAxis(t *testing.T) {
+	spec := feasim.SweepSpec{
+		Base:      feasim.Scenario{W: 10, O: 10, Util: 0.1, J: 1},
+		W:         []int{10, 20},
+		TaskRatio: []float64{8, 13},
+		Seed:      1,
+	}
+	res, err := feasim.CollectSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	for _, r := range res {
+		s := r.Point.Scenario
+		wantJ := float64(s.W) * s.O * r.Report.TaskRatio
+		if s.J != wantJ {
+			t.Errorf("point %d: J=%g, want ratio·O·W=%g", r.Point.Index, s.J, wantJ)
+		}
+	}
+}
+
+// TestSweepGoldenFile loads the checked-in sweep spec and runs it.
+func TestSweepGoldenFile(t *testing.T) {
+	spec, err := feasim.LoadSweep("testdata/sweep.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := feasim.CollectSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 27 { // 3 backends x 3 utils x 3 ratios
+		t.Fatalf("got %d results, want 27", len(res))
+	}
+	backends := make(map[string]int)
+	for _, r := range res {
+		backends[r.Point.Backend]++
+	}
+	for _, b := range feasim.Backends() {
+		if backends[b] != 9 {
+			t.Errorf("backend %s answered %d points, want 9", b, backends[b])
+		}
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Errorf("point %d (%s): %v", r.Point.Index, r.Point.Backend, r.Err)
+		}
+	}
+}
+
+func TestSweepRejectsUnknownBackend(t *testing.T) {
+	spec := feasim.SweepSpec{
+		Base:     feasim.Scenario{J: 1000, W: 10, O: 10, Util: 0.1},
+		Backends: []string{"csim"},
+	}
+	if _, err := feasim.CollectSweep(context.Background(), spec); err == nil {
+		t.Error("unknown backend should fail the sweep up front")
+	}
+}
