@@ -1,0 +1,23 @@
+# Development targets. CI runs build/test blocking and bench non-blocking.
+
+.PHONY: all build test vet fmt bench
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# bench runs the core performance suite in-process and records the result
+# as BENCH_2.json (schema feasim-bench/1), the repository's performance
+# trajectory artifact.
+bench:
+	go run ./cmd/feasim bench -out BENCH_2.json

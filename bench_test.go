@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"feasim"
+	"feasim/internal/benchgrid"
 	"feasim/internal/core"
 	"feasim/internal/des"
 	"feasim/internal/experiment"
@@ -266,36 +267,38 @@ func BenchmarkBatchMeansAdd(b *testing.B) {
 	}
 }
 
-// BenchmarkSweep measures the parallel sweep engine on a 100-point
-// analytic grid (25 system sizes × 4 utilizations) at 1, 4 and 8 workers.
-// The per-point work is pure analysis — no simulation — so this isolates
-// the engine's fan-out, seed-splitting and channel overhead and shows how
-// the worker pool scales on a CPU-bound grid.
+// runSweepBench measures points/s for one canonical grid at one pool size.
+func runSweepBench(b *testing.B, spec feasim.SweepSpec, workers int) {
+	b.Helper()
+	spec.Workers = workers
+	for i := 0; i < b.N; i++ {
+		res, err := feasim.CollectSweep(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != benchgrid.Points {
+			b.Fatalf("got %d points, want %d", len(res), benchgrid.Points)
+		}
+	}
+	b.ReportMetric(float64(benchgrid.Points*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweep measures the parallel sweep engine on the canonical grids
+// of internal/benchgrid (shared with `feasim bench`, so BENCH_*.json tracks
+// the same workloads). The plain grid isolates the engine's fan-out,
+// seed-splitting and channel overhead; the fixedTP grid holds (T, P)
+// constant at T=10^5 so every point shares one binomial table per
+// utilization through the process-wide kernel memo — before the table
+// cache, each of those points rebuilt its own O(T) kernel.
 func BenchmarkSweep(b *testing.B) {
-	ws := make([]int, 0, 25)
-	for w := 4; w <= 100; w += 4 {
-		ws = append(ws, w)
-	}
-	spec := feasim.SweepSpec{
-		Base:     feasim.Scenario{Name: "bench", J: 10000, O: 10},
-		W:        ws,
-		Util:     []float64{0.01, 0.05, 0.1, 0.2},
-		Backends: []string{feasim.BackendAnalytic},
-		Seed:     1993,
-	}
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			spec.Workers = workers
-			for i := 0; i < b.N; i++ {
-				res, err := feasim.CollectSweep(context.Background(), spec)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if len(res) != 100 {
-					b.Fatalf("got %d points, want 100", len(res))
-				}
-			}
-			b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "points/s")
+			runSweepBench(b, benchgrid.AnalyticGrid(), workers)
+		})
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("fixedTP/workers=%d", workers), func(b *testing.B) {
+			runSweepBench(b, benchgrid.FixedTPGrid(), workers)
 		})
 	}
 }

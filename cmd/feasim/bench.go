@@ -1,0 +1,153 @@
+package main
+
+// The bench subcommand runs the repository's core performance benchmarks
+// in-process (via testing.Benchmark, no go toolchain needed at runtime) and
+// emits a machine-readable JSON report, so CI can track the performance
+// trajectory of the analytic kernel and the sweep engine across PRs.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"feasim"
+	"feasim/internal/benchgrid"
+	"feasim/internal/core"
+)
+
+// benchResult is one benchmark's measurements.
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchReport is the BENCH_*.json schema.
+type benchReport struct {
+	Schema     string        `json:"schema"`
+	Go         string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	CPUs       int           `json:"cpus"`
+	UnixTime   int64         `json:"unix_time"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// cmdBench runs the benchmark suite and writes the JSON report.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_2.json", "output JSON file")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
+	}
+
+	small, err := feasim.ParamsFromUtilization(1000, 100, 10, 0.1)
+	if err != nil {
+		return err
+	}
+	// The scaled-problem regime: T = 100k units per task (mirrors the test
+	// suite's BenchmarkAnalyzeLargeT).
+	large, err := feasim.ParamsFromUtilization(1e7, 100, 10, 0.1)
+	if err != nil {
+		return err
+	}
+	// The sweep grids are the canonical ones of internal/benchgrid, shared
+	// with the in-repo BenchmarkSweep so the tracked artifact and the test
+	// suite's benchmark measure the same workloads.
+	sweepPoints := func(spec feasim.SweepSpec) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := feasim.CollectSweep(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != benchgrid.Points {
+					b.Fatalf("got %d points, want %d", len(res), benchgrid.Points)
+				}
+			}
+			b.ReportMetric(float64(benchgrid.Points*b.N)/b.Elapsed().Seconds(), "points/s")
+		}
+	}
+
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"analyze_small", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := feasim.Analyze(small); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"analyze_large_t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := feasim.Analyze(large); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"binomial_table_build", func(b *testing.B) {
+			// A truly fresh (N, P) every iteration (P strictly increasing,
+			// never repeating), so every call takes the miss path: this
+			// measures build + memo insert, including the eviction the
+			// bounded cache pays under a stream of distinct keys.
+			for i := 0; i < b.N; i++ {
+				core.Tables(100000, 0.01+float64(i)*1e-12)
+			}
+		}},
+		{"sweep_analytic_grid", sweepPoints(benchgrid.AnalyticGrid())},
+		{"sweep_fixed_tp", sweepPoints(benchgrid.FixedTPGrid())},
+	}
+
+	rep := benchReport{
+		Schema:   "feasim-bench/1",
+		Go:       runtime.Version(),
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		UnixTime: time.Now().Unix(),
+	}
+	for _, bm := range suite {
+		r := testing.Benchmark(bm.fn)
+		br := benchResult{
+			Name:        bm.name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			br.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				br.Extra[k] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		fmt.Printf("%-22s %12.0f ns/op  %8d iters", bm.name, br.NsPerOp, br.Iters)
+		for k, v := range br.Extra {
+			fmt.Printf("  %.0f %s", v, k)
+		}
+		fmt.Println()
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -10,6 +10,7 @@
 //	threshold  minimum task ratio table (the paper's conclusions)
 //	scaled     memory-bounded scaleup sweep (Section 3.2)
 //	simulate   validate the analysis by simulation (Section 2.2)
+//	bench      run the core benchmarks and emit a JSON report
 //
 // Examples:
 //
@@ -57,6 +58,8 @@ func main() {
 		err = cmdScaled(os.Args[2:])
 	case "simulate":
 		err = cmdSimulate(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: feasim <run|sweep|analyze|assess|threshold|scaled|simulate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: feasim <run|sweep|analyze|assess|threshold|scaled|simulate|bench> [flags]
 run "feasim <subcommand> -h" for flags`)
 }
 

@@ -150,3 +150,11 @@ func TestCmdSimulate(t *testing.T) {
 		t.Error("non-integral T should error")
 	}
 }
+
+func TestCmdBenchRejectsArgs(t *testing.T) {
+	// The full bench run takes ~10s of wall clock; tests only cover the
+	// argument validation path.
+	if err := cmdBench([]string{"stray"}); err == nil {
+		t.Error("stray positional argument should error")
+	}
+}

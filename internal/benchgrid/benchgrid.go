@@ -1,0 +1,47 @@
+// Package benchgrid defines the canonical sweep workloads measured both by
+// the in-repo BenchmarkSweep and by `feasim bench` (BENCH_2.json). Keeping
+// one definition ensures the tracked performance artifact and the benchmark
+// the README/ROADMAP numbers cite measure the same grids.
+package benchgrid
+
+import "feasim/internal/solve"
+
+// Points is the size of each grid returned by this package.
+const Points = 100
+
+// ws is the 25-point workstation axis shared by both grids.
+func ws() []int {
+	out := make([]int, 0, 25)
+	for w := 4; w <= 100; w += 4 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// AnalyticGrid is the 100-point analytic sweep (25 system sizes × 4
+// utilizations at fixed J): per-point work varies with W, isolating the
+// engine's fan-out, seed-splitting and channel overhead.
+func AnalyticGrid() solve.SweepSpec {
+	return solve.SweepSpec{
+		Base:     solve.Scenario{Name: "bench", J: 10000, O: 10},
+		W:        ws(),
+		Util:     []float64{0.01, 0.05, 0.1, 0.2},
+		Backends: []string{solve.BackendAnalytic},
+		Seed:     1993,
+	}
+}
+
+// FixedTPGrid is the fixed-(T, P) W-sweep: the memory-bounded-scaleup shape
+// with a large per-task demand (T = 10^5 at every W). Every point shares
+// one binomial table per utilization through the process-wide kernel memo,
+// so this isolates the gain from cross-worker table sharing.
+func FixedTPGrid() solve.SweepSpec {
+	return solve.SweepSpec{
+		Base:      solve.Scenario{Name: "fixedtp", O: 10},
+		W:         ws(),
+		Util:      []float64{0.01, 0.05, 0.1, 0.2},
+		TaskRatio: []float64{10000}, // T = ratio·O = 1e5 at every W
+		Backends:  []string{solve.BackendAnalytic},
+		Seed:      1993,
+	}
+}

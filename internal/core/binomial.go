@@ -57,7 +57,10 @@ func (b Binomial) Variance() float64 { return float64(b.N) * b.P * (1 - b.P) }
 
 // LogPMF returns ln P(X = k), or -Inf outside the support. It is evaluated
 // in the log domain (via Lgamma) so that large T cannot underflow: the
-// scaled-problem ablations push T into the hundreds of thousands.
+// scaled-problem ablations push T into the hundreds of thousands. This is
+// the reference kernel: the fast path (tables.go) anchors one log-domain
+// evaluation at the mode and extends it by the ratio recurrence, and the
+// property tests pit the two against each other.
 func (b Binomial) LogPMF(k int) float64 {
 	if k < 0 || k > b.N {
 		return math.Inf(-1)
@@ -99,13 +102,14 @@ func (b Binomial) CDF(k int) float64 {
 	return sum
 }
 
-// PMFTable returns the full pmf over {0, ..., N}.
+// PMFTable returns the full pmf over {0, ..., N}, computed by the ratio
+// recurrence anchored at the mode (one Lgamma triple for the whole table
+// instead of three per entry). Entries whose true value is below the
+// smallest denormal underflow to 0, exactly as the log-domain reference
+// does. Callers that only need the mass window should use Tables instead —
+// the dense slice is inherently O(N).
 func (b Binomial) PMFTable() []float64 {
-	t := make([]float64, b.N+1)
-	for k := range t {
-		t[k] = b.PMF(k)
-	}
-	return t
+	return fullPMFTable(b.N, b.P)
 }
 
 // CDFTable returns S[0..N] with S[N] clamped to exactly 1, so that order
@@ -131,8 +135,9 @@ func (b Binomial) CDFTable() []float64 {
 //
 //	E[max] = Σ_{n=0}^{N-1} (1 − S[n]^w)
 //
-// which avoids the cancellation C[n]−C[n−1] entirely. The loop exits early
-// once the remaining tail is below 1e-18 per term.
+// which avoids the cancellation C[n]−C[n−1] entirely. It is served by the
+// shared (N, P)-memoized tables, so repeated calls at different w — a W-grid
+// sweep, a threshold bisection — pay for one table total.
 func (b Binomial) ExpectedMaxOfIID(w int) float64 {
 	if w < 1 {
 		panic("core: ExpectedMaxOfIID requires w >= 1")
@@ -143,39 +148,19 @@ func (b Binomial) ExpectedMaxOfIID(w int) float64 {
 	if b.P == 1 {
 		return float64(b.N)
 	}
-	s := b.CDFTable()
-	fw := float64(w)
-	var sum float64
-	for n := 0; n < b.N; n++ {
-		tail := 1 - math.Pow(s[n], fw)
-		// Once S[n] is essentially 1, (1−S[n]^w) ≈ w·(1−S[n]); if even that
-		// bound is negligible, all later terms are too (S is nondecreasing).
-		if tail < 1e-18 && fw*(1-s[n]) < 1e-18 {
-			break
-		}
-		sum += tail
-	}
-	return sum
+	return Tables(b.N, b.P).ExpectedMax(w)
 }
 
 // MaxPMFTable returns the paper's Max[W, n] for n in {0, ..., N}: the
 // probability that the busiest of w tasks suffers exactly n interruptions.
+// The dense slice is O(N); entries outside the tables' mass window are 0.
 func (b Binomial) MaxPMFTable(w int) []float64 {
 	if w < 1 {
 		panic("core: MaxPMFTable requires w >= 1")
 	}
-	s := b.CDFTable()
+	t := Tables(b.N, b.P)
 	out := make([]float64, b.N+1)
-	fw := float64(w)
-	prev := 0.0
-	for n := 0; n <= b.N; n++ {
-		c := math.Pow(s[n], fw)
-		out[n] = c - prev
-		if out[n] < 0 {
-			out[n] = 0
-		}
-		prev = c
-	}
+	copy(out[t.Lo:t.Hi+1], t.MaxPMFWindow(w))
 	return out
 }
 

@@ -103,8 +103,8 @@ func TaskTimeDistribution(p Params) (TimeDistribution, error) {
 	if p.O == 0 || p.P == 0 || n == 0 {
 		return TimeDistribution{Times: []float64{t}, Probs: []float64{1}}, nil
 	}
-	pmf := Binomial{N: n, P: p.P}.PMFTable()
-	return burstCountToTimes(t, p.O, pmf), nil
+	tb := Tables(n, p.P)
+	return burstCountToTimes(t, p.O, tb.Lo, tb.PMFWindow()), nil
 }
 
 // JobTimeDistribution returns the exact distribution of the job completion
@@ -119,13 +119,16 @@ func JobTimeDistribution(p Params) (TimeDistribution, error) {
 	if p.O == 0 || p.P == 0 || n == 0 {
 		return TimeDistribution{Times: []float64{t}, Probs: []float64{1}}, nil
 	}
-	pmf := Binomial{N: n, P: p.P}.MaxPMFTable(p.W)
-	return burstCountToTimes(t, p.O, pmf), nil
+	tb := Tables(n, p.P)
+	return burstCountToTimes(t, p.O, tb.Lo, tb.MaxPMFWindow(p.W)), nil
 }
 
-// burstCountToTimes maps a burst-count pmf onto completion times, trimming
-// the negligible tail so the tables stay compact.
-func burstCountToTimes(t, o float64, pmf []float64) TimeDistribution {
+// burstCountToTimes maps a burst-count pmf window (pmf[i] is the probability
+// of lo+i bursts) onto completion times, trimming the negligible top tail so
+// the tables stay compact. For large task demands the window is already the
+// O(√T) mass window, so the distribution never materializes the empty bulk
+// of the support.
+func burstCountToTimes(t, o float64, lo int, pmf []float64) TimeDistribution {
 	hi := len(pmf) - 1
 	for hi > 0 && pmf[hi] < 1e-15 {
 		hi--
@@ -136,7 +139,7 @@ func burstCountToTimes(t, o float64, pmf []float64) TimeDistribution {
 	}
 	var kept float64
 	for k := 0; k <= hi; k++ {
-		d.Times = append(d.Times, t+float64(k)*o)
+		d.Times = append(d.Times, t+float64(lo+k)*o)
 		d.Probs = append(d.Probs, pmf[k])
 		kept += pmf[k]
 	}
@@ -163,8 +166,11 @@ func DeadlineProb(p Params, deadline float64) (float64, error) {
 //	E[max] ≈ μ + σ·(a_W + γ/ln-term)    a_W = sqrt(2 ln W) - (ln ln W + ln 4π)/(2 sqrt(2 ln W))
 //
 // applied to the normal approximation of the binomial. It is O(1) instead
-// of O(T), which matters for very large scaled problems; accuracy is
-// benchmarked against the exact computation in BenchmarkAblationGumbel.
+// of O(√T): the extreme-value step needs only the closed-form moments N·P
+// and N·P·(1−P), so it deliberately does not touch the (N, P) table memo —
+// a pure-Gumbel sweep over many distinct points must not build (or evict)
+// kernel tables the exact paths are sharing. Accuracy is benchmarked
+// against the exact computation in BenchmarkAblationGumbel.
 func AnalyzeGumbel(p Params) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err

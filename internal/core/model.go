@@ -105,27 +105,15 @@ type Result struct {
 	Metrics
 }
 
-// Analyze evaluates the model at p.
+// Analyze evaluates the model at p. The order-statistic kernel is served by
+// the shared (N, P)-memoized tables (tables.go), so sweeps that revisit the
+// same task demand and request probability — a W-grid, a threshold
+// bisection — build each binomial table once.
 func Analyze(p Params) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	t := p.TaskDemand()
-	u := p.Utilization()
-	r := Result{Params: p, T: t, U: u}
-
-	n := p.trials()
-	bin := Binomial{N: n, P: p.P}
-	r.EBurstsPerTsk = bin.Mean()
-	r.ETask = t + p.O*bin.Mean()
-	if p.O == 0 || p.P == 0 || n == 0 {
-		r.EJob = t
-	} else {
-		r.EMaxBursts = bin.ExpectedMaxOfIID(p.W)
-		r.EJob = t + p.O*r.EMaxBursts
-	}
-	r.Metrics = metricsFor(p, u, r.EJob)
-	return r, nil
+	return analyzeWithTrials(p, p.trials())
 }
 
 // MustAnalyze is Analyze for known-good parameters; it panics on error.
@@ -229,13 +217,13 @@ func analyzeWithTrials(p Params, n int) (Result, error) {
 	t := p.TaskDemand()
 	u := p.Utilization()
 	r := Result{Params: p, T: t, U: u}
-	bin := Binomial{N: n, P: p.P}
-	r.EBurstsPerTsk = bin.Mean()
-	r.ETask = t + p.O*bin.Mean()
+	mean := float64(n) * p.P
+	r.EBurstsPerTsk = mean
+	r.ETask = t + p.O*mean
 	if p.O == 0 || p.P == 0 || n == 0 {
 		r.EJob = t
 	} else {
-		r.EMaxBursts = bin.ExpectedMaxOfIID(p.W)
+		r.EMaxBursts = Tables(n, p.P).ExpectedMax(p.W)
 		r.EJob = t + p.O*r.EMaxBursts
 	}
 	r.Metrics = metricsFor(p, u, r.EJob)

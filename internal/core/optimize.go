@@ -20,7 +20,15 @@ func MaxWorkstations(j, o, util, target float64, maxW int) (int, error) {
 	if !(target > 0) || target > 1 {
 		return 0, fmt.Errorf("core: target weighted efficiency must be in (0,1], got %v", target)
 	}
+	// Memoize evaluations within this search: the bracket endpoints can be
+	// revisited (eff(maxW) when the whole range is feasible). Each probe has
+	// its own T = J/W, so the process-wide table memo only helps across
+	// calls that repeat a W, not between probes.
+	memo := make(map[int]float64)
 	eff := func(w int) (float64, error) {
+		if e, ok := memo[w]; ok {
+			return e, nil
+		}
 		p, err := ParamsFromUtilization(j, w, o, util)
 		if err != nil {
 			return 0, err
@@ -29,6 +37,7 @@ func MaxWorkstations(j, o, util, target float64, maxW int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
+		memo[w] = r.WeightedEfficiency
 		return r.WeightedEfficiency, nil
 	}
 	// The discrete model needs T = J/W >= 1, which caps the usable system

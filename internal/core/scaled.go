@@ -25,7 +25,10 @@ type ScaledPoint struct {
 }
 
 // ScaledSweep evaluates the scaled problem at each system size in ws,
-// holding the per-task demand t and owner parameters fixed.
+// holding the per-task demand t and owner parameters fixed. Because (T, P)
+// are constant across the sweep, every point consumes the same memoized
+// binomial table (tables.go); only the O(window) order-statistic fold is
+// per-W work.
 func ScaledSweep(t, o, util float64, ws []int) ([]ScaledPoint, error) {
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("core: scaled sweep needs at least one system size")
@@ -36,9 +39,13 @@ func ScaledSweep(t, o, util float64, ws []int) ([]ScaledPoint, error) {
 	}
 	out := make([]ScaledPoint, 0, len(ws))
 	for _, w := range ws {
-		r, err := scaledAt(t, o, util, w)
-		if err != nil {
-			return nil, err
+		r := base // scaled sweeps usually include W=1: reuse the baseline solve
+		if w != 1 {
+			var err error
+			r, err = scaledAt(t, o, util, w)
+			if err != nil {
+				return nil, err
+			}
 		}
 		out = append(out, ScaledPoint{
 			W:                   w,

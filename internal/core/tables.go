@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// The analytic hot path: every quantity the model produces — E_t, E_j, the
+// completion-time distributions, deadline probabilities and the threshold
+// searches built on them — reduces to order statistics of Bin(N, P). The
+// original kernel rebuilt an O(N) pmf/cdf table with three Lgamma+Exp per
+// entry on every Analyze call, and rebuilt it per W even though the table
+// depends only on (N, P). BinomialTables replaces that with
+//
+//   - a single log-domain anchor at the mode (one Lgamma triple per table)
+//     extended by the multiplicative ratio recurrence
+//     pmf(k+1) = pmf(k) · (N−k)/(k+1) · P/(1−P),
+//   - truncation of the support to the mass window around N·P once N is
+//     large (the omitted tail is below tablesTailMass), turning O(N) work
+//     and memory into O(√N), and
+//   - a process-wide memo keyed by (N, P), shared by every consumer —
+//     Analyze, the distributions, the threshold/optimize/scaled searches and
+//     all sweep workers — so a W-grid or a bisection at fixed (T, P) pays
+//     for one table total.
+//
+// Tables are immutable after construction and therefore safe to share
+// across goroutines without locking; only the memo map itself is locked.
+
+const (
+	// tablesFullSupportMax is the largest N whose tables keep the exact full
+	// support {0..N}; beyond it the support is truncated to the mass window.
+	tablesFullSupportMax = 2048
+	// tablesTailEps stops the window extension: entries below it are
+	// excluded. The pmf decays at least geometrically past the stopping
+	// points (it is unimodal and already ≥8σ out), so the total omitted
+	// mass is below tablesTailMass.
+	tablesTailEps = 1e-18
+	// tablesTailMass bounds the probability mass outside [Lo, Hi].
+	tablesTailMass = 1e-15
+)
+
+// BinomialTables is the pmf/cdf of Bin(N, P) over the support window
+// [Lo, Hi]. Outside the window the pmf is treated as 0 and the cdf as 0
+// (below Lo) or 1 (above Hi); for N ≤ tablesFullSupportMax the window is the
+// full support and the tables are exact.
+type BinomialTables struct {
+	N  int
+	P  float64
+	Lo int // first supported burst count, inclusive
+	Hi int // last supported burst count, inclusive
+
+	pmf []float64 // pmf[k-Lo] = P(X = k)
+	cdf []float64 // cdf[k-Lo] = P(X <= k), clamped to [0, 1]
+	// tail[k-Lo] = P(X > k), accumulated from the top of the window
+	// downward. Near the upper tail this is far more accurate than 1−cdf:
+	// the bottom-up running sum floors at the table's total-mass rounding
+	// error (~1e-12), while the top-down sum keeps full relative precision
+	// of the tiny tail itself — exactly what the order-statistic fold
+	// (1 − S^w ≈ w·tail for S near 1) is sensitive to.
+	tail []float64
+}
+
+// Tables returns the (memoized) tables for Bin(n, p). The returned value is
+// shared and must not be modified.
+func Tables(n int, p float64) *BinomialTables {
+	key := tableKey{n: n, p: p}
+	tableCache.Lock()
+	if t, ok := tableCache.m[key]; ok {
+		tableCache.hits++
+		tableCache.Unlock()
+		return t
+	}
+	tableCache.misses++
+	tableCache.Unlock()
+
+	// Build outside the lock: tables are deterministic, so two goroutines
+	// racing on the same key waste one build, never correctness.
+	t := newBinomialTables(n, p)
+
+	tableCache.Lock()
+	if len(tableCache.m) >= tableCacheCap {
+		// Evict about half the entries; regeneration is cheap and the memo
+		// must not grow without bound under adversarial parameter streams.
+		drop := tableCacheCap / 2
+		for k := range tableCache.m {
+			if drop == 0 {
+				break
+			}
+			delete(tableCache.m, k)
+			drop--
+		}
+	}
+	tableCache.m[key] = t
+	tableCache.Unlock()
+	return t
+}
+
+type tableKey struct {
+	n int
+	p float64
+}
+
+const tableCacheCap = 128
+
+var tableCache = struct {
+	sync.Mutex
+	m      map[tableKey]*BinomialTables
+	hits   uint64
+	misses uint64
+}{m: make(map[tableKey]*BinomialTables)}
+
+// TablesCacheStats reports the cumulative hit/miss counts of the shared
+// table memo, for benchmarks and tests of cross-worker sharing.
+func TablesCacheStats() (hits, misses uint64) {
+	tableCache.Lock()
+	defer tableCache.Unlock()
+	return tableCache.hits, tableCache.misses
+}
+
+// pointMass reports whether Bin(n, p) is degenerate, and at which count.
+func pointMass(n int, p float64) (at int, ok bool) {
+	switch {
+	case n == 0 || p == 0:
+		return 0, true
+	case p == 1:
+		return n, true
+	}
+	return 0, false
+}
+
+// modeAnchor returns the mode of Bin(n, p) and the pmf there, evaluated in
+// the log domain — the single Lgamma triple each table is anchored on.
+func modeAnchor(n int, p float64) (mode int, pmfMode float64) {
+	mode = int(math.Floor(float64(n+1) * p))
+	if mode > n {
+		mode = n
+	}
+	return mode, math.Exp(Binomial{N: n, P: p}.LogPMF(mode))
+}
+
+// newBinomialTables builds the tables for Bin(n, p).
+func newBinomialTables(n int, p float64) *BinomialTables {
+	t := &BinomialTables{N: n, P: p}
+	if at, ok := pointMass(n, p); ok {
+		t.Lo, t.Hi = at, at
+		t.pmf = []float64{1}
+		t.cdf = []float64{1}
+		t.tail = []float64{0}
+		return t
+	}
+	mode, pmfMode := modeAnchor(n, p)
+
+	lo, hi := 0, n
+	if n > tablesFullSupportMax {
+		lo, hi = windowBounds(n, p, mode, pmfMode)
+	}
+	t.Lo, t.Hi = lo, hi
+	t.pmf = ratioPMF(n, p, lo, hi, mode, pmfMode)
+
+	// Renormalize: the log-domain anchor carries ~1 ulp of Lgamma error,
+	// which scales the whole table uniformly (the window misses at most
+	// tablesTailMass of true mass, far below the anchor error). Dividing by
+	// the summed mass removes that common factor, leaving only the tiny
+	// per-step recurrence drift.
+	var mass float64
+	for _, v := range t.pmf {
+		mass += v
+	}
+	for i := range t.pmf {
+		t.pmf[i] /= mass
+	}
+
+	t.cdf = make([]float64, len(t.pmf))
+	run := 0.0
+	for i, v := range t.pmf {
+		run += v
+		if run > 1 {
+			run = 1
+		}
+		t.cdf[i] = run
+	}
+	if hi == n {
+		// Full upper support: force S[N] = 1 exactly so order statistics
+		// built on the cdf are proper distributions.
+		t.cdf[len(t.cdf)-1] = 1
+	}
+	t.tail = make([]float64, len(t.pmf))
+	down := 0.0
+	for i := len(t.pmf) - 1; i >= 0; i-- {
+		t.tail[i] = down // P(X > Lo+i) excludes pmf[i] itself
+		down += t.pmf[i]
+		if down > 1 {
+			down = 1 // accumulation rounding must not push a tail above 1
+		}
+	}
+	return t
+}
+
+// windowBounds walks outward from the mode until the pmf drops below
+// tablesTailEps on each side, returning the truncated support.
+func windowBounds(n int, p float64, mode int, pmfMode float64) (lo, hi int) {
+	r := p / (1 - p)
+	hi = mode
+	for v := pmfMode; hi < n; {
+		v *= r * float64(n-hi) / float64(hi+1)
+		if v < tablesTailEps {
+			break
+		}
+		hi++
+	}
+	lo = mode
+	for v := pmfMode; lo > 0; {
+		v *= float64(lo) / (r * float64(n-lo+1))
+		if v < tablesTailEps {
+			break
+		}
+		lo--
+	}
+	return lo, hi
+}
+
+// ratioPMF fills pmf values for k in [lo, hi] by the two-sided ratio
+// recurrence anchored at the mode. mode must lie in [lo, hi].
+func ratioPMF(n int, p float64, lo, hi, mode int, pmfMode float64) []float64 {
+	out := make([]float64, hi-lo+1)
+	out[mode-lo] = pmfMode
+	r := p / (1 - p)
+	v := pmfMode
+	for k := mode; k < hi; k++ {
+		v *= r * float64(n-k) / float64(k+1)
+		out[k+1-lo] = v
+	}
+	v = pmfMode
+	for k := mode; k > lo; k-- {
+		v *= float64(k) / (r * float64(n-k+1))
+		out[k-1-lo] = v
+	}
+	return out
+}
+
+// fullPMFTable is the recurrence-based full-support table {0..N}, used by
+// the compatibility methods that promise a dense slice.
+func fullPMFTable(n int, p float64) []float64 {
+	if at, ok := pointMass(n, p); ok {
+		out := make([]float64, n+1)
+		out[at] = 1
+		return out
+	}
+	mode, pmfMode := modeAnchor(n, p)
+	return ratioPMF(n, p, 0, n, mode, pmfMode)
+}
+
+// Mean is N·P.
+func (t *BinomialTables) Mean() float64 { return float64(t.N) * t.P }
+
+// Variance is N·P·(1−P).
+func (t *BinomialTables) Variance() float64 { return float64(t.N) * t.P * (1 - t.P) }
+
+// PMF returns P(X = k); 0 outside the window.
+func (t *BinomialTables) PMF(k int) float64 {
+	if k < t.Lo || k > t.Hi {
+		return 0
+	}
+	return t.pmf[k-t.Lo]
+}
+
+// CDF returns P(X <= k): 0 below the window, 1 above it.
+func (t *BinomialTables) CDF(k int) float64 {
+	switch {
+	case k < t.Lo:
+		return 0
+	case k > t.Hi:
+		return 1
+	}
+	return t.cdf[k-t.Lo]
+}
+
+// PMFWindow returns the window pmf, aligned so slice index i holds
+// P(X = Lo+i). The slice is shared and must not be modified.
+func (t *BinomialTables) PMFWindow() []float64 { return t.pmf }
+
+// ExpectedMax returns E[max of w iid Bin(N, P)] by the tail-sum identity
+//
+//	E[max] = Σ_{n=0}^{N-1} (1 − S[n]^w).
+//
+// Terms below the window have S[n] ≈ 0 and contribute 1 each; terms above it
+// have S[n] ≈ 1 and contribute nothing. Each in-window term is evaluated as
+// −expm1(w·log1p(−tail[n])) on the top-down tail, which keeps full relative
+// precision where S ≈ 1 — computing 1 − S^w there floors at the table's
+// total-mass rounding error and, summed over the support, that floor is
+// exactly the regime a large-W order statistic amplifies.
+func (t *BinomialTables) ExpectedMax(w int) float64 {
+	if w < 1 {
+		panic("core: ExpectedMax requires w >= 1")
+	}
+	if t.N == 0 || t.P == 0 {
+		return 0
+	}
+	if t.P == 1 {
+		return float64(t.N)
+	}
+	fw := float64(w)
+	sum := float64(t.Lo)
+	hi := t.Hi
+	if hi > t.N-1 {
+		hi = t.N - 1
+	}
+	for n := t.Lo; n <= hi; n++ {
+		tau := t.tail[n-t.Lo]
+		// 1−S^w ≤ w·τ, and τ is nonincreasing: all later terms are
+		// negligible too.
+		if fw*tau < 1e-18 {
+			break
+		}
+		sum += -math.Expm1(fw * math.Log1p(-tau))
+	}
+	return sum
+}
+
+// MaxPMFWindow returns the paper's Max[W, n] — the probability that the
+// busiest of w tasks suffers exactly n interruptions — over the window,
+// aligned so slice index i holds Max[w, Lo+i]. The result is newly
+// allocated and owned by the caller.
+func (t *BinomialTables) MaxPMFWindow(w int) []float64 {
+	if w < 1 {
+		panic("core: MaxPMFWindow requires w >= 1")
+	}
+	fw := float64(w)
+	out := make([]float64, len(t.pmf))
+	prev := 0.0
+	for i, s := range t.cdf {
+		c := math.Pow(s, fw)
+		out[i] = c - prev
+		if out[i] < 0 {
+			out[i] = 0
+		}
+		prev = c
+	}
+	return out
+}

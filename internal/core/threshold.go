@@ -55,29 +55,42 @@ func (q ThresholdQuery) weightedEffAtRatio(r float64) (float64, error) {
 // efficiency is monotone nondecreasing in the task ratio (larger tasks
 // amortize each owner burst over more useful work), which the property tests
 // verify. maxRatio caps the search; if even maxRatio misses the target, an
-// error is returned.
+// error is returned. Each probe varies T (= ratio·O) at fixed P, so probes
+// within one search hit distinct (N, P) tables; the process-wide memo of
+// tables.go pays off across searches — repeated queries, ThresholdTable
+// rows at shared ratios, or a sweep running alongside.
 func (q ThresholdQuery) MinTaskRatio(maxRatio int) (int, error) {
+	ratio, _, err := q.minTaskRatioEff(maxRatio)
+	return ratio, err
+}
+
+// minTaskRatioEff is MinTaskRatio returning also the weighted efficiency
+// achieved at the returned ratio, so callers that report both (ThresholdTable,
+// Assess) do not re-solve the boundary point.
+func (q ThresholdQuery) minTaskRatioEff(maxRatio int) (int, float64, error) {
 	if err := q.Validate(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if maxRatio < 1 {
-		return 0, fmt.Errorf("core: maxRatio must be >= 1, got %d", maxRatio)
+		return 0, 0, fmt.Errorf("core: maxRatio must be >= 1, got %d", maxRatio)
 	}
 	if q.Util == 0 {
-		return 1, nil // dedicated system: any ratio achieves weighted eff 1
+		return 1, 1, nil // dedicated system: any ratio achieves weighted eff 1
 	}
 	// Exponential search for an upper bracket.
 	hi := 1
+	hiEff := 0.0
 	for {
 		eff, err := q.weightedEffAtRatio(float64(hi))
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if eff >= q.TargetWeightedEff {
+			hiEff = eff
 			break
 		}
 		if hi >= maxRatio {
-			return 0, fmt.Errorf("core: target weighted efficiency %.3f unreachable within task ratio %d (best %.4f)",
+			return 0, 0, fmt.Errorf("core: target weighted efficiency %.3f unreachable within task ratio %d (best %.4f)",
 				q.TargetWeightedEff, maxRatio, eff)
 		}
 		hi *= 2
@@ -87,21 +100,21 @@ func (q ThresholdQuery) MinTaskRatio(maxRatio int) (int, error) {
 	}
 	lo := hi / 2 // eff(lo) known < target when hi > 1
 	if hi == 1 {
-		return 1, nil
+		return 1, hiEff, nil
 	}
 	for lo+1 < hi {
 		mid := (lo + hi) / 2
 		eff, err := q.weightedEffAtRatio(float64(mid))
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if eff >= q.TargetWeightedEff {
-			hi = mid
+			hi, hiEff = mid, eff
 		} else {
 			lo = mid
 		}
 	}
-	return hi, nil
+	return hi, hiEff, nil
 }
 
 // ThresholdRow is one line of the conclusions table.
@@ -118,11 +131,7 @@ func ThresholdTable(w int, o, target float64, utils []float64) ([]ThresholdRow, 
 	rows := make([]ThresholdRow, 0, len(utils))
 	for _, u := range utils {
 		q := ThresholdQuery{W: w, O: o, Util: u, TargetWeightedEff: target}
-		ratio, err := q.MinTaskRatio(1 << 20)
-		if err != nil {
-			return nil, err
-		}
-		eff, err := q.weightedEffAtRatio(float64(ratio))
+		ratio, eff, err := q.minTaskRatioEff(1 << 20)
 		if err != nil {
 			return nil, err
 		}

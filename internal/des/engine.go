@@ -32,7 +32,11 @@ type Engine struct {
 	// control. Used only for misuse diagnostics.
 	running   *Proc
 	processed uint64
-	closed    bool
+	// pending counts scheduled, uncancelled, not-yet-executed events. It is
+	// maintained incrementally (push / pop / Cancel) so Pending is O(1)
+	// instead of an O(heap) scan.
+	pending int
+	closed  bool
 }
 
 // NewEngine creates an empty simulation.
@@ -50,30 +54,32 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of scheduled, uncancelled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return e.pending }
 
 // event is a calendar entry: either an engine-side callback (fn) or the
 // wake-up of a blocked process (proc).
 type event struct {
+	eng       *Engine
 	t         Time
 	seq       uint64
 	fn        func()
 	proc      *Proc
 	procSeq   uint64 // the blocking episode this wake belongs to
 	cancelled bool
+	popped    bool // executed or skipped; no longer counted as pending
 	index     int
 }
 
-// Cancel marks the event so it is skipped when its time comes.
-func (ev *event) Cancel() { ev.cancelled = true }
+// Cancel marks the event so it is skipped when its time comes. Cancelling an
+// event that already fired (or was already cancelled) is a no-op, so the
+// pending count never double-decrements.
+func (ev *event) Cancel() {
+	if ev.cancelled || ev.popped {
+		return
+	}
+	ev.cancelled = true
+	ev.eng.pending--
+}
 
 type eventHeap []*event
 
@@ -109,8 +115,9 @@ func (e *Engine) ScheduleFunc(t Time, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, e.now))
 	}
-	ev := &event{t: t, seq: e.seq, fn: fn}
+	ev := &event{eng: e, t: t, seq: e.seq, fn: fn}
 	e.seq++
+	e.pending++
 	heap.Push(&e.events, ev)
 	return ev
 }
@@ -120,8 +127,9 @@ func (e *Engine) scheduleWake(t Time, p *Proc) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, e.now))
 	}
-	ev := &event{t: t, seq: e.seq, proc: p, procSeq: p.blockSeq}
+	ev := &event{eng: e, t: t, seq: e.seq, proc: p, procSeq: p.blockSeq}
 	e.seq++
+	e.pending++
 	heap.Push(&e.events, ev)
 	return ev
 }
@@ -147,6 +155,7 @@ func (e *Engine) RunUntil(horizon Time) {
 	for e.events.Len() > 0 {
 		next := e.events[0]
 		if next.cancelled {
+			next.popped = true
 			heap.Pop(&e.events)
 			continue
 		}
@@ -154,6 +163,8 @@ func (e *Engine) RunUntil(horizon Time) {
 			break
 		}
 		heap.Pop(&e.events)
+		next.popped = true
+		e.pending--
 		e.now = next.t
 		e.processed++
 		if next.fn != nil {
@@ -180,8 +191,11 @@ func (e *Engine) Step() bool {
 	for e.events.Len() > 0 {
 		next := heap.Pop(&e.events).(*event)
 		if next.cancelled {
+			next.popped = true
 			continue
 		}
+		next.popped = true
+		e.pending--
 		e.now = next.t
 		e.processed++
 		if next.fn != nil {

@@ -272,3 +272,58 @@ func TestQuickRandomHoldsCompleteInOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestPendingLiveCounter(t *testing.T) {
+	// Pending is maintained incrementally; it must track the brute-force
+	// definition (scheduled, uncancelled, unexecuted) through schedule,
+	// cancel, double-cancel, cancel-after-fire and step.
+	e := NewEngine()
+	a := e.ScheduleFunc(1, func() {})
+	b := e.ScheduleFunc(2, func() {})
+	e.ScheduleFunc(3, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	b.Cancel()
+	b.Cancel() // idempotent
+	if e.Pending() != 2 {
+		t.Fatalf("after cancel: Pending = %d, want 2", e.Pending())
+	}
+	if !e.Step() { // fires a
+		t.Fatal("expected an event")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("after step: Pending = %d, want 1", e.Pending())
+	}
+	a.Cancel() // cancelling an already-fired event must not double-count
+	if e.Pending() != 1 {
+		t.Fatalf("after cancel-after-fire: Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("after drain: Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestPendingTracksTimeoutWakes(t *testing.T) {
+	// A timed receive schedules a timeout wake and cancels it when the
+	// message wins; the counter must survive that churn and end at zero.
+	e := NewEngine()
+	mb := e.NewMailbox("mb")
+	var got any
+	e.Spawn("recv", func(p *Proc) {
+		got, _ = mb.RecvTimeout(p, 50)
+	})
+	e.Spawn("send", func(p *Proc) {
+		p.Hold(5)
+		mb.Send(7)
+	})
+	e.Run()
+	if got != 7 {
+		t.Fatalf("got %v, want 7", got)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("after run: Pending = %d, want 0", e.Pending())
+	}
+	e.Close()
+}

@@ -125,45 +125,64 @@ func (g *General) RunCtx(ctx context.Context, n int) (GeneralStats, error) {
 	if n < 1 {
 		return GeneralStats{}, fmt.Errorf("sim: need at least one sample, got %d", n)
 	}
+	run := g.Start()
+	defer run.Close()
+	if err := run.Extend(ctx, n); err != nil {
+		return GeneralStats{}, err
+	}
+	return run.Stats(), nil
+}
+
+// GeneralRun is an in-progress general-model simulation that can be extended
+// incrementally: the owner processes and the job driver keep running between
+// Extend calls, so a precision-driven protocol (sim.RunGeneralCtx) grows the
+// sample set without discarding earlier work or breaking owner-process
+// continuity. Close must be called to release the engine's goroutines.
+type GeneralRun struct {
+	g       *General
+	eng     *des.Engine
+	servers []*des.PreemptiveServer
+	samples []JobSample
+}
+
+// Start spins up the engine: owner processes on every station and a driver
+// that executes jobs back-to-back indefinitely (discarding WarmupJobs first).
+// No simulated time elapses until the first Extend.
+func (g *General) Start() *GeneralRun {
 	w := len(g.cfg.Stations)
-	eng := des.NewEngine()
-	defer eng.Close()
+	r := &GeneralRun{g: g, eng: des.NewEngine()}
 
 	root := rng.NewStream(g.cfg.Seed)
 	taskStream := root.Split(0)
 
-	servers := make([]*des.PreemptiveServer, w)
-	for i := range servers {
-		servers[i] = eng.NewPreemptiveServer(fmt.Sprintf("ws%d", i))
+	r.servers = make([]*des.PreemptiveServer, w)
+	for i := range r.servers {
+		r.servers[i] = r.eng.NewPreemptiveServer(fmt.Sprintf("ws%d", i))
 	}
 
 	// Owner processes: run forever; Close unwinds them at the end.
 	for i, st := range g.cfg.Stations {
 		i, st := i, st
 		ostream := root.Split(uint64(1 + i))
-		eng.Spawn(fmt.Sprintf("owner%d", i), func(p *des.Proc) {
+		r.eng.Spawn(fmt.Sprintf("owner%d", i), func(p *des.Proc) {
 			for {
 				p.Hold(st.OwnerThink.Sample(ostream))
-				servers[i].Use(p, st.OwnerDemand.Sample(ostream), PrioOwner)
+				r.servers[i].Use(p, st.OwnerDemand.Sample(ostream), PrioOwner)
 			}
 		})
 	}
 
-	total := g.cfg.WarmupJobs + n
-	stats := GeneralStats{Samples: make([]JobSample, 0, n)}
-	doneMB := eng.NewMailbox("taskdone")
-	finished := false
-
-	eng.Spawn("driver", func(p *des.Proc) {
-		for job := 0; job < total; job++ {
+	doneMB := r.eng.NewMailbox("taskdone")
+	r.eng.Spawn("driver", func(p *des.Proc) {
+		for job := 0; ; job++ {
 			jobStart := p.Now()
 			var sumTask, maxTask float64
 			for t := 0; t < w; t++ {
 				t := t
 				demand := g.cfg.TaskDemand.Sample(taskStream)
-				eng.Spawn(fmt.Sprintf("task%d", t), func(tp *des.Proc) {
+				r.eng.Spawn(fmt.Sprintf("task%d", t), func(tp *des.Proc) {
 					start := tp.Now()
-					servers[t].Use(tp, demand, PrioTask)
+					r.servers[t].Use(tp, demand, PrioTask)
 					doneMB.Send(tp.Now() - start)
 				})
 			}
@@ -175,38 +194,57 @@ func (g *General) RunCtx(ctx context.Context, n int) (GeneralStats, error) {
 				}
 			}
 			if job >= g.cfg.WarmupJobs {
-				stats.Samples = append(stats.Samples, JobSample{
+				r.samples = append(r.samples, JobSample{
 					JobTime:  p.Now() - jobStart,
 					MeanTask: sumTask / float64(w),
 				})
 			}
 		}
-		finished = true
 	})
+	return r
+}
 
+// Extend steps the simulation until n more measured samples exist, checking
+// ctx periodically. Because the same seeded engine keeps running, the first
+// k samples of a run extended to m >= k are identical to a fresh run of k —
+// extension replays nothing and discards nothing.
+func (r *GeneralRun) Extend(ctx context.Context, n int) error {
+	if n < 1 {
+		return fmt.Errorf("sim: need at least one sample, got %d", n)
+	}
+	target := len(r.samples) + n
 	const ctxCheckEvery = 4096
-	for steps := 0; !finished && eng.Step(); steps++ {
+	for steps := 0; len(r.samples) < target; steps++ {
 		if steps%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
-				return GeneralStats{}, err
+				return err
 			}
 		}
-	}
-	if !finished {
-		if err := ctx.Err(); err != nil {
-			return GeneralStats{}, err
+		if !r.eng.Step() {
+			// Unreachable with a live driver, but fail loudly over spinning.
+			return fmt.Errorf("sim: engine drained before %d samples completed", target)
 		}
-		return GeneralStats{}, fmt.Errorf("sim: engine drained before %d samples completed", n)
 	}
+	return nil
+}
 
-	var busy, horizon float64
-	for _, s := range servers {
+// Samples returns all measured samples so far. The slice is owned by the run
+// and grows on Extend; callers must not modify it.
+func (r *GeneralRun) Samples() []JobSample { return r.samples }
+
+// Stats assembles the observed statistics over the whole run so far.
+func (r *GeneralRun) Stats() GeneralStats {
+	stats := GeneralStats{Samples: r.samples}
+	var busy float64
+	for _, s := range r.servers {
 		busy += s.BusyTime(PrioOwner)
 		stats.Preemptions += s.Preemptions()
 	}
-	horizon = eng.Now() * float64(w)
-	if horizon > 0 {
+	if horizon := r.eng.Now() * float64(len(r.servers)); horizon > 0 {
 		stats.ObservedUtil = busy / horizon
 	}
-	return stats, nil
+	return stats
 }
+
+// Close terminates the engine's processes. The run is unusable afterwards.
+func (r *GeneralRun) Close() { r.eng.Close() }

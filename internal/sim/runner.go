@@ -83,34 +83,43 @@ func RunGeneralCtx(ctx context.Context, g *General, pr Protocol) (RunResult, err
 	if err := pr.Validate(); err != nil {
 		return RunResult{}, err
 	}
-	// The general simulator produces samples in bulk; run the minimum
-	// sample count first, then extend in batch-size slabs as needed.
-	// Continuity of the owner processes between slabs is preserved by
-	// simulating all samples in a single Run whenever possible, so we
-	// estimate the total up front and retry with more if precision is not
-	// met.
-	n := pr.Batches * pr.BatchSize
-	for attempt := 0; ; attempt++ {
-		st, err := g.RunCtx(ctx, n)
-		if err != nil {
-			return RunResult{}, err
-		}
-		job := stats.NewBatchMeans(pr.BatchSize)
-		task := stats.NewBatchMeans(pr.BatchSize)
-		for _, s := range st.Samples {
+	// Precision-driven growth: run the protocol's minimum sample count,
+	// then — if the relative CI half-width target is missed — keep the same
+	// engine alive and extend the run, doubling the total each attempt.
+	// Earlier samples are carried forward into the batch-means accumulators,
+	// so nothing is re-simulated and owner-process continuity is preserved
+	// by construction (the owners never stop between slabs).
+	run := g.Start()
+	defer run.Close()
+	job := stats.NewBatchMeans(pr.BatchSize)
+	task := stats.NewBatchMeans(pr.BatchSize)
+	fed := 0
+	feed := func() {
+		for _, s := range run.Samples()[fed:] {
 			job.Add(s.JobTime)
 			task.Add(s.MeanTask)
 		}
+		fed = len(run.Samples())
+	}
+	total := pr.Batches * pr.BatchSize
+	if err := run.Extend(ctx, total); err != nil {
+		return RunResult{}, err
+	}
+	for attempt := 0; ; attempt++ {
+		feed()
 		res, err := summarize(job, task, pr)
 		if err != nil {
 			return RunResult{}, err
 		}
-		res.ObservedUtil = st.ObservedUtil
+		res.ObservedUtil = run.Stats().ObservedUtil
 		if res.MetPrecision || pr.MaxRel <= 0 ||
-			int64(2*n) > pr.MaxSamples || attempt >= 6 {
+			int64(2*total) > pr.MaxSamples || attempt >= 6 {
 			return res, nil
 		}
-		n *= 2
+		if err := run.Extend(ctx, total); err != nil { // double the total
+			return RunResult{}, err
+		}
+		total *= 2
 	}
 }
 

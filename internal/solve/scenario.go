@@ -275,20 +275,31 @@ func (s Scenario) WithSeed(seed uint64) Scenario {
 }
 
 // analyticKey is the deduplication key for the sweep engine's analytic
-// cache: everything the analytic backend's answer depends on. Seed, Name and
-// OwnerCV2 are deliberately excluded — the exact analysis sees only the mean
-// owner demand, so grid points differing only in those fields share one
-// solve.
-func (s Scenario) analyticKey() (string, bool) {
+// cache: everything the analytic backend's answer depends on, as a plain
+// comparable struct so dense grids pay no per-point formatting or
+// allocation. Seed, Name and OwnerCV2 are deliberately excluded — the exact
+// analysis sees only the mean owner demand, so grid points differing only in
+// those fields share one solve.
+type analyticKey struct {
+	j        float64
+	w        int
+	o        float64
+	p        float64
+	deadline float64
+	target   float64
+}
+
+// analyticCacheKey builds the dedup key; ok is false when the scenario is
+// outside the discrete model (explicit stations, custom task demand).
+func (s Scenario) analyticCacheKey() (analyticKey, bool) {
 	p, err := s.Params()
 	if err != nil {
-		return "", false
+		return analyticKey{}, false
 	}
 	if s.TaskDemand != "" {
-		return "", false // not the discrete model's workload
+		return analyticKey{}, false // not the discrete model's workload
 	}
-	return fmt.Sprintf("J=%g|W=%d|O=%g|P=%g|dl=%g|tgt=%g",
-		p.J, p.W, p.O, p.P, s.Deadline, s.TargetEff), true
+	return analyticKey{j: p.J, w: p.W, o: p.O, p: p.P, deadline: s.Deadline, target: s.TargetEff}, true
 }
 
 // ParseScenario decodes a scenario from JSON, rejecting unknown fields so

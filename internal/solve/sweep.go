@@ -144,18 +144,23 @@ func (sp SweepSpec) Points() ([]Point, error) {
 // analyticCache deduplicates repeated analytic grid points. The analytic
 // backend is deterministic, so points sharing an analyticKey (e.g. the same
 // J/W/O/P crossed with several OwnerCV2 values or seeds) are solved once.
+// The key is a comparable struct, so a dense grid pays one map probe per
+// point with no marshalling allocations. Points that are not exact repeats
+// still share work one layer down: the binomial tables are memoized by
+// (N, P) process-wide (core.Tables), so all workers of a sweep — and
+// concurrent sweeps — reuse each other's kernel builds.
 type analyticCache struct {
 	mu    sync.Mutex
-	byKey map[string]Report
+	byKey map[analyticKey]Report
 	hits  int
 }
 
 func newAnalyticCache() *analyticCache {
-	return &analyticCache{byKey: make(map[string]Report)}
+	return &analyticCache{byKey: make(map[analyticKey]Report)}
 }
 
 // get returns a cached report for the scenario, if one exists.
-func (c *analyticCache) get(key string) (Report, bool) {
+func (c *analyticCache) get(key analyticKey) (Report, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r, ok := c.byKey[key]
@@ -165,7 +170,7 @@ func (c *analyticCache) get(key string) (Report, bool) {
 	return r, ok
 }
 
-func (c *analyticCache) put(key string, r Report) {
+func (c *analyticCache) put(key analyticKey, r Report) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.byKey[key] = r
@@ -254,9 +259,9 @@ func Sweep(ctx context.Context, spec SweepSpec) (<-chan PointReport, error) {
 // solvePoint answers one grid point, consulting the analytic cache first.
 func solvePoint(ctx context.Context, solver Solver, cache *analyticCache, p Point) PointReport {
 	res := PointReport{Point: p}
-	key, cacheable := "", false
+	key, cacheable := analyticKey{}, false
 	if p.Backend == BackendAnalytic {
-		key, cacheable = p.Scenario.analyticKey()
+		key, cacheable = p.Scenario.analyticCacheKey()
 	}
 	if cacheable {
 		if r, ok := cache.get(key); ok {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"feasim"
+	"feasim/internal/core"
 )
 
 // TestSweepDeterministicAcrossWorkerCounts runs the same grid on 1 and 4
@@ -195,5 +196,53 @@ func TestSweepRejectsUnknownBackend(t *testing.T) {
 	}
 	if _, err := feasim.CollectSweep(context.Background(), spec); err == nil {
 		t.Error("unknown backend should fail the sweep up front")
+	}
+}
+
+// TestSweepFixedTPSharesKernelTables runs a W-grid at a fixed task demand
+// and owner probability — the memory-bounded-scaleup shape — across many
+// workers, and asserts the process-wide binomial table memo absorbed the
+// kernel work: every point after the first per (T, P) must hit the cache,
+// no matter which worker solves it.
+func TestSweepFixedTPSharesKernelTables(t *testing.T) {
+	ws := make([]int, 0, 40)
+	for w := 2; w <= 80; w += 2 {
+		ws = append(ws, w)
+	}
+	utils := []float64{0.05, 0.2}
+	spec := feasim.SweepSpec{
+		Base:      feasim.Scenario{Name: "fixedtp", O: 10},
+		W:         ws,
+		Util:      utils,
+		TaskRatio: []float64{300}, // T = 3000 fixed: J = ratio·O·W tracks W
+		Backends:  []string{feasim.BackendAnalytic},
+		Workers:   8,
+		Seed:      1,
+	}
+	hits0, misses0 := core.TablesCacheStats()
+	res, err := feasim.CollectSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ws) * len(utils); len(res) != want {
+		t.Fatalf("got %d points, want %d", len(res), want)
+	}
+	// Tables builds outside the cache lock, so workers racing on a cold key
+	// may each count one benign duplicate miss: the bound per (T, P) pair is
+	// the worker count, not 1. What must not happen is per-point rebuilding.
+	hits1, misses1 := core.TablesCacheStats()
+	maxBuilds := uint64(len(utils) * spec.Workers)
+	builds := misses1 - misses0
+	if builds > maxBuilds {
+		t.Errorf("%d table builds for %d distinct (T, P) pairs on %d workers (max %d): points are not sharing the memo",
+			builds, len(utils), spec.Workers, maxBuilds)
+	}
+	if got, min := hits1-hits0, uint64(len(res))-builds; got < min {
+		t.Errorf("only %d table-cache hits, want >= %d", got, min)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("point %d failed: %v", r.Point.Index, r.Err)
+		}
 	}
 }
