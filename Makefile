@@ -1,6 +1,7 @@
-# Development targets. CI runs build/test blocking and bench non-blocking.
+# Development targets. CI runs build/test/race blocking and bench
+# non-blocking.
 
-.PHONY: all build test vet fmt bench
+.PHONY: all build test race vet fmt bench
 
 all: build test
 
@@ -10,14 +11,18 @@ build:
 test:
 	go test ./...
 
+race:
+	go test -race ./...
+
 vet:
 	go vet ./...
 
 fmt:
 	gofmt -l -w .
 
-# bench runs the core performance suite in-process and records the result
-# as BENCH_2.json (schema feasim-bench/1), the repository's performance
+# bench runs the core performance suite in-process — including the typed
+# query path (threshold bisections/s) — and records the result as
+# BENCH_3.json (schema feasim-bench/1), the repository's performance
 # trajectory artifact.
 bench:
-	go run ./cmd/feasim bench -out BENCH_2.json
+	go run ./cmd/feasim bench -out BENCH_3.json

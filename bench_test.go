@@ -303,6 +303,34 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryThresholdSweep measures the typed query path on the
+// canonical threshold grid of internal/benchgrid (shared with `feasim
+// bench`, so BENCH_3.json tracks the same workload): 40 analytic threshold
+// bisections per op, reported as full searches per second.
+func BenchmarkQueryThresholdSweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := benchgrid.ThresholdGrid()
+			spec.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := feasim.CollectQuerySweep(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != benchgrid.ThresholdPoints {
+					b.Fatalf("got %d points, want %d", len(res), benchgrid.ThresholdPoints)
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(benchgrid.ThresholdPoints*b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
 // ---- Ablation benchmarks (DESIGN.md §6) ----
 
 // BenchmarkAblationOwnerVariance quantifies the paper's optimism point 2:

@@ -44,7 +44,7 @@ type benchReport struct {
 // cmdBench runs the benchmark suite and writes the JSON report.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_2.json", "output JSON file")
+	out := fs.String("out", "BENCH_3.json", "output JSON file")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
@@ -107,6 +107,26 @@ func cmdBench(args []string) error {
 		}},
 		{"sweep_analytic_grid", sweepPoints(benchgrid.AnalyticGrid())},
 		{"sweep_fixed_tp", sweepPoints(benchgrid.FixedTPGrid())},
+		// The typed query path: a grid of analytic threshold bisections
+		// (points/s = full searches per second, not single solves).
+		{"query_threshold_grid", func(b *testing.B) {
+			spec := benchgrid.ThresholdGrid()
+			for i := 0; i < b.N; i++ {
+				res, err := feasim.CollectQuerySweep(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != benchgrid.ThresholdPoints {
+					b.Fatalf("got %d points, want %d", len(res), benchgrid.ThresholdPoints)
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(benchgrid.ThresholdPoints*b.N)/b.Elapsed().Seconds(), "points/s")
+		}},
 	}
 
 	rep := benchReport{

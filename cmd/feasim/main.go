@@ -3,19 +3,28 @@
 //
 // Subcommands:
 //
+//	query      answer a typed query envelope ({"kind": ...} JSON) with any
+//	           capable backend: report, threshold, partition, distribution,
+//	           scaled
 //	run        answer a scenario JSON file with any or all solver backends
+//	           (the "report" query kind as a convenience form)
 //	sweep      fan a scenario grid across a parallel worker pool
 //	analyze    evaluate the model at one parameter point
 //	assess     feasibility verdict against a weighted-efficiency target
-//	threshold  minimum task ratio table (the paper's conclusions)
-//	scaled     memory-bounded scaleup sweep (Section 3.2)
+//	threshold  minimum task ratio table (superseded by `query` with
+//	           {"kind": "threshold"})
+//	scaled     memory-bounded scaleup sweep (superseded by `query` with
+//	           {"kind": "scaled"})
 //	simulate   validate the analysis by simulation (Section 2.2)
 //	bench      run the core benchmarks and emit a JSON report
 //
 // Examples:
 //
+//	feasim query testdata/query_threshold.json
+//	feasim query -backend exact -protocol 10,500 testdata/query_threshold.json
+//	feasim query -backend all -json testdata/query_distribution.json
 //	feasim run testdata/scenario.json
-//	feasim run -backend des -timeout 30s scenario.json
+//	feasim run -backend des -warmup 20 -timeout 30s scenario.json
 //	feasim sweep -workers 8 -json sweep.json
 //	feasim analyze -j 1000 -w 100 -o 10 -util 0.05
 //	feasim assess -j 600 -w 60 -o 10 -util 0.2 -target 0.8
@@ -44,6 +53,8 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "query":
+		err = cmdQuery(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "sweep":
@@ -74,8 +85,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: feasim <run|sweep|analyze|assess|threshold|scaled|simulate|bench> [flags]
-run "feasim <subcommand> -h" for flags`)
+	fmt.Fprintln(os.Stderr, `usage: feasim <query|run|sweep|analyze|assess|threshold|scaled|simulate|bench> [flags]
+
+query answers a typed query envelope file — {"kind": "report"|"threshold"|
+"partition"|"distribution"|"scaled", ...} — with any capable backend; run and
+sweep answer scenario files (the "report" kind). Run "feasim <subcommand> -h"
+for flags.`)
 }
 
 // solveContext builds the run/sweep context, honoring an optional timeout.
@@ -114,6 +129,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	backend := fs.String("backend", "all", `solver backend: analytic, exact, des, or "all"`)
 	protocol := fs.String("protocol", "", "simulation protocol as batches,batchsize (default: the paper's 20,1000)")
+	warmup := fs.Int("warmup", 0, "DES warmup job count (0 = default, negative disables)")
 	timeout := fs.Duration("timeout", 0, "overall deadline for the solve (0 = none)")
 	asJSON := fs.Bool("json", false, "emit reports as JSON")
 	fs.Parse(args)
@@ -135,7 +151,7 @@ func cmdRun(args []string) error {
 	ctx, cancel := solveContext(*timeout)
 	defer cancel()
 	for _, name := range backends {
-		solver, err := feasim.SolverByName(name, pr)
+		solver, err := feasim.NewSolver(name, feasim.SolverOptions{Protocol: pr, Warmup: *warmup})
 		if err != nil {
 			return err
 		}

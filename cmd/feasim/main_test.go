@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -31,6 +33,32 @@ func writeFile(t *testing.T, name, content string) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// captureStdout runs f and returns everything it printed to stdout.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
 }
 
 const testScenario = `{"name":"t","j":1000,"w":10,"o":10,"util":0.05,"target_eff":0.8,"seed":7}`
@@ -91,6 +119,79 @@ func TestCmdSweep(t *testing.T) {
 		`{"base": {"j": 1000, "w": 7, "o": 10, "util": 0.05}, "backends": ["exact"]}`)
 	if err := cmdSweep([]string{failing}); err == nil {
 		t.Error("sweep with failed points should error")
+	}
+}
+
+// TestCmdQueryGoldens answers every query kind's checked-in envelope with
+// the (deterministic) analytic backend and compares the rendered text
+// against the golden files. Regenerate with:
+//
+//	go run ./cmd/feasim query cmd/feasim/testdata/query_<kind>.json \
+//	    > cmd/feasim/testdata/query_<kind>.golden
+func TestCmdQueryGoldens(t *testing.T) {
+	for _, kind := range []string{"report", "threshold", "partition", "distribution", "scaled"} {
+		t.Run(kind, func(t *testing.T) {
+			in := filepath.Join("testdata", "query_"+kind+".json")
+			out := captureStdout(t, func() error { return cmdQuery([]string{in}) })
+			want, err := os.ReadFile(filepath.Join("testdata", "query_"+kind+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != string(want) {
+				t.Errorf("golden mismatch for %s:\n--- got ---\n%s--- want ---\n%s", kind, out, want)
+			}
+		})
+	}
+}
+
+func TestCmdQuery(t *testing.T) {
+	discardStdout(t)
+	// The exact backend answers thresholds empirically by bisection; a small
+	// protocol keeps it fast.
+	path := filepath.Join("testdata", "query_threshold.json")
+	if err := cmdQuery([]string{"-backend", "exact", "-protocol", "5,100", path}); err != nil {
+		t.Fatal(err)
+	}
+	// JSON emission on the analytic backend.
+	if err := cmdQuery([]string{"-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	// -backend all must skip incapable backends, not fail: scaled is
+	// analytic-only.
+	scaled := filepath.Join("testdata", "query_scaled.json")
+	if err := cmdQuery([]string{"-backend", "all", scaled}); err != nil {
+		t.Fatal(err)
+	}
+	// A single incapable backend is an error.
+	if err := cmdQuery([]string{"-backend", "des", scaled}); err == nil {
+		t.Error("des backend on a scaled query should error")
+	}
+	if err := cmdQuery([]string{"-backend", "csim", path}); err == nil {
+		t.Error("unknown backend should error")
+	}
+	if err := cmdQuery([]string{}); err == nil {
+		t.Error("missing envelope file should error")
+	}
+	// Unknown kind and unknown fields must fail loudly.
+	badKind := writeFile(t, "badkind.json", `{"kind": "optimise", "w": 10}`)
+	if err := cmdQuery([]string{badKind}); err == nil {
+		t.Error("unknown query kind should error")
+	}
+	badField := writeFile(t, "badfield.json", `{"kind": "threshold", "w": 10, "o": 10, "util": 0.1, "target_eff": 0.8, "wiggle": 1}`)
+	if err := cmdQuery([]string{badField}); err == nil {
+		t.Error("unknown envelope field should error")
+	}
+	noKind := writeFile(t, "nokind.json", `{"w": 10, "o": 10}`)
+	if err := cmdQuery([]string{noKind}); err == nil {
+		t.Error("missing kind should error")
+	}
+}
+
+func TestCmdRunWarmupFlag(t *testing.T) {
+	discardStdout(t)
+	path := writeFile(t, "scenario.json", testScenario)
+	if err := cmdRun([]string{"-backend", "des", "-warmup", "5", "-protocol", "5,100", path}); err != nil {
+		t.Fatal(err)
 	}
 }
 

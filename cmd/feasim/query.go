@@ -1,0 +1,124 @@
+package main
+
+// The query subcommand answers a typed query envelope file — any of the
+// paper's question kinds ("report", "threshold", "partition",
+// "distribution", "scaled") — with any capable backend.
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+
+	"feasim"
+)
+
+// cmdQuery answers one query envelope file with the selected backend(s).
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	backend := fs.String("backend", "analytic", `solver backend: analytic, exact, des, or "all" (every capable backend)`)
+	protocol := fs.String("protocol", "", "simulation protocol as batches,batchsize (default: the paper's 20,1000)")
+	warmup := fs.Int("warmup", 0, "DES warmup job count (0 = default, negative disables)")
+	timeout := fs.Duration("timeout", 0, "overall deadline for the solve (0 = none)")
+	asJSON := fs.Bool("json", false, "emit answers as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query: want exactly one query envelope JSON file, got %d args", fs.NArg())
+	}
+	q, err := feasim.LoadQuery(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pr, err := parseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+	all := *backend == "all"
+	backends := []string{*backend}
+	if all {
+		backends = feasim.Backends()
+	}
+	ctx, cancel := solveContext(*timeout)
+	defer cancel()
+	for _, name := range backends {
+		solver, err := feasim.NewSolver(name, feasim.SolverOptions{Protocol: pr, Warmup: *warmup})
+		if err != nil {
+			return err
+		}
+		a, err := solver.Answer(ctx, q)
+		if errors.Is(err, feasim.ErrUnsupported) && all {
+			fmt.Printf("%s: skipped (%q queries unsupported)\n", name, q.Kind())
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if *asJSON {
+			data, err := json.MarshalIndent(struct {
+				Kind   string        `json:"kind"`
+				Answer feasim.Answer `json:"answer"`
+			}{a.Kind(), a}, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+		} else {
+			printAnswer(a)
+		}
+	}
+	return nil
+}
+
+// printAnswer renders one typed answer as aligned text.
+func printAnswer(a feasim.Answer) {
+	switch t := a.(type) {
+	case feasim.ReportAnswer:
+		printReport(t.Report)
+	case feasim.ThresholdAnswer:
+		fmt.Printf("threshold [%s]\n", t.Backend)
+		fmt.Printf("  min task ratio         %12d\n", t.MinRatio)
+		fmt.Printf("  min job demand         %12.0f\n", t.MinJobDemand)
+		fmt.Printf("  achieved weff          %12.4f\n", t.AchievedWeff)
+		if !t.WeffCI.Zero() {
+			fmt.Printf("  weff CI at boundary    [%.4f, %.4f]\n", t.WeffCI.Lo, t.WeffCI.Hi)
+		}
+		if t.Probes > 0 {
+			fmt.Printf("  bisection probes       %12d (%d simulated jobs)\n", t.Probes, t.Samples)
+		}
+	case feasim.PartitionAnswer:
+		fmt.Printf("partition [%s]\n", t.Backend)
+		fmt.Printf("  workstations           %12d\n", t.W)
+		if t.Probes > 0 {
+			fmt.Printf("  bisection probes       %12d (%d simulated jobs)\n", t.Probes, t.Samples)
+		}
+		printReport(t.Report)
+	case feasim.DistributionAnswer:
+		name := t.Scenario.Name
+		if name == "" {
+			name = "scenario"
+		}
+		fmt.Printf("distribution [%s] %s\n", t.Backend, name)
+		fmt.Printf("  mean job time          %12.4f\n", t.Mean)
+		fmt.Printf("  std dev                %12.4f\n", t.StdDev)
+		for _, qv := range t.Quantiles {
+			fmt.Printf("  q%-5.3g                 %12.4f\n", qv.Q*100, qv.Time)
+		}
+		for _, dv := range t.Deadlines {
+			fmt.Printf("  P(done by %-9.4g)   %12.6f\n", dv.Deadline, dv.Prob)
+		}
+		if t.Samples > 0 {
+			fmt.Printf("  samples                %12d\n", t.Samples)
+		}
+	case feasim.ScaledAnswer:
+		fmt.Printf("scaled [%s]\n", t.Backend)
+		fmt.Printf("  %-6s %-12s %-14s %-14s %s\n", "W", "E[job]", "vs dedicated", "vs W=1", "weff")
+		for _, pt := range t.Points {
+			fmt.Printf("  %-6d %-12.3f %-14s %-14s %.4f\n", pt.W, pt.EJob,
+				fmt.Sprintf("%+.1f%%", pt.IncreaseVsDedicated*100),
+				fmt.Sprintf("%+.1f%%", pt.IncreaseVsSingle*100),
+				pt.WeightedEff)
+		}
+	default:
+		fmt.Printf("%#v\n", a)
+	}
+}

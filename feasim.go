@@ -9,25 +9,35 @@
 // answer — and this library's central metric — is the task ratio: the
 // per-task demand divided by the mean owner burst demand.
 //
-// # Unified Scenario/Solver API
+// # Typed Query/Answer API
 //
 // The recommended entry point is declarative: describe the question once as
-// a Scenario (JSON-serializable), then ask any backend to answer it —
-// NewAnalyticSolver (the paper's equations), NewExactSimSolver (the
-// discrete-time validation simulator), or NewDESSolver (the discrete-event
-// engine that drops the model's simplifying assumptions). RunSweep fans a
-// scenario grid across a context-cancellable worker pool with deterministic
-// per-point seeding.
+// a typed Query (serialized through the JSON envelope {"kind": ...}), then
+// ask any capable backend to answer it — NewAnalyticSolver (the paper's
+// equations), NewExactSimSolver (the discrete-time validation simulator),
+// or NewDESSolver (the discrete-event engine that drops the model's
+// simplifying assumptions). The kinds cover the paper's whole question
+// family: "report" (the Section 3 metrics), "threshold" (the
+// conclusions-table minimum task ratio), "partition" (cluster
+// right-sizing), "distribution" (deadline quantiles), "scaled"
+// (memory-bounded scaleup). Solver.Capabilities lists what a backend
+// answers; Solve remains the ReportQuery shorthand. RunSweep and
+// RunQuerySweep fan grids across a context-cancellable worker pool with
+// deterministic per-point seeding.
 //
 //	s := feasim.Scenario{J: 12000, W: 60, O: 10, Util: 0.05, TargetEff: 0.8}
 //	rep, _ := feasim.NewAnalyticSolver().Solve(ctx, s)
 //	fmt.Printf("task ratio %.0f → weighted efficiency %.2f\n",
 //	    rep.TaskRatio, rep.WeightedEfficiency)
 //
+//	a, _ := feasim.NewDESSolver(feasim.DefaultProtocol(), 10).Answer(ctx,
+//	    feasim.ThresholdQuery{W: 60, O: 10, Util: 0.1, TargetEff: 0.8})
+//	fmt.Printf("empirical min task ratio %d\n", a.(feasim.ThresholdAnswer).MinRatio)
+//
 // # Layers
 //
-//   - Scenario/Solver/Sweep (Scenario, Solver, Report, RunSweep): the
-//     declarative facade over every layer below.
+//   - Query/Answer/Solver/Sweep (Query, Scenario, Solver, Report, RunSweep,
+//     RunQuerySweep): the declarative facade over every layer below.
 //   - The analytical model (Analyze, Assess, ThresholdTable, ScaledSweep):
 //     exact discrete-time results from the paper's equations (1)-(8).
 //   - Simulation (NewExactSimulator, NewGeneralSimulator, RunExact,
@@ -71,9 +81,11 @@ type Metrics = core.Metrics
 // Binomial is the owner-interruption count distribution Bin(T, P).
 type Binomial = core.Binomial
 
-// ThresholdQuery asks for the task ratio needed to reach a target weighted
-// efficiency.
-type ThresholdQuery = core.ThresholdQuery
+// AnalyticThresholdQuery is the flat analytic threshold solver.
+//
+// Superseded by ThresholdQuery answered through Solver.Answer, which adds
+// empirical (simulation-backed) thresholds and the JSON envelope.
+type AnalyticThresholdQuery = core.ThresholdQuery
 
 // ThresholdRow is one line of the conclusions table.
 type ThresholdRow = core.ThresholdRow
@@ -102,11 +114,17 @@ func Assess(p Params, targetWeightedEff float64) (FeasibilityVerdict, error) {
 
 // ThresholdTable reproduces the conclusions table: minimum task ratio for a
 // target weighted efficiency at each utilization.
+//
+// Superseded by ThresholdQuery via Solver.Answer (one query per
+// utilization, any capable backend); kept for the flat analytic table.
 func ThresholdTable(w int, o, target float64, utils []float64) ([]ThresholdRow, error) {
 	return core.ThresholdTable(w, o, target, utils)
 }
 
 // ScaledSweep analyzes memory-bounded scaleup (J = T·W) across system sizes.
+//
+// Superseded by ScaledQuery via Solver.Answer, which returns the curve in
+// the JSON envelope form.
 func ScaledSweep(t, o, util float64, ws []int) ([]ScaledPoint, error) {
 	return core.ScaledSweep(t, o, util, ws)
 }
@@ -135,12 +153,18 @@ func AnalyzeGumbel(p Params) (Result, error) { return core.AnalyzeGumbel(p) }
 
 // MaxWorkstations returns the largest system size at which a fixed job
 // still meets the weighted-efficiency target.
+//
+// Superseded by PartitionQuery via Solver.Answer, which adds empirical
+// (DES-backed) right-sizing and the JSON envelope.
 func MaxWorkstations(j, o, util, target float64, maxW int) (int, error) {
 	return core.MaxWorkstations(j, o, util, target, maxW)
 }
 
 // PlanPartition right-sizes a fixed job: the largest W meeting the target,
 // with the model output at that size.
+//
+// Superseded by PartitionQuery via Solver.Answer; kept for the flat
+// analytic plan.
 func PlanPartition(j, o, util, target float64, maxW int) (PartitionPlan, error) {
 	return core.PlanPartition(j, o, util, target, maxW)
 }

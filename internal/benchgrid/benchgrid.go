@@ -1,7 +1,7 @@
 // Package benchgrid defines the canonical sweep workloads measured both by
-// the in-repo BenchmarkSweep and by `feasim bench` (BENCH_2.json). Keeping
-// one definition ensures the tracked performance artifact and the benchmark
-// the README/ROADMAP numbers cite measure the same grids.
+// the in-repo benchmarks and by `feasim bench` (BENCH_3.json). Keeping one
+// definition ensures the tracked performance artifact and the benchmark the
+// README/ROADMAP numbers cite measure the same grids.
 package benchgrid
 
 import "feasim/internal/solve"
@@ -43,5 +43,28 @@ func FixedTPGrid() solve.SweepSpec {
 		TaskRatio: []float64{10000}, // T = ratio·O = 1e5 at every W
 		Backends:  []string{solve.BackendAnalytic},
 		Seed:      1993,
+	}
+}
+
+// ThresholdPoints is the size of the threshold query grid.
+const ThresholdPoints = 40
+
+// ThresholdGrid is the query-path workload: 40 analytic threshold
+// bisections (20 utilizations × 2 system sizes, the conclusions-table
+// question at each point). Each grid point runs a full
+// exponential-plus-binary search, so points/s here measures the typed query
+// path end to end — envelope-free dispatch, the bisection driver, and the
+// kernel memo that the probes of every search share.
+func ThresholdGrid() solve.QuerySweepSpec {
+	utils := make([]float64, 0, 20)
+	for u := 0.01; u <= 0.20+1e-9; u += 0.01 {
+		utils = append(utils, u)
+	}
+	return solve.QuerySweepSpec{
+		Base:     solve.ThresholdQuery{O: 10, TargetEff: 0.8},
+		W:        []int{20, 60},
+		Util:     utils,
+		Backends: []string{solve.BackendAnalytic},
+		Seed:     1993,
 	}
 }

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"feasim/internal/cluster"
 	"feasim/internal/core"
 	"feasim/internal/plot"
+	"feasim/internal/solve"
 )
 
 const paperO = 10.0 // owner burst demand used throughout the paper
@@ -291,7 +293,7 @@ func figure09() Definition {
 	return Definition{
 		ID:       "fig09",
 		Paper:    "Figure 9: Effect of Scaling Problem",
-		Workload: "memory-bounded scaleup: T=100 fixed, J=100*W, O=10, W=1..100, owner utilization in {1,5,10,20}%",
+		Workload: "memory-bounded scaleup: scaled queries (T=100 fixed, J=100*W, O=10, W=1..100) over a utilization axis {1,5,10,20}%",
 		Run: func(cfg Config) (Output, error) {
 			if err := cfg.Validate(); err != nil {
 				return Output{}, err
@@ -304,17 +306,27 @@ func figure09() Definition {
 				YLabel: "Execution Time",
 			}
 			var checks []Check
-			// The paper quotes increases of 14/30/44/71% at W=100.
+			// The paper quotes increases of 14/30/44/71% at W=100. One
+			// ScaledQuery per utilization, fanned over the query sweep.
 			paperInc := map[float64]float64{0.01: 0.14, 0.05: 0.30, 0.1: 0.44, 0.2: 0.71}
-			for _, util := range paperUtils {
-				pts, err := core.ScaledSweep(100, paperO, util, ws)
-				if err != nil {
-					return Output{}, err
+			results, err := solve.CollectQueries(context.Background(), solve.QuerySweepSpec{
+				Base: solve.ScaledQuery{T: 100, O: paperO, Ws: ws},
+				Util: paperUtils,
+				Seed: cfg.Seed,
+			})
+			if err != nil {
+				return Output{}, err
+			}
+			for i, res := range results {
+				util := paperUtils[i]
+				if res.Err != nil {
+					return Output{}, fmt.Errorf("experiment: scaled query at util %g: %w", util, res.Err)
 				}
+				pts := res.Answer.(solve.ScaledAnswer).Points
 				s := plot.Series{Name: fmt.Sprintf("util = %g", util)}
 				for _, pt := range pts {
 					s.X = append(s.X, float64(pt.W))
-					s.Y = append(s.Y, pt.Result.EJob)
+					s.Y = append(s.Y, pt.EJob)
 				}
 				fig.Series = append(fig.Series, s)
 				last := pts[len(pts)-1]

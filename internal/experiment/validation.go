@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"feasim/internal/core"
 	"feasim/internal/plot"
 	"feasim/internal/solve"
 )
@@ -104,45 +103,86 @@ func simValidation() Definition {
 }
 
 // thresholdTable reproduces the conclusions' headline numbers: the task
-// ratio needed for 80% weighted efficiency at 5/10/20% utilization.
+// ratio needed for 80% weighted efficiency at 5/10/20% utilization. It is
+// the first cross-backend consumer of the typed query API: one
+// ThresholdQuery per utilization fanned over the query sweep engine for the
+// analytic column, plus an empirical (exact-simulation bisection) answer at
+// 10% utilization cross-checking the analytic threshold.
 func thresholdTable() Definition {
 	return Definition{
 		ID:    "thresholds",
 		Paper: "Conclusions: task ratio needed for 80% of possible speedup (8 @5%, 13 @10%, 20 @20%)",
-		Workload: "threshold solve on the analytic model at W=60 (the Figure 7 system), O=10, " +
-			"target weighted efficiency 0.8",
+		Workload: "threshold queries at W=60 (the Figure 7 system), O=10, target weighted efficiency 0.8: " +
+			"analytic at 5/10/20% utilization, exact-sim bisection at 10%",
 		Run: func(cfg Config) (Output, error) {
 			if err := cfg.Validate(); err != nil {
 				return Output{}, err
 			}
 			utils := []float64{0.05, 0.1, 0.2}
-			rows, err := core.ThresholdTable(60, paperO, 0.8, utils)
+			results, err := solve.CollectQueries(context.Background(), solve.QuerySweepSpec{
+				Base: solve.ThresholdQuery{W: 60, O: paperO, TargetEff: 0.8},
+				Util: utils,
+				Seed: cfg.Seed,
+			})
 			if err != nil {
 				return Output{}, err
 			}
+			// The empirical column: the exact-sim backend bisects the same
+			// question at 10% utilization under the configured protocol.
+			pr := cfg.Protocol
+			empirical, err := solve.ExactSim{Protocol: pr}.Answer(context.Background(),
+				solve.ThresholdQuery{W: 60, O: paperO, Util: 0.1, TargetEff: 0.8, Seed: cfg.Seed})
+			if err != nil {
+				return Output{}, err
+			}
+			emp := empirical.(solve.ThresholdAnswer)
 			paperRatios := map[float64]float64{0.05: 8, 0.1: 13, 0.2: 20}
 			tbl := plot.Table{
 				ID:      "thresholds",
 				Title:   "Minimum task ratio for 80% weighted efficiency (W=60, O=10)",
-				Columns: []string{"owner utilization", "paper (read off Fig 7)", "exact solve", "achieved weff"},
+				Columns: []string{"owner utilization", "paper (read off Fig 7)", "exact solve", "achieved weff", "empirical (exact-sim)"},
 			}
 			var checks []Check
-			for _, row := range rows {
+			var anaAt10 int
+			for i, res := range results {
+				if res.Err != nil {
+					return Output{}, fmt.Errorf("experiment: threshold query at util %g: %w", utils[i], res.Err)
+				}
+				row := res.Answer.(solve.ThresholdAnswer)
+				util := utils[i]
+				empCol := ""
+				if util == 0.1 {
+					anaAt10 = row.MinRatio
+					empCol = fmt.Sprintf("%d (%d probes)", emp.MinRatio, emp.Probes)
+				}
 				tbl.Rows = append(tbl.Rows, []string{
-					fmt.Sprintf("%.0f%%", row.Util*100),
-					fmt.Sprintf("%.0f", paperRatios[row.Util]),
+					fmt.Sprintf("%.0f%%", util*100),
+					fmt.Sprintf("%.0f", paperRatios[util]),
 					fmt.Sprintf("%d", row.MinRatio),
-					fmt.Sprintf("%.3f", row.WeightedEff),
+					fmt.Sprintf("%.3f", row.AchievedWeff),
+					empCol,
 				})
 				checks = append(checks, Check{
-					Name:  fmt.Sprintf("min task ratio at util %g%%", row.Util*100),
-					Paper: paperRatios[row.Util],
+					Name:  fmt.Sprintf("min task ratio at util %g%%", util*100),
+					Paper: paperRatios[util],
 					Got:   float64(row.MinRatio),
 					// The paper read these off Figure 7; allow 2 ratio units.
 					AbsTol: 2,
 				})
 			}
-			return Output{Table: &tbl, Checks: checks}, nil
+			checks = append(checks, Check{
+				Name:  "empirical (exact-sim) threshold vs analytic at util 10%",
+				Paper: float64(anaAt10),
+				Got:   float64(emp.MinRatio),
+				// Simulation noise can flip a knife-edge boundary by a step.
+				AbsTol: 1,
+			})
+			return Output{
+				Table:  &tbl,
+				Checks: checks,
+				Notes: fmt.Sprintf("empirical bisection: %d probes, %d simulated jobs, boundary weff %.3f",
+					emp.Probes, emp.Samples, emp.AchievedWeff),
+			}, nil
 		},
 	}
 }

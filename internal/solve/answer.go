@@ -1,0 +1,106 @@
+package solve
+
+// Answer is a Solver's reply to a Query. The concrete type matches the query
+// kind: ReportAnswer, ThresholdAnswer, PartitionAnswer, DistributionAnswer,
+// ScaledAnswer. Kind returns the originating query kind so generic consumers
+// (the CLI, the query sweep) can dispatch without a type switch.
+type Answer interface {
+	Kind() string
+}
+
+// ReportAnswer wraps the full Section 3 report — the answer to a
+// ReportQuery.
+type ReportAnswer struct {
+	Report Report `json:"report"`
+}
+
+// Kind implements Answer.
+func (ReportAnswer) Kind() string { return KindReport }
+
+// ThresholdAnswer is the answer to a ThresholdQuery: the minimum task ratio
+// reaching the target, the job demand that realizes it, and the weighted
+// efficiency achieved at the boundary. Simulation backends add the boundary
+// confidence interval and the bisection cost.
+type ThresholdAnswer struct {
+	Backend string `json:"backend"`
+
+	MinRatio     int     `json:"min_ratio"`
+	MinJobDemand float64 `json:"min_job_demand"`
+	// AchievedWeff is the weighted efficiency measured at MinRatio.
+	AchievedWeff float64 `json:"achieved_weff"`
+	// WeffCI is the simulation CI at the boundary ratio (zero for analytic).
+	WeffCI Interval `json:"weff_ci"`
+	// Probes counts the bisection's simulated points; Samples the total
+	// simulated job executions across probes (simulation backends only).
+	Probes  int   `json:"probes,omitempty"`
+	Samples int64 `json:"samples,omitempty"`
+}
+
+// Kind implements Answer.
+func (ThresholdAnswer) Kind() string { return KindThreshold }
+
+// PartitionAnswer is the answer to a PartitionQuery: the chosen system size
+// and the full report at that size.
+type PartitionAnswer struct {
+	Backend string `json:"backend"`
+
+	// W is the largest system size meeting the target.
+	W int `json:"w"`
+	// Report is the full answer at the chosen W.
+	Report Report `json:"report"`
+	// Probes and Samples report the bisection cost (simulation backends).
+	Probes  int   `json:"probes,omitempty"`
+	Samples int64 `json:"samples,omitempty"`
+}
+
+// Kind implements Answer.
+func (PartitionAnswer) Kind() string { return KindPartition }
+
+// QuantileValue is one completion-time quantile.
+type QuantileValue struct {
+	Q    float64 `json:"q"`
+	Time float64 `json:"time"`
+}
+
+// DeadlineValue is one deadline probability P(job time <= Deadline).
+type DeadlineValue struct {
+	Deadline float64 `json:"deadline"`
+	Prob     float64 `json:"prob"`
+}
+
+// DistributionAnswer is the answer to a DistributionQuery: moments,
+// quantiles and deadline tail probabilities of the job completion time —
+// exact from the analytic backend, empirical from the simulators.
+type DistributionAnswer struct {
+	Backend  string   `json:"backend"`
+	Scenario Scenario `json:"scenario"`
+
+	Mean      float64         `json:"mean"`
+	StdDev    float64         `json:"std_dev"`
+	Quantiles []QuantileValue `json:"quantiles,omitempty"`
+	Deadlines []DeadlineValue `json:"deadlines,omitempty"`
+	// Samples is the empirical sample count (simulation backends only).
+	Samples int64 `json:"samples,omitempty"`
+}
+
+// Kind implements Answer.
+func (DistributionAnswer) Kind() string { return KindDistribution }
+
+// ScaledResultPoint is one system size of a scaled-problem curve.
+type ScaledResultPoint struct {
+	W                   int     `json:"w"`
+	EJob                float64 `json:"e_job"`
+	IncreaseVsDedicated float64 `json:"increase_vs_dedicated"`
+	IncreaseVsSingle    float64 `json:"increase_vs_single"`
+	WeightedEff         float64 `json:"weighted_eff"`
+}
+
+// ScaledAnswer is the answer to a ScaledQuery: the memory-bounded scaleup
+// curve across the requested system sizes.
+type ScaledAnswer struct {
+	Backend string              `json:"backend"`
+	Points  []ScaledResultPoint `json:"points"`
+}
+
+// Kind implements Answer.
+func (ScaledAnswer) Kind() string { return KindScaled }

@@ -1,0 +1,169 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+
+	"feasim/internal/core"
+	"feasim/internal/rng"
+)
+
+// Empirical search: the simulation backends answer threshold and partition
+// queries by bisecting a monotone metric measured by simulation. Weighted
+// efficiency is nondecreasing in the task ratio (larger tasks amortize each
+// owner burst over more useful work) and nonincreasing in W at fixed J
+// (each task shrinks) — the same monotonicity the analytic solvers in
+// core/threshold.go and core/optimize.go rely on, property-tested there.
+// Decisions use the point estimate; the answer carries the boundary probe's
+// confidence interval so callers can judge how sharp the cut is. Each probe
+// gets a seed split from the query seed by its probed value (ratio or W),
+// so the search result is a pure function of the query, not of the probe
+// order. Within one DES probe, the precision-driven protocol extends a live
+// GeneralRun session (sim.RunGeneralCtx), so CI refinement carries earlier
+// samples forward instead of re-simulating.
+
+// reportFn is a backend's ReportQuery body, used as the probe primitive.
+type reportFn func(ctx context.Context, s Scenario) (Report, error)
+
+// bisectThreshold finds the smallest integer task ratio in [1, maxRatio]
+// whose simulated weighted efficiency meets the target, by exponential
+// bracketing then binary search.
+func bisectThreshold(ctx context.Context, backend string, q ThresholdQuery, maxRatio int, probe reportFn) (Answer, error) {
+	if q.Util == 0 {
+		// Dedicated system: weighted efficiency is 1 at any ratio.
+		return ThresholdAnswer{
+			Backend:      backend,
+			MinRatio:     1,
+			MinJobDemand: core.RequiredJobDemand(1, q.O, q.W),
+			AchievedWeff: 1,
+		}, nil
+	}
+	root := rng.NewStream(q.Seed)
+	probes, samples := 0, int64(0)
+	eval := func(ratio int) (Report, error) {
+		sc := Scenario{
+			Name: fmt.Sprintf("threshold/r%d", ratio),
+			J:    float64(ratio) * q.O * float64(q.W),
+			W:    q.W,
+			O:    q.O,
+			Util: q.Util,
+			Seed: root.Split(uint64(ratio)).Uint64(),
+		}
+		r, err := probe(ctx, sc)
+		if err != nil {
+			return Report{}, fmt.Errorf("solve: threshold probe at ratio %d: %w", ratio, err)
+		}
+		probes++
+		samples += r.Samples
+		return r, nil
+	}
+	// Exponential search for an upper bracket.
+	hi := 1
+	var boundary Report
+	for {
+		r, err := eval(hi)
+		if err != nil {
+			return nil, err
+		}
+		if r.WeightedEfficiency >= q.TargetEff {
+			boundary = r
+			break
+		}
+		if hi >= maxRatio {
+			return nil, fmt.Errorf("solve: %s backend: target weighted efficiency %.3f unreachable within task ratio %d (best %.4f)",
+				backend, q.TargetEff, maxRatio, r.WeightedEfficiency)
+		}
+		hi *= 2
+		if hi > maxRatio {
+			hi = maxRatio
+		}
+	}
+	lo := hi / 2 // weff(lo) measured < target whenever hi > 1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		r, err := eval(mid)
+		if err != nil {
+			return nil, err
+		}
+		if r.WeightedEfficiency >= q.TargetEff {
+			hi, boundary = mid, r
+		} else {
+			lo = mid
+		}
+	}
+	return ThresholdAnswer{
+		Backend:      backend,
+		MinRatio:     hi,
+		MinJobDemand: core.RequiredJobDemand(hi, q.O, q.W),
+		AchievedWeff: boundary.WeightedEfficiency,
+		WeffCI:       boundary.WeffCI,
+		Probes:       probes,
+		Samples:      samples,
+	}, nil
+}
+
+// bisectPartition finds the largest W in [1, maxW] whose simulated weighted
+// efficiency still meets the target for the fixed job q.J.
+func bisectPartition(ctx context.Context, backend string, q PartitionQuery, probe reportFn) (Answer, error) {
+	maxW := q.MaxW
+	// The aggregate scenario form needs T = J/W >= 1, capping the usable
+	// system size at floor(J) — the same clamp as core.MaxWorkstations.
+	if q.Util > 0 && float64(maxW) > q.J {
+		maxW = int(q.J)
+		if maxW < 1 {
+			return nil, fmt.Errorf("solve: job demand %v is below one time unit", q.J)
+		}
+	}
+	root := rng.NewStream(q.Seed)
+	probes, samples := 0, int64(0)
+	eval := func(w int) (Report, error) {
+		sc := Scenario{
+			Name:      fmt.Sprintf("partition/w%d", w),
+			J:         q.J,
+			W:         w,
+			O:         q.O,
+			Util:      q.Util,
+			TargetEff: q.TargetEff,
+			Seed:      root.Split(uint64(w)).Uint64(),
+		}
+		r, err := probe(ctx, sc)
+		if err != nil {
+			return Report{}, fmt.Errorf("solve: partition probe at W=%d: %w", w, err)
+		}
+		probes++
+		samples += r.Samples
+		return r, nil
+	}
+	one, err := eval(1)
+	if err != nil {
+		return nil, err
+	}
+	if one.WeightedEfficiency < q.TargetEff {
+		return nil, fmt.Errorf("solve: %s backend: even one workstation reaches only %.4f weighted efficiency (target %.4f)",
+			backend, one.WeightedEfficiency, q.TargetEff)
+	}
+	best := one // report at the current lo
+	if maxW > 1 {
+		top, err := eval(maxW)
+		if err != nil {
+			return nil, err
+		}
+		if top.WeightedEfficiency >= q.TargetEff {
+			return PartitionAnswer{Backend: backend, W: maxW, Report: top, Probes: probes, Samples: samples}, nil
+		}
+		lo, hi := 1, maxW // weff(lo) >= target, weff(hi) < target
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			r, err := eval(mid)
+			if err != nil {
+				return nil, err
+			}
+			if r.WeightedEfficiency >= q.TargetEff {
+				lo, best = mid, r
+			} else {
+				hi = mid
+			}
+		}
+	}
+	return PartitionAnswer{Backend: backend, W: best.W, Report: best, Probes: probes, Samples: samples}, nil
+}

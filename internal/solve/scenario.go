@@ -121,6 +121,12 @@ func (s Scenario) Explicit() bool { return len(s.Stations) > 0 }
 // Validate checks the scenario for internal consistency.
 func (s Scenario) Validate() error {
 	if s.Explicit() {
+		// The stations define the owner workload; a scenario that also sets
+		// the aggregate owner fields is contradictory — the values would be
+		// silently ignored, which hides user intent. Reject it loudly.
+		if s.O != 0 || s.Util != 0 || s.P != 0 || s.OwnerCV2 != 0 {
+			return fmt.Errorf("solve: explicit-station scenario %q also sets aggregate owner fields (o/util/p/owner_cv2); remove them — the stations define the owner workload", s.Name)
+		}
 		total := 0
 		for i, ss := range s.Stations {
 			if ss.OwnerThink == "" || ss.OwnerDemand == "" {

@@ -3,6 +3,7 @@ package solve
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"feasim/internal/core"
@@ -10,7 +11,7 @@ import (
 	"feasim/internal/stats"
 )
 
-// Backend names accepted by SolverFor and SweepSpec.Backends.
+// Backend names accepted by NewSolver and SweepSpec.Backends.
 const (
 	BackendAnalytic = "analytic"
 	BackendExact    = "exact"
@@ -48,9 +49,9 @@ func (iv Interval) Widen(slack float64) Interval {
 
 func intervalFromCI(ci stats.CI) Interval { return Interval{Lo: ci.Lo(), Hi: ci.Hi()} }
 
-// Report is the answer every backend returns for a Scenario. Point estimates
-// are always filled; confidence intervals and sample counts only by the
-// simulation backends (the analytic backend leaves them at the zero
+// Report is the answer every backend returns for a ReportQuery. Point
+// estimates are always filled; confidence intervals and sample counts only
+// by the simulation backends (the analytic backend leaves them at the zero
 // Interval — test with Interval.Zero); the feasibility block only when the
 // scenario sets TargetEff; DeadlineProb only when it sets Deadline
 // (analytic backend).
@@ -92,28 +93,52 @@ type Report struct {
 	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 }
 
-// Solver answers a Scenario. Implementations must honor ctx: a cancelled
-// context makes Solve return ctx.Err() promptly.
+// Solver answers typed queries. Implementations must honor ctx: a cancelled
+// context makes Answer (and Solve) return ctx.Err() promptly. A query kind
+// outside Capabilities is refused with an error satisfying
+// errors.Is(err, ErrUnsupported).
 type Solver interface {
 	// Name is the backend name ("analytic", "exact", "des").
 	Name() string
-	// Solve answers the scenario.
+	// Capabilities lists the query kinds this backend answers.
+	Capabilities() []string
+	// Answer answers a typed query; the concrete Answer type matches the
+	// query kind.
+	Answer(ctx context.Context, q Query) (Answer, error)
+	// Solve answers the scenario with a full report. It is the ReportQuery
+	// fast path kept for compatibility: Solve(s) ≡ Answer(ReportQuery{s}).
 	Solve(ctx context.Context, s Scenario) (Report, error)
+}
+
+// Options configures a backend built by NewSolver. The zero value means the
+// paper's protocol and the default DES warmup.
+type Options struct {
+	// Protocol is the simulation output-analysis protocol (ignored by the
+	// analytic backend); zero means sim.DefaultProtocol().
+	Protocol sim.Protocol
+	// Warmup is the DES backend's discarded-job warmup; negative disables,
+	// zero means DefaultDESWarmup. Ignored by the other backends.
+	Warmup int
+}
+
+// NewSolver builds the named backend with the given options.
+func NewSolver(name string, opts Options) (Solver, error) {
+	switch name {
+	case BackendAnalytic:
+		return Analytic{}, nil
+	case BackendExact:
+		return ExactSim{Protocol: opts.Protocol}, nil
+	case BackendDES:
+		return DES{Protocol: opts.Protocol, Warmup: opts.Warmup}, nil
+	default:
+		return nil, fmt.Errorf("solve: unknown backend %q (want %v)", name, Backends())
+	}
 }
 
 // SolverFor builds the named backend. A zero protocol means
 // sim.DefaultProtocol() for the simulation backends.
 func SolverFor(name string, pr sim.Protocol) (Solver, error) {
-	switch name {
-	case BackendAnalytic:
-		return Analytic{}, nil
-	case BackendExact:
-		return ExactSim{Protocol: pr}, nil
-	case BackendDES:
-		return DES{Protocol: pr}, nil
-	default:
-		return nil, fmt.Errorf("solve: unknown backend %q (want %v)", name, Backends())
-	}
+	return NewSolver(name, Options{Protocol: pr})
 }
 
 // protocolOrDefault resolves a zero protocol to the paper's.
@@ -167,15 +192,55 @@ func simReport(s Scenario, backend string, j float64, w int, u float64, run sim.
 	return r
 }
 
-// Analytic answers scenarios with the paper's exact discrete-time analysis
-// (equations (1)-(8)) plus the threshold solver and deadline distribution.
+// ---- analytic backend ----
+
+// Analytic answers queries with the paper's exact discrete-time analysis
+// (equations (1)-(8)), the threshold and partition solvers, the exact
+// completion-time distribution, and the scaled-problem sweep. It is the only
+// backend answering every query kind.
 type Analytic struct{}
 
 // Name implements Solver.
 func (Analytic) Name() string { return BackendAnalytic }
 
+// Capabilities implements Solver: the analytic backend answers every kind.
+func (Analytic) Capabilities() []string { return QueryKinds() }
+
 // Solve implements Solver.
-func (Analytic) Solve(ctx context.Context, s Scenario) (Report, error) {
+func (a Analytic) Solve(ctx context.Context, s Scenario) (Report, error) {
+	return a.report(ctx, s)
+}
+
+// Answer implements Solver.
+func (a Analytic) Answer(ctx context.Context, q Query) (Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	switch t := q.(type) {
+	case ReportQuery:
+		r, err := a.report(ctx, t.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		return ReportAnswer{Report: r}, nil
+	case ThresholdQuery:
+		return a.threshold(t)
+	case PartitionQuery:
+		return a.partition(ctx, t)
+	case DistributionQuery:
+		return a.distribution(t)
+	case ScaledQuery:
+		return a.scaled(t)
+	default:
+		return nil, unsupported(BackendAnalytic, q.Kind())
+	}
+}
+
+// report is the ReportQuery body (PR 1's Solve).
+func (Analytic) report(ctx context.Context, s Scenario) (Report, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
@@ -223,9 +288,100 @@ func (Analytic) Solve(ctx context.Context, s Scenario) (Report, error) {
 	return r, nil
 }
 
-// ExactSim answers scenarios with the discrete-time simulator of the
-// analyzed model under the batch-means protocol — the paper's validation
-// study as a backend.
+// threshold answers a ThresholdQuery with the exact solver.
+func (Analytic) threshold(q ThresholdQuery) (Answer, error) {
+	cq := core.ThresholdQuery{W: q.W, O: q.O, Util: q.Util, TargetWeightedEff: q.TargetEff}
+	ratio, err := cq.MinTaskRatio(q.maxRatio(DefaultMaxRatio))
+	if err != nil {
+		return nil, err
+	}
+	ans := ThresholdAnswer{
+		Backend:      BackendAnalytic,
+		MinRatio:     ratio,
+		MinJobDemand: core.RequiredJobDemand(ratio, q.O, q.W),
+		AchievedWeff: 1,
+	}
+	if q.Util > 0 {
+		p, err := core.ParamsFromUtilization(ans.MinJobDemand, q.W, q.O, q.Util)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Analyze(p)
+		if err != nil {
+			return nil, err
+		}
+		ans.AchievedWeff = res.WeightedEfficiency
+	}
+	return ans, nil
+}
+
+// partition answers a PartitionQuery with the exact right-sizing solver and
+// reports the full model output at the chosen size.
+func (a Analytic) partition(ctx context.Context, q PartitionQuery) (Answer, error) {
+	plan, err := core.PlanPartition(q.J, q.O, q.Util, q.TargetEff, q.MaxW)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.report(ctx, Scenario{
+		Name: "partition", J: q.J, W: plan.W, O: q.O, Util: q.Util, TargetEff: q.TargetEff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return PartitionAnswer{Backend: BackendAnalytic, W: plan.W, Report: r}, nil
+}
+
+// distribution answers a DistributionQuery exactly from the model's
+// discrete job-time distribution.
+func (Analytic) distribution(q DistributionQuery) (Answer, error) {
+	p, err := q.Scenario.Params()
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.JobTimeDistribution(p)
+	if err != nil {
+		return nil, err
+	}
+	ans := DistributionAnswer{
+		Backend:  BackendAnalytic,
+		Scenario: q.Scenario,
+		Mean:     d.Mean(),
+		StdDev:   d.StdDev(),
+	}
+	for _, prob := range q.quantiles() {
+		ans.Quantiles = append(ans.Quantiles, QuantileValue{Q: prob, Time: d.Quantile(prob)})
+	}
+	for _, t := range q.Deadlines {
+		ans.Deadlines = append(ans.Deadlines, DeadlineValue{Deadline: t, Prob: 1 - d.TailProb(t)})
+	}
+	return ans, nil
+}
+
+// scaled answers a ScaledQuery with the exact scaled-problem sweep.
+func (Analytic) scaled(q ScaledQuery) (Answer, error) {
+	pts, err := core.ScaledSweep(q.T, q.O, q.Util, q.Ws)
+	if err != nil {
+		return nil, err
+	}
+	ans := ScaledAnswer{Backend: BackendAnalytic, Points: make([]ScaledResultPoint, 0, len(pts))}
+	for _, pt := range pts {
+		ans.Points = append(ans.Points, ScaledResultPoint{
+			W:                   pt.W,
+			EJob:                pt.Result.EJob,
+			IncreaseVsDedicated: pt.IncreaseVsDedicated,
+			IncreaseVsSingle:    pt.IncreaseVsSingle,
+			WeightedEff:         pt.Result.WeightedEfficiency,
+		})
+	}
+	return ans, nil
+}
+
+// ---- exact-simulation backend ----
+
+// ExactSim answers queries with the discrete-time simulator of the analyzed
+// model under the batch-means protocol — the paper's validation study as a
+// backend. Threshold queries run an empirical bisection; distribution
+// queries are answered from raw job samples.
 type ExactSim struct {
 	// Protocol is the output-analysis protocol; zero means the paper's.
 	Protocol sim.Protocol
@@ -234,8 +390,44 @@ type ExactSim struct {
 // Name implements Solver.
 func (ExactSim) Name() string { return BackendExact }
 
+// Capabilities implements Solver. Partition queries are excluded: the exact
+// simulator requires integral task demand, which a bisection over W cannot
+// maintain at fixed J.
+func (ExactSim) Capabilities() []string {
+	return []string{KindReport, KindThreshold, KindDistribution}
+}
+
 // Solve implements Solver.
 func (x ExactSim) Solve(ctx context.Context, s Scenario) (Report, error) {
+	return x.report(ctx, s)
+}
+
+// Answer implements Solver.
+func (x ExactSim) Answer(ctx context.Context, q Query) (Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	switch t := q.(type) {
+	case ReportQuery:
+		r, err := x.report(ctx, t.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		return ReportAnswer{Report: r}, nil
+	case ThresholdQuery:
+		return bisectThreshold(ctx, BackendExact, t, t.maxRatio(DefaultSimMaxRatio), x.report)
+	case DistributionQuery:
+		return x.distribution(ctx, t)
+	default:
+		return nil, unsupported(BackendExact, q.Kind())
+	}
+}
+
+// report is the ReportQuery body (PR 1's Solve).
+func (x ExactSim) report(ctx context.Context, s Scenario) (Report, error) {
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return Report{}, err
@@ -257,9 +449,41 @@ func (x ExactSim) Solve(ctx context.Context, s Scenario) (Report, error) {
 	return r, nil
 }
 
-// DES answers scenarios with the discrete-event simulator: wall-clock owner
+// distribution answers a DistributionQuery empirically: the protocol's
+// sample budget of raw job executions, summarized by the empirical CDF.
+func (x ExactSim) distribution(ctx context.Context, q DistributionQuery) (Answer, error) {
+	p, err := q.Scenario.Params()
+	if err != nil {
+		return nil, err
+	}
+	xs, err := sim.NewExact(p, q.Scenario.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pr := protocolOrDefault(x.Protocol)
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	n := pr.Batches * pr.BatchSize
+	samples := make([]float64, 0, n)
+	for len(samples) < n {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < pr.BatchSize && len(samples) < n; i++ {
+			samples = append(samples, xs.Sample().JobTime)
+		}
+	}
+	return empiricalDistribution(BackendExact, q, samples), nil
+}
+
+// ---- discrete-event backend ----
+
+// DES answers queries with the discrete-event simulator: wall-clock owner
 // think times, arbitrary distributions (OwnerCV2, TaskDemand, explicit
-// stations) and heterogeneous machines.
+// stations) and heterogeneous machines. Threshold and partition queries run
+// empirical bisections; each probe's precision refinement extends a live
+// GeneralRun session, so tightening a CI never re-simulates earlier samples.
 type DES struct {
 	// Protocol is the output-analysis protocol; zero means the paper's.
 	Protocol sim.Protocol
@@ -274,18 +498,49 @@ const DefaultDESWarmup = 10
 // Name implements Solver.
 func (DES) Name() string { return BackendDES }
 
+// Capabilities implements Solver: everything except the scaled curve, which
+// is a pure model artifact.
+func (DES) Capabilities() []string {
+	return []string{KindReport, KindThreshold, KindPartition, KindDistribution}
+}
+
 // Solve implements Solver.
 func (d DES) Solve(ctx context.Context, s Scenario) (Report, error) {
+	return d.report(ctx, s)
+}
+
+// Answer implements Solver.
+func (d DES) Answer(ctx context.Context, q Query) (Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	switch t := q.(type) {
+	case ReportQuery:
+		r, err := d.report(ctx, t.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		return ReportAnswer{Report: r}, nil
+	case ThresholdQuery:
+		return bisectThreshold(ctx, BackendDES, t, t.maxRatio(DefaultSimMaxRatio), d.report)
+	case PartitionQuery:
+		return bisectPartition(ctx, BackendDES, t, d.report)
+	case DistributionQuery:
+		return d.distribution(ctx, t)
+	default:
+		return nil, unsupported(BackendDES, q.Kind())
+	}
+}
+
+// report is the ReportQuery body (PR 1's Solve).
+func (d DES) report(ctx context.Context, s Scenario) (Report, error) {
 	start := time.Now()
-	cfg, err := s.GeneralConfig()
+	cfg, err := d.generalConfig(s)
 	if err != nil {
 		return Report{}, err
-	}
-	switch {
-	case d.Warmup > 0:
-		cfg.WarmupJobs = d.Warmup
-	case d.Warmup == 0:
-		cfg.WarmupJobs = DefaultDESWarmup
 	}
 	g, err := sim.NewGeneral(cfg)
 	if err != nil {
@@ -303,4 +558,74 @@ func (d DES) Solve(ctx context.Context, s Scenario) (Report, error) {
 	r := simReport(s, BackendDES, j, s.StationCount(), u, run)
 	r.Elapsed = time.Since(start)
 	return r, nil
+}
+
+// generalConfig lowers the scenario with the backend's warmup applied.
+func (d DES) generalConfig(s Scenario) (sim.GeneralConfig, error) {
+	cfg, err := s.GeneralConfig()
+	if err != nil {
+		return sim.GeneralConfig{}, err
+	}
+	switch {
+	case d.Warmup > 0:
+		cfg.WarmupJobs = d.Warmup
+	case d.Warmup == 0:
+		cfg.WarmupJobs = DefaultDESWarmup
+	}
+	return cfg, nil
+}
+
+// distribution answers a DistributionQuery empirically from the general
+// simulator's job samples.
+func (d DES) distribution(ctx context.Context, q DistributionQuery) (Answer, error) {
+	cfg, err := d.generalConfig(q.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sim.NewGeneral(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pr := protocolOrDefault(d.Protocol)
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := g.RunCtx(ctx, pr.Batches*pr.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]float64, len(st.Samples))
+	for i, s := range st.Samples {
+		samples[i] = s.JobTime
+	}
+	return empiricalDistribution(BackendDES, q, samples), nil
+}
+
+// empiricalDistribution summarizes raw job-time samples into a
+// DistributionAnswer: moments, inverse-CDF quantiles and deadline coverage.
+func empiricalDistribution(backend string, q DistributionQuery, samples []float64) DistributionAnswer {
+	sort.Float64s(samples)
+	var sum stats.Summary
+	for _, v := range samples {
+		sum.Add(v)
+	}
+	ans := DistributionAnswer{
+		Backend:  backend,
+		Scenario: q.Scenario,
+		Mean:     sum.Mean(),
+		StdDev:   sum.StdDev(),
+		Samples:  int64(len(samples)),
+	}
+	for _, prob := range q.quantiles() {
+		ans.Quantiles = append(ans.Quantiles, QuantileValue{Q: prob, Time: stats.EmpiricalQuantile(samples, prob)})
+	}
+	for _, t := range q.Deadlines {
+		// P(job time <= t): fraction of sorted samples at or below t.
+		at := sort.SearchFloat64s(samples, t)
+		for at < len(samples) && samples[at] == t {
+			at++
+		}
+		ans.Deadlines = append(ans.Deadlines, DeadlineValue{Deadline: t, Prob: float64(at) / float64(len(samples))})
+	}
+	return ans
 }

@@ -4,18 +4,17 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
-	"sync"
 
-	"feasim/internal/rng"
 	"feasim/internal/sim"
 )
 
-// SweepSpec declares a scenario grid: a base scenario plus per-axis value
+// SweepSpec declares a Report grid: a base scenario plus per-axis value
 // lists. The grid is the cross product of every non-empty axis (an empty
 // axis contributes the base value), crossed with the backend list. The spec
-// is JSON-serializable so sweeps live in files next to scenarios.
+// is JSON-serializable so sweeps live in files next to scenarios. It is the
+// ReportQuery special case of QuerySweepSpec, kept as the convenient form
+// for the most common grid; both run on the same engine.
 type SweepSpec struct {
 	// Base is the scenario every grid point starts from.
 	Base Scenario `json:"base"`
@@ -44,6 +43,22 @@ type SweepSpec struct {
 	Warmup int `json:"warmup,omitempty"`
 }
 
+// querySpec lowers the Report grid onto the generic query sweep.
+func (sp SweepSpec) querySpec() QuerySweepSpec {
+	return QuerySweepSpec{
+		Base:      ReportQuery{Scenario: sp.Base},
+		W:         sp.W,
+		Util:      sp.Util,
+		TaskRatio: sp.TaskRatio,
+		OwnerCV2:  sp.OwnerCV2,
+		Backends:  sp.Backends,
+		Workers:   sp.Workers,
+		Seed:      sp.Seed,
+		Protocol:  sp.Protocol,
+		Warmup:    sp.Warmup,
+	}
+}
+
 // Point is one cell of the expanded grid.
 type Point struct {
 	// Index is the point's position in grid order; results stream in
@@ -66,121 +81,37 @@ type PointReport struct {
 	Cached bool `json:"cached,omitempty"`
 }
 
-// backends resolves the backend list.
-func (sp SweepSpec) backends() []string {
-	if len(sp.Backends) == 0 {
-		return []string{BackendAnalytic}
-	}
-	return sp.Backends
-}
-
 // Points expands the grid in deterministic order and assigns each point a
 // seed split from the root stream, so a sweep's randomness is a pure
 // function of (spec, grid order) no matter how many workers run it or how
 // the scheduler interleaves them.
 func (sp SweepSpec) Points() ([]Point, error) {
-	for _, b := range sp.backends() {
-		if _, err := SolverFor(b, sim.Protocol{}); err != nil {
-			return nil, err
-		}
+	qpts, err := sp.querySpec().Points()
+	if err != nil {
+		return nil, err
 	}
-	ws := sp.W
-	if len(ws) == 0 {
-		ws = []int{sp.Base.W}
-	}
-	utils := sp.Util
-	if len(utils) == 0 {
-		utils = []float64{-1} // sentinel: keep base util/p
-	}
-	ratios := sp.TaskRatio
-	if len(ratios) == 0 {
-		ratios = []float64{-1} // sentinel: keep base J
-	}
-	cv2s := sp.OwnerCV2
-	if len(cv2s) == 0 {
-		cv2s = []float64{-1} // sentinel: keep base owner_cv2
-	}
-	root := rng.NewStream(sp.Seed)
-	var pts []Point
-	for _, backend := range sp.backends() {
-		for _, w := range ws {
-			for _, util := range utils {
-				for _, ratio := range ratios {
-					for _, cv2 := range cv2s {
-						sc := sp.Base
-						sc.W = w
-						if util >= 0 {
-							sc.Util = util
-							sc.P = 0
-						}
-						if ratio >= 0 {
-							sc.J = ratio * sc.O * float64(w)
-						}
-						if cv2 >= 0 {
-							sc.OwnerCV2 = cv2
-						}
-						if sc.Name == "" {
-							sc.Name = fmt.Sprintf("point%04d", len(pts))
-						} else {
-							sc.Name = fmt.Sprintf("%s/point%04d", sp.Base.Name, len(pts))
-						}
-						i := len(pts)
-						sc.Seed = root.Split(uint64(i)).Uint64()
-						if err := sc.Validate(); err != nil {
-							return nil, fmt.Errorf("solve: grid point %d (%s): %w", i, backend, err)
-						}
-						pts = append(pts, Point{Index: i, Backend: backend, Scenario: sc})
-					}
-				}
-			}
-		}
-	}
-	if len(pts) == 0 {
-		return nil, fmt.Errorf("solve: sweep expands to an empty grid")
+	pts := make([]Point, len(qpts))
+	for i, qp := range qpts {
+		pts[i] = Point{Index: qp.Index, Backend: qp.Backend, Scenario: qp.Query.(ReportQuery).Scenario}
 	}
 	return pts, nil
 }
 
-// analyticCache deduplicates repeated analytic grid points. The analytic
-// backend is deterministic, so points sharing an analyticKey (e.g. the same
-// J/W/O/P crossed with several OwnerCV2 values or seeds) are solved once.
-// The key is a comparable struct, so a dense grid pays one map probe per
-// point with no marshalling allocations. Points that are not exact repeats
-// still share work one layer down: the binomial tables are memoized by
-// (N, P) process-wide (core.Tables), so all workers of a sweep — and
-// concurrent sweeps — reuse each other's kernel builds.
-type analyticCache struct {
-	mu    sync.Mutex
-	byKey map[analyticKey]Report
-	hits  int
-}
-
-func newAnalyticCache() *analyticCache {
-	return &analyticCache{byKey: make(map[analyticKey]Report)}
-}
-
-// get returns a cached report for the scenario, if one exists.
-func (c *analyticCache) get(key analyticKey) (Report, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.byKey[key]
-	if ok {
-		c.hits++
+// toPointReport converts a ReportQuery sweep result back to the Report form.
+func toPointReport(qr QueryResult) PointReport {
+	res := PointReport{
+		Point:  Point{Index: qr.Point.Index, Backend: qr.Point.Backend},
+		Err:    qr.Err,
+		Error:  qr.Error,
+		Cached: qr.Cached,
 	}
-	return r, ok
-}
-
-func (c *analyticCache) put(key analyticKey, r Report) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.byKey[key] = r
-}
-
-// Hits reports how many points were served from the cache.
-func (c *analyticCache) Hits() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits
+	if rq, ok := qr.Point.Query.(ReportQuery); ok {
+		res.Point.Scenario = rq.Scenario
+	}
+	if ra, ok := qr.Answer.(ReportAnswer); ok {
+		res.Report = ra.Report
+	}
+	return res
 }
 
 // Sweep runs the expanded grid on a context-cancellable worker pool and
@@ -190,98 +121,7 @@ func (c *analyticCache) Hits() int {
 // individual points are reported in their PointReport and do not stop the
 // sweep.
 func Sweep(ctx context.Context, spec SweepSpec) (<-chan PointReport, error) {
-	pts, err := spec.Points()
-	if err != nil {
-		return nil, err
-	}
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pts) {
-		workers = len(pts)
-	}
-	var pr sim.Protocol
-	if spec.Protocol != nil {
-		pr = *spec.Protocol
-	}
-	solvers := make(map[string]Solver)
-	for _, b := range spec.backends() {
-		s, err := SolverFor(b, pr)
-		if err != nil {
-			return nil, err
-		}
-		if d, ok := s.(DES); ok && spec.Warmup != 0 {
-			d.Warmup = spec.Warmup
-			s = d
-		}
-		solvers[b] = s
-	}
-	cache := newAnalyticCache()
-
-	in := make(chan Point)
-	out := make(chan PointReport, workers)
-	var wg sync.WaitGroup
-
-	// Feeder: stops handing out points as soon as the context is done.
-	go func() {
-		defer close(in)
-		for _, p := range pts {
-			select {
-			case <-ctx.Done():
-				return
-			case in <- p:
-			}
-		}
-	}()
-
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range in {
-				res := solvePoint(ctx, solvers[p.Backend], cache, p)
-				select {
-				case <-ctx.Done():
-					return
-				case out <- res:
-				}
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(out)
-	}()
-	return out, nil
-}
-
-// solvePoint answers one grid point, consulting the analytic cache first.
-func solvePoint(ctx context.Context, solver Solver, cache *analyticCache, p Point) PointReport {
-	res := PointReport{Point: p}
-	key, cacheable := analyticKey{}, false
-	if p.Backend == BackendAnalytic {
-		key, cacheable = p.Scenario.analyticCacheKey()
-	}
-	if cacheable {
-		if r, ok := cache.get(key); ok {
-			r.Scenario = p.Scenario // the cached solve may carry a sibling's name/seed
-			res.Report = r
-			res.Cached = true
-			return res
-		}
-	}
-	r, err := solver.Solve(ctx, p.Scenario)
-	if err != nil {
-		res.Err = err
-		res.Error = err.Error()
-		return res
-	}
-	res.Report = r
-	if cacheable {
-		cache.put(key, r)
-	}
-	return res
+	return sweepChannel(ctx, spec.querySpec(), toPointReport)
 }
 
 // Collect drains a sweep into a slice sorted by grid index. It returns

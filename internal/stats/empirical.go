@@ -1,0 +1,25 @@
+package stats
+
+import "math"
+
+// EmpiricalQuantile returns the q-quantile of sorted (ascending) data via
+// the inverse empirical CDF: the smallest x with F̂(x) >= q, i.e.
+// sorted[ceil(q·n)-1]. It panics when the slice is empty or q is outside
+// (0,1]. This is the estimator the simulation backends use to answer
+// completion-time distribution queries from raw job samples.
+func EmpiricalQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: EmpiricalQuantile on empty sample")
+	}
+	if q <= 0 || q > 1 {
+		panic("stats: EmpiricalQuantile requires 0 < q <= 1")
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

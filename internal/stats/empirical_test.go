@@ -1,0 +1,41 @@
+package stats
+
+import "testing"
+
+func TestEmpiricalQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.1, 1},   // ceil(0.1*10)=1 → first element
+		{0.5, 5},   // median of 10 by inverse CDF
+		{0.55, 6},  // ceil(5.5)=6
+		{0.9, 9},   // ceil(9)=9
+		{0.95, 10}, // ceil(9.5)=10
+		{1, 10},    // max
+	}
+	for _, c := range cases {
+		if got := EmpiricalQuantile(xs, c.q); got != c.want {
+			t.Errorf("quantile %g = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := EmpiricalQuantile([]float64{42}, 0.5); got != 42 {
+		t.Errorf("single sample quantile = %g, want 42", got)
+	}
+}
+
+func TestEmpiricalQuantilePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("empty", func() { EmpiricalQuantile(nil, 0.5) })
+	expectPanic("q=0", func() { EmpiricalQuantile([]float64{1}, 0) })
+	expectPanic("q>1", func() { EmpiricalQuantile([]float64{1}, 1.5) })
+}

@@ -1,0 +1,94 @@
+package feasim
+
+import "feasim/internal/solve"
+
+// ---- Typed Query/Answer API ----
+//
+// Every question the paper poses is a typed Query, serialized through one
+// JSON envelope {"kind": "...", ...} and answered by any capable backend via
+// Solver.Answer. The kinds: "report" (the full Section 3 metrics — PR 1's
+// Solve), "threshold" (the conclusions-table minimum task ratio),
+// "partition" (cluster right-sizing for a fixed job), "distribution"
+// (completion-time quantiles and deadline tails), and "scaled"
+// (memory-bounded scaleup). Solver.Capabilities lists what a backend
+// answers; unsupported pairs fail with an error matching ErrUnsupported.
+
+// Query is one typed question to a Solver; concrete types are ReportQuery,
+// ThresholdQuery, PartitionQuery, DistributionQuery and ScaledQuery.
+type Query = solve.Query
+
+// Answer is a Solver's reply; the concrete type matches the query kind.
+type Answer = solve.Answer
+
+// Query kinds, the values of the JSON envelope's "kind" field.
+const (
+	KindReport       = solve.KindReport
+	KindThreshold    = solve.KindThreshold
+	KindPartition    = solve.KindPartition
+	KindDistribution = solve.KindDistribution
+	KindScaled       = solve.KindScaled
+)
+
+// QueryKinds lists every query kind in canonical order.
+func QueryKinds() []string { return solve.QueryKinds() }
+
+// ErrUnsupported matches (via errors.Is) the error a backend returns for a
+// query kind outside its Capabilities.
+var ErrUnsupported = solve.ErrUnsupported
+
+// UnsupportedError names the (backend, kind) pair that was refused.
+type UnsupportedError = solve.UnsupportedError
+
+// ReportQuery asks for the full Section 3 report at one operating point.
+// Answered by every backend.
+type ReportQuery = solve.ReportQuery
+
+// ThresholdQuery asks for the minimum task ratio reaching a target weighted
+// efficiency — exactly from the analytic backend, empirically (a monotone
+// bisection over simulated probe points) from the simulation backends.
+type ThresholdQuery = solve.ThresholdQuery
+
+// PartitionQuery right-sizes a cluster for a fixed job: the largest W still
+// meeting the target weighted efficiency. Analytic exactly, DES empirically.
+type PartitionQuery = solve.PartitionQuery
+
+// DistributionQuery asks for completion-time quantiles and deadline
+// probabilities — exact from the analytic backend, empirical from the
+// simulators' batch samples.
+type DistributionQuery = solve.DistributionQuery
+
+// ScaledQuery asks for the memory-bounded scaleup curve (Section 3.2).
+// Analytic only.
+type ScaledQuery = solve.ScaledQuery
+
+// Answers, one per query kind.
+type (
+	// ReportAnswer wraps the full Report.
+	ReportAnswer = solve.ReportAnswer
+	// ThresholdAnswer carries the minimum ratio, the job demand realizing
+	// it, and the weighted efficiency (with CI, for simulation backends)
+	// achieved at the boundary.
+	ThresholdAnswer = solve.ThresholdAnswer
+	// PartitionAnswer carries the chosen W and the full report at that size.
+	PartitionAnswer = solve.PartitionAnswer
+	// DistributionAnswer carries moments, quantiles and deadline coverage.
+	DistributionAnswer = solve.DistributionAnswer
+	// ScaledAnswer carries the scaleup curve.
+	ScaledAnswer = solve.ScaledAnswer
+	// QuantileValue is one completion-time quantile of a DistributionAnswer.
+	QuantileValue = solve.QuantileValue
+	// DeadlineValue is one deadline probability of a DistributionAnswer.
+	DeadlineValue = solve.DeadlineValue
+	// ScaledResultPoint is one system size of a ScaledAnswer curve.
+	ScaledResultPoint = solve.ScaledResultPoint
+)
+
+// ParseQuery decodes a query from its JSON envelope, rejecting unknown
+// kinds and unknown fields.
+func ParseQuery(data []byte) (Query, error) { return solve.ParseQuery(data) }
+
+// LoadQuery reads and decodes a query envelope JSON file.
+func LoadQuery(path string) (Query, error) { return solve.LoadQuery(path) }
+
+// MarshalQuery serializes a query into its JSON envelope.
+func MarshalQuery(q Query) ([]byte, error) { return solve.MarshalQuery(q) }

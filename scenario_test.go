@@ -98,6 +98,13 @@ func TestScenarioValidation(t *testing.T) {
 		{"bad dist spec", `{"j": 100, "w": 10, "o": 10, "task_demand": "wiggly:3"}`},
 		{"station count mismatch", `{"w": 3, "j": 100, "stations": [{"owner_think": "exp:90", "owner_demand": "det:10", "count": 2}]}`},
 		{"station missing demand", `{"j": 100, "stations": [{"owner_think": "exp:90"}]}`},
+		// Explicit stations define the owner workload: aggregate owner fields
+		// on the same scenario would be silently ignored, so they are
+		// rejected as contradictory.
+		{"stations plus o", `{"j": 100, "o": 10, "stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}]}`},
+		{"stations plus util", `{"j": 100, "util": 0.1, "stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}]}`},
+		{"stations plus p", `{"j": 100, "p": 0.01, "stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}]}`},
+		{"stations plus owner_cv2", `{"j": 100, "owner_cv2": 4, "stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}]}`},
 	}
 	for _, c := range bad {
 		t.Run(c.name, func(t *testing.T) {

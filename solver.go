@@ -4,22 +4,29 @@ import (
 	"feasim/internal/solve"
 )
 
-// Solver answers a Scenario; implementations honor context cancellation.
-// The three backends are NewAnalyticSolver (the paper's equations),
+// Solver answers typed queries (Answer) and scenarios (Solve, the
+// ReportQuery shorthand); implementations honor context cancellation. The
+// three backends are NewAnalyticSolver (the paper's equations),
 // NewExactSimSolver (the discrete-time validation simulator) and
-// NewDESSolver (the discrete-event engine with arbitrary distributions).
+// NewDESSolver (the discrete-event engine). Capabilities lists the query
+// kinds a backend answers; the rest fail with ErrUnsupported.
 type Solver = solve.Solver
 
-// Report is a Solver's answer: point estimates for the Section 3 metrics,
-// confidence intervals from the simulation backends, and the optional
-// feasibility verdict and deadline probability.
+// Report is a Solver's answer to a report query: point estimates for the
+// Section 3 metrics, confidence intervals from the simulation backends, and
+// the optional feasibility verdict and deadline probability.
 type Report = solve.Report
 
 // Interval is a closed interval [Lo, Hi]; simulation Reports carry one per
 // metric.
 type Interval = solve.Interval
 
-// Backend names accepted by SolverByName and SweepSpec.Backends.
+// SolverOptions configures a backend built by NewSolver: the simulation
+// protocol (zero means the paper's) and the DES warmup (zero means the
+// default, negative disables).
+type SolverOptions = solve.Options
+
+// Backend names accepted by NewSolver, SolverByName and SweepSpec.Backends.
 const (
 	BackendAnalytic = solve.BackendAnalytic
 	BackendExact    = solve.BackendExact
@@ -29,27 +36,33 @@ const (
 // Backends lists the backend names in canonical order.
 func Backends() []string { return solve.Backends() }
 
-// NewAnalyticSolver answers scenarios with the paper's exact discrete-time
-// analysis (equations (1)-(8)), the threshold solver, and the deadline
-// distribution.
+// NewAnalyticSolver answers queries with the paper's exact discrete-time
+// analysis (equations (1)-(8)), the threshold and partition solvers, the
+// exact completion-time distribution and the scaled-problem sweep. It is the
+// only backend answering every query kind.
 func NewAnalyticSolver() Solver { return solve.Analytic{} }
 
-// NewExactSimSolver answers scenarios with the discrete-time simulator of
-// the analyzed model under the given batch-means protocol (zero value: the
-// paper's protocol).
+// NewExactSimSolver answers queries with the discrete-time simulator of the
+// analyzed model under the given batch-means protocol (zero value: the
+// paper's protocol). Threshold queries are answered by empirical bisection,
+// distribution queries from raw job samples.
 func NewExactSimSolver(pr Protocol) Solver { return solve.ExactSim{Protocol: pr} }
 
-// NewDESSolver answers scenarios with the discrete-event simulator:
+// NewDESSolver answers queries with the discrete-event simulator:
 // wall-clock owner think times, arbitrary distributions and heterogeneous
-// stations. warmup < 0 disables warmup; 0 uses a small default.
+// stations. warmup < 0 disables warmup; 0 uses a small default. Threshold
+// and partition queries are answered by empirical bisection.
 func NewDESSolver(pr Protocol, warmup int) Solver { return solve.DES{Protocol: pr, Warmup: warmup} }
 
-// SolverByName builds the named backend ("analytic", "exact", "des") with
-// the given protocol (ignored by the analytic backend).
+// NewSolver builds the named backend ("analytic", "exact", "des") with the
+// given options — the constructor path that lets the CLI and sweep specs
+// configure the DES warmup alongside the protocol.
+func NewSolver(name string, opts SolverOptions) (Solver, error) {
+	return solve.NewSolver(name, opts)
+}
+
+// SolverByName builds the named backend with the given protocol and default
+// warmup. Use NewSolver to configure the DES warmup too.
 func SolverByName(name string, pr Protocol) (Solver, error) {
-	s, err := solve.SolverFor(name, pr)
-	if err != nil {
-		return nil, err
-	}
-	return s, nil
+	return solve.NewSolver(name, solve.Options{Protocol: pr})
 }

@@ -6,8 +6,10 @@ import (
 	"feasim/internal/solve"
 )
 
-// SweepSpec declares a scenario grid: a base Scenario plus axis value lists
+// SweepSpec declares a Report grid: a base Scenario plus axis value lists
 // (W, Util, TaskRatio, OwnerCV2) crossed with a backend list. See RunSweep.
+// It is the ReportQuery special case of QuerySweepSpec; both run on the same
+// engine.
 type SweepSpec = solve.SweepSpec
 
 // SweepPoint is one cell of an expanded sweep grid.
@@ -16,6 +18,19 @@ type SweepPoint = solve.Point
 // SweepResult is one streamed sweep result: the point, its Report or error,
 // and whether it was served from the analytic deduplication cache.
 type SweepResult = solve.PointReport
+
+// QuerySweepSpec declares a grid over any query kind: a base query (JSON: a
+// nested {"kind": ...} envelope under "base") plus the axis lists that apply
+// to that kind — scenario axes for report/distribution, W/Util for
+// threshold, MaxW/Util for partition, Util/TaskRatio for scaled.
+type QuerySweepSpec = solve.QuerySweepSpec
+
+// QuerySweepPoint is one cell of an expanded query grid.
+type QuerySweepPoint = solve.QueryPoint
+
+// QuerySweepResult is one streamed query-sweep result: the point, its typed
+// Answer or error, and the dedup-cache flag.
+type QuerySweepResult = solve.QueryResult
 
 // RunSweep fans the expanded grid across a context-cancellable worker pool
 // (spec.Workers, default GOMAXPROCS) and streams results over the returned
@@ -33,8 +48,27 @@ func CollectSweep(ctx context.Context, spec SweepSpec) ([]SweepResult, error) {
 	return solve.Collect(ctx, spec)
 }
 
+// RunQuerySweep is RunSweep generalized to any query kind: the same worker
+// pool, deterministic seeding and analytic deduplication (cache keyed by
+// query kind), streaming typed Answers.
+func RunQuerySweep(ctx context.Context, spec QuerySweepSpec) (<-chan QuerySweepResult, error) {
+	return solve.SweepQueries(ctx, spec)
+}
+
+// CollectQuerySweep drains RunQuerySweep into a slice sorted by grid index.
+func CollectQuerySweep(ctx context.Context, spec QuerySweepSpec) ([]QuerySweepResult, error) {
+	return solve.CollectQueries(ctx, spec)
+}
+
 // ParseSweep decodes a SweepSpec from JSON, rejecting unknown fields.
 func ParseSweep(data []byte) (SweepSpec, error) { return solve.ParseSweep(data) }
 
 // LoadSweep reads and decodes a sweep spec JSON file.
 func LoadSweep(path string) (SweepSpec, error) { return solve.LoadSweep(path) }
+
+// ParseQuerySweep decodes a QuerySweepSpec from JSON, rejecting unknown
+// fields and unknown query kinds.
+func ParseQuerySweep(data []byte) (QuerySweepSpec, error) { return solve.ParseQuerySweep(data) }
+
+// LoadQuerySweep reads and decodes a query sweep spec JSON file.
+func LoadQuerySweep(path string) (QuerySweepSpec, error) { return solve.LoadQuerySweep(path) }
