@@ -1,7 +1,7 @@
-# Development targets. CI runs build/test/race blocking and bench
-# non-blocking.
+# Development targets. CI runs build/test/race/serve-smoke blocking and
+# bench/fuzz non-blocking.
 
-.PHONY: all build test race vet fmt bench
+.PHONY: all build test race vet fmt bench fuzz serve-smoke
 
 all: build test
 
@@ -21,8 +21,20 @@ fmt:
 	gofmt -l -w .
 
 # bench runs the core performance suite in-process — including the typed
-# query path (threshold bisections/s) — and records the result as
-# BENCH_3.json (schema feasim-bench/1), the repository's performance
-# trajectory artifact.
+# query path (threshold bisections/s) and the served-query pair (the HTTP
+# service cold vs cache-hit) — and records the result as BENCH_4.json
+# (schema feasim-bench/1), the repository's performance trajectory artifact.
 bench:
-	go run ./cmd/feasim bench -out BENCH_3.json
+	go run ./cmd/feasim bench -out BENCH_4.json
+
+# fuzz gives each JSON-envelope fuzz target a short budget; CI runs this
+# non-blocking. Failures drop reproducers under testdata/fuzz/.
+fuzz:
+	go test ./internal/solve -run '^$$' -fuzz '^FuzzQueryUnmarshal$$' -fuzztime 30s
+	go test ./internal/solve -run '^$$' -fuzz '^FuzzScenarioUnmarshal$$' -fuzztime 30s
+
+# serve-smoke starts the HTTP query service, fires one query per kind from
+# the checked-in goldens, and diffs the answers against the CLI `feasim
+# query` output — proof the HTTP and CLI paths stay in lockstep.
+serve-smoke:
+	go test ./cmd/feasim -run '^TestServeSmoke$$' -count=1 -v

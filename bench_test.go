@@ -303,6 +303,20 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkServedQuery measures the HTTP query service end to end on an
+// empirical (exact-sim) threshold bisection — decode, dispatch, solve,
+// encode — via the canonical benchgrid served-query pair (shared with
+// `feasim bench`, so BENCH_4.json tracks the same workload). The cold path
+// varies the seed every iteration so every request misses the cache and
+// runs a fresh warm-started bisection; the hit path repeats one envelope,
+// so after the first request everything is served from the answer LRU. The
+// gap between the two is the cache's value under the heavy-traffic hot
+// case.
+func BenchmarkServedQuery(b *testing.B) {
+	b.Run("cold", benchgrid.ServedQueryBench(false))
+	b.Run("hit", benchgrid.ServedQueryBench(true))
+}
+
 // BenchmarkQueryThresholdSweep measures the typed query path on the
 // canonical threshold grid of internal/benchgrid (shared with `feasim
 // bench`, so BENCH_3.json tracks the same workload): 40 analytic threshold

@@ -44,7 +44,7 @@ type benchReport struct {
 // cmdBench runs the benchmark suite and writes the JSON report.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_3.json", "output JSON file")
+	out := fs.String("out", "BENCH_4.json", "output JSON file")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
@@ -127,6 +127,13 @@ func cmdBench(args []string) error {
 			}
 			b.ReportMetric(float64(benchgrid.ThresholdPoints*b.N)/b.Elapsed().Seconds(), "points/s")
 		}},
+		// The served-query pair: one empirical (exact-sim) threshold
+		// bisection through the full HTTP service. Cold varies the seed so
+		// every request misses the answer cache; hit repeats one envelope,
+		// so everything after the first request is an LRU hit — the
+		// heavy-traffic hot case the serve layer exists for.
+		{"served_query_cold", benchgrid.ServedQueryBench(false)},
+		{"served_query_hit", benchgrid.ServedQueryBench(true)},
 	}
 
 	rep := benchReport{

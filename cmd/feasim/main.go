@@ -6,6 +6,9 @@
 //	query      answer a typed query envelope ({"kind": ...} JSON) with any
 //	           capable backend: report, threshold, partition, distribution,
 //	           scaled
+//	serve      run the query service: the same envelopes over HTTP
+//	           (POST /v1/query, POST /v1/sweep) with answer caching and
+//	           request coalescing in front of the backends
 //	run        answer a scenario JSON file with any or all solver backends
 //	           (the "report" query kind as a convenience form)
 //	sweep      fan a scenario grid across a parallel worker pool
@@ -23,6 +26,9 @@
 //	feasim query testdata/query_threshold.json
 //	feasim query -backend exact -protocol 10,500 testdata/query_threshold.json
 //	feasim query -backend all -json testdata/query_distribution.json
+//	feasim serve -addr 127.0.0.1:8080
+//	curl -s -XPOST --data-binary @testdata/query_threshold.json \
+//	    'http://127.0.0.1:8080/v1/query?backend=analytic'
 //	feasim run testdata/scenario.json
 //	feasim run -backend des -warmup 20 -timeout 30s scenario.json
 //	feasim sweep -workers 8 -json sweep.json
@@ -55,6 +61,8 @@ func main() {
 	switch os.Args[1] {
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "sweep":
@@ -85,12 +93,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: feasim <query|run|sweep|analyze|assess|threshold|scaled|simulate|bench> [flags]
+	fmt.Fprintln(os.Stderr, `usage: feasim <query|serve|run|sweep|analyze|assess|threshold|scaled|simulate|bench> [flags]
 
 query answers a typed query envelope file — {"kind": "report"|"threshold"|
-"partition"|"distribution"|"scaled", ...} — with any capable backend; run and
-sweep answer scenario files (the "report" kind). Run "feasim <subcommand> -h"
-for flags.`)
+"partition"|"distribution"|"scaled", ...} — with any capable backend; serve
+answers the same envelopes over HTTP (POST /v1/query, POST /v1/sweep) with
+answer caching and request coalescing; run and sweep answer scenario files
+(the "report" kind). Run "feasim <subcommand> -h" for flags.`)
 }
 
 // solveContext builds the run/sweep context, honoring an optional timeout.

@@ -1,0 +1,81 @@
+package main
+
+// The serve subcommand runs the query service: the PR 3 envelope over HTTP,
+// with the shared answer cache and request coalescing in front of the
+// backends. See internal/serve for the endpoint and error taxonomy.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"feasim"
+)
+
+// cmdServe starts the HTTP query service and blocks until SIGINT/SIGTERM,
+// then drains in-flight requests.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	backend := fs.String("backend", "analytic", "default backend for queries without ?backend=")
+	protocol := fs.String("protocol", "", "simulation protocol as batches,batchsize (default: the paper's 20,1000)")
+	warmup := fs.Int("warmup", 0, "DES warmup job count (0 = default, negative disables)")
+	cacheCap := fs.Int("cache", 0, "answer cache capacity (0 = default)")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent request limit (0 = default)")
+	reqTimeout := fs.Duration("request-timeout", time.Minute, "per-request solve deadline (negative = none)")
+	sweepWorkers := fs.Int("sweep-workers", 0, "default sweep worker pool (0 = GOMAXPROCS)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	pr, err := parseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+	srv, err := feasim.NewQueryServer(feasim.ServeConfig{
+		Options:        feasim.SolverOptions{Protocol: pr, Warmup: *warmup},
+		CacheCapacity:  *cacheCap,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		DefaultBackend: *backend,
+		SweepWorkers:   *sweepWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feasim serve: listening on http://%s (backends %v, default %s)\n",
+		ln.Addr(), srv.Backends(), *backend)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("feasim serve: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"feasim"
+)
+
+// stripVolatile removes fields that legitimately differ between two solves
+// of the same query (wall-clock timings) so answers can be compared deeply.
+func stripVolatile(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, val := range t {
+			if k == "elapsed_ns" {
+				continue
+			}
+			out[k] = stripVolatile(val)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, val := range t {
+			out[i] = stripVolatile(val)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// TestServeSmoke is the serve-smoke gate (make serve-smoke): start the real
+// server on a loopback socket, fire one query per kind from the checked-in
+// goldens, and require the HTTP answer to match the CLI `feasim query -json`
+// answer byte-for-byte (modulo wall-clock timings) — proof that the HTTP and
+// CLI paths answer in lockstep.
+func TestServeSmoke(t *testing.T) {
+	srv, err := feasim.NewQueryServer(feasim.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveDone; err != http.ErrServerClosed {
+			t.Errorf("Serve returned %v", err)
+		}
+	}()
+	url := "http://" + ln.Addr().String() + "/v1/query"
+
+	for _, kind := range []string{"report", "threshold", "partition", "distribution", "scaled"} {
+		t.Run(kind, func(t *testing.T) {
+			path := filepath.Join("testdata", "query_"+kind+".json")
+
+			// The CLI path: feasim query -json <file> on the same backend.
+			cliOut := captureStdout(t, func() error { return cmdQuery([]string{"-json", path}) })
+			var cli struct {
+				Kind   string          `json:"kind"`
+				Answer json.RawMessage `json:"answer"`
+			}
+			if err := json.Unmarshal([]byte(cliOut), &cli); err != nil {
+				t.Fatalf("CLI output: %v", err)
+			}
+
+			// The HTTP path: the same envelope POSTed to the server.
+			env, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(url, "application/json", strings.NewReader(string(env)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			var served struct {
+				Kind   string          `json:"kind"`
+				Answer json.RawMessage `json:"answer"`
+			}
+			if err := json.Unmarshal(body, &served); err != nil {
+				t.Fatal(err)
+			}
+
+			if cli.Kind != kind || served.Kind != kind {
+				t.Errorf("kinds: CLI %q, HTTP %q, want %q", cli.Kind, served.Kind, kind)
+			}
+			var cliAns, servedAns any
+			if err := json.Unmarshal(cli.Answer, &cliAns); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(served.Answer, &servedAns); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stripVolatile(cliAns), stripVolatile(servedAns)) {
+				t.Errorf("HTTP and CLI answers diverge for %s:\n CLI:  %s\n HTTP: %s", kind, cli.Answer, served.Answer)
+			}
+		})
+	}
+}
+
+// TestCmdServeErrors covers the validation paths: stray args, bad protocol,
+// unusable listen address and unknown default backend must all fail before
+// serving.
+func TestCmdServeErrors(t *testing.T) {
+	discardStdout(t)
+	if err := cmdServe([]string{"stray"}); err == nil {
+		t.Error("stray positional argument should error")
+	}
+	if err := cmdServe([]string{"-protocol", "20"}); err == nil {
+		t.Error("malformed protocol should error")
+	}
+	if err := cmdServe([]string{"-backend", "csim"}); err == nil {
+		t.Error("unknown default backend should error")
+	}
+	if err := cmdServe([]string{"-addr", "256.0.0.1:bad"}); err == nil {
+		t.Error("unusable listen address should error")
+	}
+}

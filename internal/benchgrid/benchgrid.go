@@ -4,7 +4,18 @@
 // README/ROADMAP numbers cite measure the same grids.
 package benchgrid
 
-import "feasim/internal/solve"
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"feasim/internal/serve"
+	"feasim/internal/sim"
+	"feasim/internal/solve"
+)
 
 // Points is the size of each grid returned by this package.
 const Points = 100
@@ -66,5 +77,66 @@ func ThresholdGrid() solve.QuerySweepSpec {
 		Util:     utils,
 		Backends: []string{solve.BackendAnalytic},
 		Seed:     1993,
+	}
+}
+
+// The served-query workload, shared by BenchmarkServedQuery and `feasim
+// bench` (served_query_cold / served_query_hit in BENCH_4.json): one
+// empirical threshold bisection per HTTP request on the exact-sim backend.
+// The cold side varies the seed per request so every envelope misses the
+// answer cache; the hit side repeats ServedQueryEnvelope(1).
+
+// ServedQueryBackend is the backend the served-query pair exercises.
+const ServedQueryBackend = solve.BackendExact
+
+// ServedProtocol is the small batch-means protocol keeping each cold
+// bisection probe cheap.
+func ServedProtocol() sim.Protocol {
+	return sim.Protocol{Batches: 5, BatchSize: 100, Level: 0.90}
+}
+
+// ServedQueryEnvelope is the canonical threshold envelope at the given seed.
+func ServedQueryEnvelope(seed int) string {
+	return fmt.Sprintf(`{"kind": "threshold", "w": 10, "o": 10, "util": 0.1, "target_eff": 0.8, "seed": %d}`, seed)
+}
+
+// ServedQueryBench builds one side of the served-query pair as a benchmark
+// body: the HTTP query service answering the canonical workload end to end,
+// cache-hit (one envelope repeated) or cold (a fresh seed per request).
+// Each measurement run gets a fresh server — and so a fresh answer cache —
+// keeping repeated testing.Benchmark calibration runs honest.
+func ServedQueryBench(hit bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		srv, err := serve.New(serve.Config{
+			Options: solve.Options{Protocol: ServedProtocol()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		post := func(env string) {
+			resp, err := http.Post(ts.URL+"/v1/query?backend="+ServedQueryBackend,
+				"application/json", strings.NewReader(env))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		if hit {
+			post(ServedQueryEnvelope(1)) // warm the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if hit {
+				post(ServedQueryEnvelope(1))
+			} else {
+				post(ServedQueryEnvelope(i + 1))
+			}
+		}
 	}
 }

@@ -1,0 +1,441 @@
+// Package serve exposes the typed Query/Answer API of internal/solve as a
+// long-running HTTP/JSON service — the request/response front-end the
+// ROADMAP's "heavy traffic" north star asks for, put directly over the PR 3
+// envelope so the CLI, the library and the wire all speak one format.
+//
+// Endpoints:
+//
+//	POST /v1/query?backend=NAME   one query envelope {"kind": ...}; answers
+//	                              with {"kind", "backend", "cached",
+//	                              "elapsed_ns", "answer"}
+//	POST /v1/sweep                a QuerySweepSpec grid; answers with the
+//	                              collected results in grid order
+//	GET  /v1/healthz              liveness probe
+//	GET  /v1/stats                cache hits/misses/coalesced, in-flight
+//	                              gauge, per-kind counters, uptime
+//
+// Error taxonomy: a body that does not decode or validate is 400; an
+// unknown backend name is 400; a (backend, kind) pair outside the backend's
+// Capabilities is 501 (mapped from *solve.UnsupportedError); a solve that
+// exceeds the per-request deadline is 504; a request whose context ends
+// while it is still queued on the concurrency limiter is 503; a solve cut
+// short by the client disconnecting is 499 (and deliberately not counted
+// in the Errors stat); any other solver failure (a workload the backend
+// cannot express numerically, e.g. non-integral task demand on the exact
+// simulator) is 422. Error bodies are {"error": "..."}.
+//
+// Sweeps run on the query-sweep engine, which builds its backends per spec
+// from the standard registry: a spec that does not set its own protocol or
+// warmup inherits the server's Options, so /v1/query and /v1/sweep answer
+// the same envelope identically — but solvers injected via Config.Solvers
+// are not visible to /v1/sweep, and each sweep dedups on the engine's
+// per-sweep cache rather than the server's LRU.
+//
+// In front of the solvers sits the shared answer layer of internal/solve:
+// one size-bounded LRU across all backends (keys include the backend name)
+// plus single-flight coalescing, so concurrent identical queries — the hot
+// case under heavy traffic — execute once. Analytic answers are cached by
+// scenario core (seed-independent); stochastic backends are cached by their
+// full envelope, seed included, so a cached answer is always the one the
+// query would have computed.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"feasim/internal/sim"
+	"feasim/internal/solve"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultMaxInFlight bounds concurrently executing query/sweep requests.
+	DefaultMaxInFlight = 64
+	// DefaultRequestTimeout is the per-request solve deadline.
+	DefaultRequestTimeout = time.Minute
+	// maxBodyBytes caps request bodies; envelopes are small, sweeps modest.
+	maxBodyBytes = 1 << 20
+)
+
+// Config configures a Server. The zero value serves the three standard
+// backends with default options.
+type Config struct {
+	// Solvers maps backend names to implementations; nil means the three
+	// standard backends (analytic, exact, des) built with Options. Every
+	// solver is wrapped in the shared answer cache.
+	Solvers map[string]solve.Solver
+	// Options configures the standard backends when Solvers is nil.
+	Options solve.Options
+	// CacheCapacity bounds the shared answer LRU; <= 0 means
+	// solve.DefaultAnswerCacheCapacity.
+	CacheCapacity int
+	// MaxInFlight bounds concurrently executing query/sweep requests;
+	// <= 0 means DefaultMaxInFlight. Excess requests wait their turn (and
+	// time out under the request deadline if the server stays saturated).
+	MaxInFlight int
+	// RequestTimeout is the per-request solve deadline; 0 means
+	// DefaultRequestTimeout, negative disables the deadline.
+	RequestTimeout time.Duration
+	// DefaultBackend answers queries that do not name one with ?backend=;
+	// "" means the analytic backend. Must be a key of the solver set.
+	DefaultBackend string
+	// SweepWorkers bounds each sweep's worker pool: specs that leave
+	// Workers at 0 get this value, and client-supplied Workers are clamped
+	// to it. 0 means the engine default (GOMAXPROCS).
+	SweepWorkers int
+}
+
+// Stats is the /v1/stats payload (and the Server.Stats snapshot).
+type Stats struct {
+	UptimeNS int64            `json:"uptime_ns"`
+	InFlight int64            `json:"in_flight"`
+	Queries  int64            `json:"queries"`
+	Sweeps   int64            `json:"sweeps"`
+	Errors   int64            `json:"errors"`
+	PerKind  map[string]int64 `json:"per_kind"`
+	Cache    solve.CacheStats `json:"cache"`
+}
+
+// Server is the HTTP front-end. Construct with New; serve with Serve (or
+// mount Handler under an existing mux); stop with Shutdown, which drains
+// in-flight requests.
+type Server struct {
+	solvers        map[string]*solve.CachedSolver
+	backends       []string // sorted, for error messages
+	cache          *solve.AnswerCache
+	options        solve.Options // fills unset sweep-spec protocol/warmup
+	defaultBackend string
+	timeout        time.Duration
+	sem            chan struct{}
+	sweepWorkers   int
+	mux            *http.ServeMux
+	http           *http.Server
+
+	start    time.Time
+	inFlight atomic.Int64
+	queries  atomic.Int64
+	sweeps   atomic.Int64
+	errors   atomic.Int64
+	perKind  map[string]*atomic.Int64
+}
+
+// New builds a Server from the config.
+func New(cfg Config) (*Server, error) {
+	inner := cfg.Solvers
+	if inner == nil {
+		inner = make(map[string]solve.Solver, len(solve.Backends()))
+		for _, name := range solve.Backends() {
+			sv, err := solve.NewSolver(name, cfg.Options)
+			if err != nil {
+				return nil, err
+			}
+			inner[name] = sv
+		}
+	}
+	if len(inner) == 0 {
+		return nil, fmt.Errorf("serve: no solvers configured")
+	}
+	def := cfg.DefaultBackend
+	if def == "" {
+		def = solve.BackendAnalytic
+		if _, ok := inner[def]; !ok {
+			return nil, fmt.Errorf("serve: config needs DefaultBackend when the solver set lacks %q", def)
+		}
+	}
+	if _, ok := inner[def]; !ok {
+		return nil, fmt.Errorf("serve: default backend %q is not in the solver set", def)
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	s := &Server{
+		solvers:        make(map[string]*solve.CachedSolver, len(inner)),
+		cache:          solve.NewAnswerCache(cfg.CacheCapacity),
+		options:        cfg.Options,
+		defaultBackend: def,
+		timeout:        timeout,
+		sem:            make(chan struct{}, maxInFlight),
+		sweepWorkers:   cfg.SweepWorkers,
+		start:          time.Now(),
+		perKind:        make(map[string]*atomic.Int64, len(solve.QueryKinds())),
+	}
+	for name, sv := range inner {
+		s.solvers[name] = solve.NewCachedSolver(sv, s.cache)
+		s.backends = append(s.backends, name)
+	}
+	sort.Strings(s.backends)
+	for _, kind := range solve.QueryKinds() {
+		s.perKind[kind] = &atomic.Int64{}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.http = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Backends lists the served backend names in sorted order.
+func (s *Server) Backends() []string { return append([]string(nil), s.backends...) }
+
+// Serve accepts connections on l until Shutdown; like net/http it returns
+// http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown stops accepting new requests and waits for in-flight ones to
+// drain, bounded by ctx — the graceful path.
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		UptimeNS: time.Since(s.start).Nanoseconds(),
+		InFlight: s.inFlight.Load(),
+		Queries:  s.queries.Load(),
+		Sweeps:   s.sweeps.Load(),
+		Errors:   s.errors.Load(),
+		PerKind:  make(map[string]int64, len(s.perKind)),
+		Cache:    s.cache.Stats(),
+	}
+	for kind, n := range s.perKind {
+		st.PerKind[kind] = n.Load()
+	}
+	return st
+}
+
+// admit applies the per-request deadline and the concurrency limiter. When
+// it returns ok, the caller must call release when done.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, release func(), ok bool) {
+	ctx = r.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		cancel()
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server saturated: %w", ctx.Err()))
+		return nil, nil, false
+	}
+	s.inFlight.Add(1)
+	return ctx, func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+		cancel()
+	}, true
+}
+
+// queryResponse is the /v1/query success payload.
+type queryResponse struct {
+	Kind      string       `json:"kind"`
+	Backend   string       `json:"backend"`
+	Cached    bool         `json:"cached"`
+	ElapsedNS int64        `json:"elapsed_ns"`
+	Answer    solve.Answer `json:"answer"`
+}
+
+// sweepResponse is the /v1/sweep success payload.
+type sweepResponse struct {
+	Points  int                 `json:"points"`
+	Failed  int                 `json:"failed"`
+	Cached  int                 `json:"cached"`
+	Results []solve.QueryResult `json:"results"`
+}
+
+// errorResponse is every error payload.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Read and validate before taking a limiter slot: the semaphore bounds
+	// concurrent *solves*, and slow or malformed clients should not be able
+	// to occupy it without ever reaching a solver.
+	body, err := readBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := solve.ParseQuery(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sv, err := s.backend(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.queries.Add(1)
+	s.perKind[q.Kind()].Add(1)
+	start := time.Now()
+	a, cached, err := sv.AnswerCached(ctx, q)
+	if err != nil {
+		s.writeError(w, statusForSolveError(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, queryResponse{
+		Kind:      a.Kind(),
+		Backend:   sv.Name(),
+		Cached:    cached,
+		ElapsedNS: time.Since(start).Nanoseconds(),
+		Answer:    a,
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// As in handleQuery: decode before occupying a limiter slot.
+	body, err := readBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := solve.ParseQuerySweep(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The client may size the sweep's worker pool down but never past the
+	// server's bound — otherwise one request could multiply the MaxInFlight
+	// concurrency guarantee by an arbitrary factor.
+	maxWorkers := s.sweepWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if spec.Workers <= 0 || spec.Workers > maxWorkers {
+		spec.Workers = maxWorkers
+	}
+	// A spec that does not configure its simulation backends inherits the
+	// server's, so /v1/query and /v1/sweep answer one envelope identically.
+	if spec.Protocol == nil && s.options.Protocol != (sim.Protocol{}) {
+		pr := s.options.Protocol
+		spec.Protocol = &pr
+	}
+	if spec.Warmup == 0 {
+		spec.Warmup = s.options.Warmup
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.sweeps.Add(1)
+	if spec.Base != nil {
+		s.perKind[spec.Base.Kind()].Add(1)
+	}
+	results, err := solve.CollectQueries(ctx, spec)
+	if err != nil {
+		s.writeError(w, statusForSolveError(err), fmt.Errorf("sweep stopped after %d points: %w", len(results), err))
+		return
+	}
+	resp := sweepResponse{Points: len(results), Results: results}
+	for _, res := range results {
+		if res.Err != nil {
+			resp.Failed++
+		}
+		if res.Cached {
+			resp.Cached++
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// backend resolves the ?backend= selector against the solver set.
+func (s *Server) backend(r *http.Request) (*solve.CachedSolver, error) {
+	name := r.URL.Query().Get("backend")
+	if name == "" {
+		name = s.defaultBackend
+	}
+	sv, ok := s.solvers[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown backend %q (want one of %v)", name, s.backends)
+	}
+	return sv, nil
+}
+
+// readBody drains the (bounded) request body.
+func readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading request body: %w", err)
+	}
+	if len(body) > maxBodyBytes {
+		return nil, fmt.Errorf("serve: request body exceeds %d bytes", maxBodyBytes)
+	}
+	return body, nil
+}
+
+// statusClientClosedRequest reports a solve cut short because the client
+// went away (the nginx 499 convention; net/http has no name for it). The
+// response is unreadable by definition, but the status keeps logs truthful
+// and writeError keeps these out of the Errors counter.
+const statusClientClosedRequest = 499
+
+// statusForSolveError maps solver failures onto the documented taxonomy.
+func statusForSolveError(err error) int {
+	switch {
+	case errors.Is(err, solve.ErrUnsupported):
+		return http.StatusNotImplemented
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Answers are plain data structs; failing to marshal one is a bug.
+		// Even this path keeps the JSON error-body contract.
+		s.errors.Add(1)
+		data = []byte(fmt.Sprintf(`{"error": %q}`, err.Error()))
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	// A client hanging up mid-solve is its business, not a service error.
+	if status != statusClientClosedRequest {
+		s.errors.Add(1)
+	}
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -25,10 +25,31 @@ import (
 // reportFn is a backend's ReportQuery body, used as the probe primitive.
 type reportFn func(ctx context.Context, s Scenario) (Report, error)
 
+// analyticThresholdGuess warm-starts the empirical threshold bisections from
+// the analytic backend's answer to the same question (the ROADMAP perf
+// item): the search probes analytic and analytic−1 first and falls back to
+// bracketing only when the simulated boundary disagrees. Each probe's seed
+// is still split by the probed value, so any ratio measures identically on
+// either path; when the empirical boundary sits at the analytic one (the
+// common case) the warm search returns the cold search's answer in two
+// probes. 0 means no guess (the analytic solver could not place the
+// boundary within maxRatio), preserving the cold full search.
+func analyticThresholdGuess(q ThresholdQuery, maxRatio int) int {
+	cq := core.ThresholdQuery{W: q.W, O: q.O, Util: q.Util, TargetWeightedEff: q.TargetEff}
+	g, err := cq.MinTaskRatio(maxRatio)
+	if err != nil || g < 1 {
+		return 0
+	}
+	return g
+}
+
 // bisectThreshold finds the smallest integer task ratio in [1, maxRatio]
-// whose simulated weighted efficiency meets the target, by exponential
-// bracketing then binary search.
-func bisectThreshold(ctx context.Context, backend string, q ThresholdQuery, maxRatio int, probe reportFn) (Answer, error) {
+// whose simulated weighted efficiency meets the target. With a warmStart
+// guess it confirms the guessed boundary in two probes (guess meets the
+// target, guess−1 misses) and only falls back to bracketing plus binary
+// search when the empirical boundary disagrees; without one it runs the cold
+// exponential-then-binary search.
+func bisectThreshold(ctx context.Context, backend string, q ThresholdQuery, maxRatio, warmStart int, probe reportFn) (Answer, error) {
 	if q.Util == 0 {
 		// Dedicated system: weighted efficiency is 1 at any ratio.
 		return ThresholdAnswer{
@@ -57,28 +78,84 @@ func bisectThreshold(ctx context.Context, backend string, q ThresholdQuery, maxR
 		samples += r.Samples
 		return r, nil
 	}
-	// Exponential search for an upper bracket.
-	hi := 1
+	answer := func(ratio int, boundary Report) (Answer, error) {
+		return ThresholdAnswer{
+			Backend:      backend,
+			MinRatio:     ratio,
+			MinJobDemand: core.RequiredJobDemand(ratio, q.O, q.W),
+			AchievedWeff: boundary.WeightedEfficiency,
+			WeffCI:       boundary.WeffCI,
+			Probes:       probes,
+			Samples:      samples,
+		}, nil
+	}
+
+	// Bracket invariant for the binary phase: weff(hi) >= target with
+	// boundary holding the report at hi; lo == 0 or weff(lo) < target.
+	var lo, hi int
 	var boundary Report
-	for {
-		r, err := eval(hi)
+
+	// bracketUp establishes the invariant by exponential search upward from
+	// `from`, whose report `below` is known to miss the target.
+	bracketUp := func(from int, below Report) error {
+		for {
+			if from >= maxRatio {
+				return fmt.Errorf("solve: %s backend: target weighted efficiency %.3f unreachable within task ratio %d (best %.4f)",
+					backend, q.TargetEff, maxRatio, below.WeightedEfficiency)
+			}
+			lo = from
+			hi = from * 2
+			if hi > maxRatio {
+				hi = maxRatio
+			}
+			r, err := eval(hi)
+			if err != nil {
+				return err
+			}
+			if r.WeightedEfficiency >= q.TargetEff {
+				boundary = r
+				return nil
+			}
+			from, below = hi, r
+		}
+	}
+
+	if g := min(warmStart, maxRatio); g >= 1 {
+		r, err := eval(g)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case r.WeightedEfficiency < q.TargetEff:
+			// Empirical boundary above the analytic guess.
+			if err := bracketUp(g, r); err != nil {
+				return nil, err
+			}
+		case g == 1:
+			return answer(1, r)
+		default:
+			below, err := eval(g - 1)
+			if err != nil {
+				return nil, err
+			}
+			if below.WeightedEfficiency < q.TargetEff {
+				return answer(g, r) // the hot case: two probes confirm
+			}
+			// Empirical boundary below the analytic guess: bisect (0, g-1].
+			lo, hi, boundary = 0, g-1, below
+		}
+	} else {
+		r, err := eval(1)
 		if err != nil {
 			return nil, err
 		}
 		if r.WeightedEfficiency >= q.TargetEff {
-			boundary = r
-			break
+			return answer(1, r)
 		}
-		if hi >= maxRatio {
-			return nil, fmt.Errorf("solve: %s backend: target weighted efficiency %.3f unreachable within task ratio %d (best %.4f)",
-				backend, q.TargetEff, maxRatio, r.WeightedEfficiency)
-		}
-		hi *= 2
-		if hi > maxRatio {
-			hi = maxRatio
+		if err := bracketUp(1, r); err != nil {
+			return nil, err
 		}
 	}
-	lo := hi / 2 // weff(lo) measured < target whenever hi > 1
 	for lo+1 < hi {
 		mid := (lo + hi) / 2
 		r, err := eval(mid)
@@ -91,15 +168,7 @@ func bisectThreshold(ctx context.Context, backend string, q ThresholdQuery, maxR
 			lo = mid
 		}
 	}
-	return ThresholdAnswer{
-		Backend:      backend,
-		MinRatio:     hi,
-		MinJobDemand: core.RequiredJobDemand(hi, q.O, q.W),
-		AchievedWeff: boundary.WeightedEfficiency,
-		WeffCI:       boundary.WeffCI,
-		Probes:       probes,
-		Samples:      samples,
-	}, nil
+	return answer(hi, boundary)
 }
 
 // bisectPartition finds the largest W in [1, maxW] whose simulated weighted

@@ -1,0 +1,95 @@
+package solve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestThresholdWarmStartCutsProbes pins the ROADMAP perf item: warm-starting
+// the empirical threshold bisection from the analytic answer must confirm
+// the boundary in exactly two probes on the reference scenario, agree with
+// the cold search's answer, and cut the probe count by at least 3×. The
+// probe function is the analytic report itself, which makes the "simulated"
+// measurements deterministic and exactly monotone — so warm and cold paths
+// are guaranteed to see the same boundary and the comparison isolates the
+// search strategy.
+func TestThresholdWarmStartCutsProbes(t *testing.T) {
+	ctx := context.Background()
+	q := ThresholdQuery{W: 10, O: 10, Util: 0.1, TargetEff: 0.8}
+	maxRatio := q.maxRatio(DefaultSimMaxRatio)
+	probe := Analytic{}.report
+
+	ca, err := bisectThreshold(ctx, BackendExact, q, maxRatio, 0, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := ca.(ThresholdAnswer)
+
+	guess := analyticThresholdGuess(q, maxRatio)
+	if guess != cold.MinRatio {
+		t.Fatalf("analytic guess %d, cold empirical boundary %d: the deterministic probe should agree", guess, cold.MinRatio)
+	}
+	wa, err := bisectThreshold(ctx, BackendExact, q, maxRatio, guess, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := wa.(ThresholdAnswer)
+
+	if warm.MinRatio != cold.MinRatio {
+		t.Errorf("warm-started boundary %d != cold boundary %d", warm.MinRatio, cold.MinRatio)
+	}
+	if warm.AchievedWeff != cold.AchievedWeff {
+		t.Errorf("warm boundary weff %v != cold %v", warm.AchievedWeff, cold.AchievedWeff)
+	}
+	if warm.Probes != 2 {
+		t.Errorf("warm start should confirm the analytic boundary in 2 probes, took %d", warm.Probes)
+	}
+	if cold.Probes < 3*warm.Probes {
+		t.Errorf("probe reduction not realized: cold %d probes vs warm %d", cold.Probes, warm.Probes)
+	}
+}
+
+// TestThresholdWarmStartDisagreement: when the guess is wrong in either
+// direction the search must still land on the true boundary of the measured
+// (deterministic, monotone) curve.
+func TestThresholdWarmStartDisagreement(t *testing.T) {
+	ctx := context.Background()
+	q := ThresholdQuery{W: 10, O: 10, Util: 0.1, TargetEff: 0.8}
+	maxRatio := q.maxRatio(DefaultSimMaxRatio)
+	probe := Analytic{}.report
+
+	ca, err := bisectThreshold(ctx, BackendExact, q, maxRatio, 0, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ca.(ThresholdAnswer).MinRatio
+
+	for _, guess := range []int{1, want - 3, want + 5, 4 * want, maxRatio} {
+		if guess < 1 {
+			continue
+		}
+		wa, err := bisectThreshold(ctx, BackendExact, q, maxRatio, guess, probe)
+		if err != nil {
+			t.Fatalf("guess %d: %v", guess, err)
+		}
+		if got := wa.(ThresholdAnswer).MinRatio; got != want {
+			t.Errorf("guess %d: boundary %d, want %d", guess, got, want)
+		}
+	}
+}
+
+// TestThresholdWarmStartRespectsDedicated: util == 0 short-circuits before
+// any probing regardless of the guess.
+func TestThresholdWarmStartRespectsDedicated(t *testing.T) {
+	q := ThresholdQuery{W: 10, O: 10, Util: 0, TargetEff: 0.8}
+	a, err := bisectThreshold(context.Background(), BackendExact, q, 64, 7,
+		func(context.Context, Scenario) (Report, error) {
+			panic("dedicated systems must not probe")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.(ThresholdAnswer).MinRatio; got != 1 {
+		t.Errorf("dedicated system min ratio %d, want 1", got)
+	}
+}

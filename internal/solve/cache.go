@@ -1,0 +1,311 @@
+package solve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// The answer layer sits between callers and backends: a size-bounded LRU of
+// previously computed answers plus single-flight coalescing of concurrent
+// identical queries. It generalizes the sweep engine's analytic dedup cache
+// (which it now backs) to any caller-facing surface — the HTTP service of
+// internal/serve is the heavy-traffic consumer, but the CLI and library
+// callers can wrap any Solver the same way.
+//
+// Cache identity. An answer is keyed by {backend, kind, scenario core,
+// extra}. For the analytic backend the scenario core is the comparable
+// analyticKey of scenario.go — deliberately excluding Name, Seed and
+// OwnerCV2, which the exact analysis cannot see — so siblings differing only
+// in those fields share one solve (seed-independent kinds only, in the sense
+// that the analytic answer never depends on the seed). The stochastic
+// backends' answers are a pure function of the entire query (the seed picks
+// the sample path), so their identity is the full canonical JSON envelope:
+// only literally identical queries — the hot case under heavy traffic —
+// share an answer.
+
+// DefaultAnswerCacheCapacity bounds an AnswerCache built with capacity <= 0.
+const DefaultAnswerCacheCapacity = 4096
+
+// answerKey identifies one (backend, query) answer: the backend name plus
+// the query's dedup identity (the sweep engine's cacheKey, generalized).
+type answerKey struct {
+	backend string
+	key     cacheKey
+}
+
+// answerCacheKey builds the cache identity for a query answered by the named
+// backend; ok is false when the query has no stable identity (an analytic
+// query outside the discrete model, or an unmarshalable query type). Solvers
+// registered under one backend name must be configured identically
+// (protocol, warmup) for sharing one AnswerCache to be sound.
+func answerCacheKey(backend string, q Query) (answerKey, bool) {
+	if backend == BackendAnalytic {
+		k, ok := q.dedupKey()
+		return answerKey{backend: backend, key: k}, ok
+	}
+	env, err := MarshalQuery(q)
+	if err != nil {
+		return answerKey{}, false
+	}
+	return answerKey{backend: backend, key: cacheKey{kind: q.Kind(), extra: string(env)}}, true
+}
+
+// rebindAnswer restores the requesting query's scenario on scenario-carrying
+// answer kinds: an analytic cache hit may have been computed for a sibling
+// that differs only in fields outside the dedup key (name, seed, owner CV²),
+// and the caller should see its own scenario echoed back.
+func rebindAnswer(a Answer, q Query) Answer {
+	switch t := a.(type) {
+	case ReportAnswer:
+		if rq, ok := q.(ReportQuery); ok {
+			t.Report.Scenario = rq.Scenario
+			return t
+		}
+	case DistributionAnswer:
+		if dq, ok := q.(DistributionQuery); ok {
+			t.Scenario = dq.Scenario
+			return t
+		}
+	}
+	return a
+}
+
+// CacheStats is a point-in-time snapshot of an AnswerCache.
+type CacheStats struct {
+	// Hits counts lookups served from a stored answer.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to execute the backend.
+	Misses int64 `json:"misses"`
+	// Coalesced counts callers that waited on another caller's in-flight
+	// execution of the same key instead of executing themselves.
+	Coalesced int64 `json:"coalesced"`
+	// Evictions counts stored answers dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Entries and Capacity describe the current LRU occupancy.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// flight is one in-progress execution that concurrent identical queries
+// attach to instead of re-executing.
+type flight struct {
+	done chan struct{}
+	ans  Answer
+	err  error
+	// retry marks a flight whose leader's own context ended mid-solve: its
+	// error says nothing about the waiters' queries, so they re-enter the
+	// cache (and one of them leads a fresh execution) instead of inheriting
+	// a failure they did not cause.
+	retry bool
+}
+
+// AnswerCache is the shared answer layer: a mutex-guarded LRU of answers
+// plus the single-flight table. The zero value is not usable; construct with
+// NewAnswerCache. All methods are safe for concurrent use.
+type AnswerCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[answerKey]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[answerKey]*flight
+
+	hits, misses, coalesced, evictions int64
+}
+
+// lruEntry is the list payload, carrying the key back for eviction.
+type lruEntry struct {
+	key answerKey
+	ans Answer
+}
+
+// NewAnswerCache builds a cache bounded to capacity answers; capacity <= 0
+// means DefaultAnswerCacheCapacity.
+func NewAnswerCache(capacity int) *AnswerCache {
+	if capacity <= 0 {
+		capacity = DefaultAnswerCacheCapacity
+	}
+	return &AnswerCache{
+		capacity: capacity,
+		entries:  make(map[answerKey]*list.Element),
+		order:    list.New(),
+		inflight: make(map[answerKey]*flight),
+	}
+}
+
+// Stats snapshots the counters.
+func (c *AnswerCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Capacity:  c.capacity,
+	}
+}
+
+// lookup returns the stored answer for key, counting a hit or a miss.
+func (c *AnswerCache) lookup(key answerKey) (Answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*lruEntry).ans, true
+}
+
+// store inserts an answer, evicting the least recently used entry past the
+// capacity bound.
+func (c *AnswerCache) store(key answerKey, a Answer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeLocked(key, a)
+}
+
+func (c *AnswerCache) storeLocked(key answerKey, a Answer) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).ans = a
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, ans: a})
+	if len(c.entries) > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// do returns the cached answer for key, or executes fn — at most once across
+// concurrent callers of the same key (single flight). Callers that find an
+// execution already in flight wait for its result; a caller whose context
+// expires while waiting returns the context error without disturbing the
+// execution. Errors are shared with waiting callers but never cached, so a
+// transient failure does not poison the key — and when the shared failure
+// was only the *leader's* context ending (its client hung up mid-solve),
+// the waiters re-enter and one of them leads a fresh execution rather than
+// inheriting a cancellation they did not cause.
+func (c *AnswerCache) do(ctx context.Context, key answerKey, fn func() (Answer, error)) (a Answer, cached bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.hits++
+			a = el.Value.(*lruEntry).ans
+			c.mu.Unlock()
+			return a, true, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.retry {
+					continue
+				}
+				return f.ans, false, f.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.misses++
+		c.mu.Unlock()
+
+		f.ans, f.err = fn()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.storeLocked(key, f.ans)
+		} else if ctx.Err() != nil {
+			f.retry = true
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.ans, false, f.err
+	}
+}
+
+// CachedSolver wraps a Solver with an AnswerCache: repeated queries are
+// served from the LRU and concurrent identical queries execute once. It
+// implements Solver, so it drops in anywhere a backend does. Several
+// CachedSolvers may share one AnswerCache (the HTTP service does this, one
+// wrapper per backend over a single cache); keys always include the backend
+// name, so answers never cross backend *names* — but the name is all they
+// include of the solver's identity, so every solver sharing a cache under
+// one name must be configured identically (protocol, warmup). Use separate
+// caches for differently-configured solvers of the same backend.
+type CachedSolver struct {
+	inner Solver
+	cache *AnswerCache
+}
+
+// NewCachedSolver wraps inner with the given cache; a nil cache gets a
+// private one with the default capacity.
+func NewCachedSolver(inner Solver, cache *AnswerCache) *CachedSolver {
+	if cache == nil {
+		cache = NewAnswerCache(0)
+	}
+	return &CachedSolver{inner: inner, cache: cache}
+}
+
+// Name implements Solver.
+func (c *CachedSolver) Name() string { return c.inner.Name() }
+
+// Capabilities implements Solver.
+func (c *CachedSolver) Capabilities() []string { return c.inner.Capabilities() }
+
+// Cache exposes the underlying AnswerCache (stats, sharing).
+func (c *CachedSolver) Cache() *AnswerCache { return c.cache }
+
+// Answer implements Solver.
+func (c *CachedSolver) Answer(ctx context.Context, q Query) (Answer, error) {
+	a, _, err := c.AnswerCached(ctx, q)
+	return a, err
+}
+
+// AnswerCached answers like Answer and additionally reports whether the
+// answer came from the cache (as opposed to a fresh — possibly coalesced —
+// execution).
+func (c *CachedSolver) AnswerCached(ctx context.Context, q Query) (Answer, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	key, ok := answerCacheKey(c.inner.Name(), q)
+	if !ok {
+		a, err := c.inner.Answer(ctx, q)
+		return a, false, err
+	}
+	a, cached, err := c.cache.do(ctx, key, func() (Answer, error) {
+		return c.inner.Answer(ctx, q)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return rebindAnswer(a, q), cached, nil
+}
+
+// Solve implements Solver as the ReportQuery shorthand, so report answers
+// share the cache with Answer callers.
+func (c *CachedSolver) Solve(ctx context.Context, s Scenario) (Report, error) {
+	a, err := c.Answer(ctx, ReportQuery{Scenario: s})
+	if err != nil {
+		return Report{}, err
+	}
+	ra, ok := a.(ReportAnswer)
+	if !ok {
+		return Report{}, fmt.Errorf("solve: report query answered with %T", a)
+	}
+	return ra.Report, nil
+}

@@ -1,0 +1,131 @@
+package solve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// marshalScenario is the canonical scenario encoding (scenarios have no
+// custom marshaler; the envelope conventions come from the struct tags).
+func marshalScenario(s Scenario) ([]byte, error) { return json.Marshal(s) }
+
+// Native fuzz targets for the JSON envelope decode path: whatever bytes
+// arrive (the HTTP service accepts them from the network), ParseQuery and
+// ParseScenario must never panic, and any input they accept must be stable
+// under decode→encode→decode — the encoded form is the canonical envelope,
+// so re-decoding it must succeed, reproduce the same value, and re-encode
+// to identical bytes. Seed corpora come from the checked-in CLI testdata.
+
+// corpusSeeds loads every matching JSON file as a fuzz seed.
+func corpusSeeds(f *testing.F, glob string) {
+	f.Helper()
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatalf("no seed corpus at %s", glob)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+}
+
+func FuzzQueryUnmarshal(f *testing.F) {
+	corpusSeeds(f, filepath.Join("..", "..", "cmd", "feasim", "testdata", "query_*.json"))
+	// Hostile shapes: wrong types, duplicate keys, deep junk, empty kinds.
+	for _, s := range []string{
+		``,
+		`null`,
+		`{"kind": ""}`,
+		`{"kind": "report", "scenario": null}`,
+		`{"kind": "threshold", "w": 1e309}`,
+		`{"kind": "scaled", "t": 1, "o": 1, "util": 0, "ws": []}`,
+		`{"kind": "distribution", "scenario": {"j": 1, "w": 1, "o": 1}, "quantiles": [0.5], "kind": "report"}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := ParseQuery(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		enc, err := MarshalQuery(q)
+		if err != nil {
+			t.Fatalf("accepted query failed to marshal: %v\ninput: %q", err, data)
+		}
+		q2, err := ParseQuery(enc)
+		if err != nil {
+			t.Fatalf("canonical envelope failed to re-parse: %v\nenvelope: %s", err, enc)
+		}
+		if q2.Kind() != q.Kind() {
+			t.Fatalf("kind changed across round trip: %q -> %q", q.Kind(), q2.Kind())
+		}
+		enc2, err := MarshalQuery(q2)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("envelope not stable under decode->encode->decode:\n first: %s\nsecond: %s", enc, enc2)
+		}
+		// One more hop pins the decoded value as a fixed point of the
+		// canonical form.
+		q3, err := ParseQuery(enc2)
+		if err != nil {
+			t.Fatalf("third parse failed: %v", err)
+		}
+		if !reflect.DeepEqual(q2, q3) {
+			t.Fatalf("decoded value not a fixed point:\n %+v\n %+v", q2, q3)
+		}
+	})
+}
+
+func FuzzScenarioUnmarshal(f *testing.F) {
+	corpusSeeds(f, filepath.Join("..", "..", "testdata", "scenario.json"))
+	for _, s := range []string{
+		``,
+		`{}`,
+		`{"j": 1000, "w": 10, "o": 10, "util": 0.05}`,
+		`{"stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}], "task_demand": "det:100"}`,
+		`{"j": 1, "w": 1, "o": 1, "util": 0.5, "p": 0.5}`,
+		`{"j": 1000, "w": 10, "o": 10, "util": 0.05, "seed": 18446744073709551615}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		enc, err := marshalScenario(s)
+		if err != nil {
+			t.Fatalf("accepted scenario failed to marshal: %v\ninput: %q", err, data)
+		}
+		s2, err := ParseScenario(enc)
+		if err != nil {
+			t.Fatalf("canonical scenario failed to re-parse: %v\nencoded: %s", err, enc)
+		}
+		enc2, err := marshalScenario(s2)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("scenario not stable under decode->encode->decode:\n first: %s\nsecond: %s", enc, enc2)
+		}
+		s3, err := ParseScenario(enc2)
+		if err != nil {
+			t.Fatalf("third parse failed: %v", err)
+		}
+		if !reflect.DeepEqual(s2, s3) {
+			t.Fatalf("decoded scenario not a fixed point:\n %+v\n %+v", s2, s3)
+		}
+	})
+}

@@ -374,47 +374,6 @@ func (sp QuerySweepSpec) Points() ([]QueryPoint, error) {
 	return pts, nil
 }
 
-// queryCache deduplicates repeated analytic grid points across query kinds.
-// The analytic backend is deterministic, so points sharing a cacheKey (e.g.
-// the same J/W/O/P crossed with several OwnerCV2 values or seeds) are solved
-// once. Points that are not exact repeats still share work one layer down:
-// the binomial tables are memoized by (N, P) process-wide (core.Tables), so
-// all workers of a sweep — and concurrent sweeps — reuse each other's kernel
-// builds.
-type queryCache struct {
-	mu    sync.Mutex
-	byKey map[cacheKey]Answer
-	hits  int
-}
-
-func newQueryCache() *queryCache {
-	return &queryCache{byKey: make(map[cacheKey]Answer)}
-}
-
-// get returns a cached answer for the key, if one exists.
-func (c *queryCache) get(key cacheKey) (Answer, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	a, ok := c.byKey[key]
-	if ok {
-		c.hits++
-	}
-	return a, ok
-}
-
-func (c *queryCache) put(key cacheKey, a Answer) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.byKey[key] = a
-}
-
-// Hits reports how many points were served from the cache.
-func (c *queryCache) Hits() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits
-}
-
 // SweepQueries runs the expanded query grid on a context-cancellable worker
 // pool and streams results over the returned channel in completion order.
 // The channel is closed once every point has been answered or the context is
@@ -452,7 +411,14 @@ func sweepChannel[T any](ctx context.Context, spec QuerySweepSpec, convert func(
 		}
 		solvers[b] = s
 	}
-	cache := newQueryCache()
+	// The sweep dedup cache is the shared answer layer of cache.go: the
+	// analytic backend is deterministic, so points sharing a key (e.g. the
+	// same J/W/O/P crossed with several OwnerCV2 values or seeds) are solved
+	// once. Points that are not exact repeats still share work one layer
+	// down: the binomial tables are memoized by (N, P) process-wide
+	// (core.Tables), so all workers of a sweep — and concurrent sweeps —
+	// reuse each other's kernel builds.
+	cache := NewAnswerCache(max(len(pts), DefaultAnswerCacheCapacity))
 
 	in := make(chan QueryPoint)
 	out := make(chan T, workers)
@@ -493,29 +459,17 @@ func sweepChannel[T any](ctx context.Context, spec QuerySweepSpec, convert func(
 
 // solveQueryPoint answers one grid point, consulting the analytic cache
 // first.
-func solveQueryPoint(ctx context.Context, solver Solver, cache *queryCache, p QueryPoint) QueryResult {
+func solveQueryPoint(ctx context.Context, solver Solver, cache *AnswerCache, p QueryPoint) QueryResult {
 	res := QueryResult{Point: p}
-	key, cacheable := cacheKey{}, false
+	key, cacheable := answerKey{}, false
 	if p.Backend == BackendAnalytic {
-		key, cacheable = p.Query.dedupKey()
+		key, cacheable = answerCacheKey(BackendAnalytic, p.Query)
 	}
 	if cacheable {
-		if a, ok := cache.get(key); ok {
+		if a, ok := cache.lookup(key); ok {
 			// The cached solve may carry a sibling's name/seed; restore this
 			// point's scenario on the scenario-carrying answer kinds.
-			switch t := a.(type) {
-			case ReportAnswer:
-				if rq, isRQ := p.Query.(ReportQuery); isRQ {
-					t.Report.Scenario = rq.Scenario
-					a = t
-				}
-			case DistributionAnswer:
-				if dq, isDQ := p.Query.(DistributionQuery); isDQ {
-					t.Scenario = dq.Scenario
-					a = t
-				}
-			}
-			res.Answer = a
+			res.Answer = rebindAnswer(a, p.Query)
 			res.Cached = true
 			return res
 		}
@@ -528,7 +482,7 @@ func solveQueryPoint(ctx context.Context, solver Solver, cache *queryCache, p Qu
 	}
 	res.Answer = a
 	if cacheable {
-		cache.put(key, a)
+		cache.store(key, a)
 	}
 	return res
 }

@@ -418,7 +418,8 @@ func (x ExactSim) Answer(ctx context.Context, q Query) (Answer, error) {
 		}
 		return ReportAnswer{Report: r}, nil
 	case ThresholdQuery:
-		return bisectThreshold(ctx, BackendExact, t, t.maxRatio(DefaultSimMaxRatio), x.report)
+		maxRatio := t.maxRatio(DefaultSimMaxRatio)
+		return bisectThreshold(ctx, BackendExact, t, maxRatio, analyticThresholdGuess(t, maxRatio), x.report)
 	case DistributionQuery:
 		return x.distribution(ctx, t)
 	default:
@@ -525,7 +526,8 @@ func (d DES) Answer(ctx context.Context, q Query) (Answer, error) {
 		}
 		return ReportAnswer{Report: r}, nil
 	case ThresholdQuery:
-		return bisectThreshold(ctx, BackendDES, t, t.maxRatio(DefaultSimMaxRatio), d.report)
+		maxRatio := t.maxRatio(DefaultSimMaxRatio)
+		return bisectThreshold(ctx, BackendDES, t, maxRatio, analyticThresholdGuess(t, maxRatio), d.report)
 	case PartitionQuery:
 		return bisectPartition(ctx, BackendDES, t, d.report)
 	case DistributionQuery:

@@ -1,0 +1,222 @@
+package feasim_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"feasim"
+)
+
+// The cross-backend parity suite: one canonical query per kind, fanned
+// across every backend. A (backend, kind) pair advertised in Capabilities
+// must agree with the analytic answer within the stated tolerance; a pair
+// *not* advertised must refuse with ErrUnsupported carrying the pair — so
+// capability claims and behavior cannot drift apart in either direction.
+
+// parityPr keeps the simulated probes fast while leaving the confidence
+// intervals meaningful.
+var parityPr = feasim.Protocol{Batches: 8, BatchSize: 80, Level: 0.90}
+
+// paritySolvers builds the full backend set under the parity protocol.
+func paritySolvers() []feasim.Solver {
+	return []feasim.Solver{
+		feasim.NewAnalyticSolver(),
+		feasim.NewExactSimSolver(parityPr),
+		feasim.NewDESSolver(parityPr, 10),
+	}
+}
+
+// parityCheck compares one backend's answer against the analytic answer for
+// the same query.
+type parityCheck func(t *testing.T, backend string, got, analytic feasim.Answer)
+
+// parityQueries is the canonical query-per-kind table. The scenario keeps
+// T = J/W integral so the exact simulator can answer, and stays small so
+// the empirical bisections and batch runs are cheap.
+func parityQueries() map[string]struct {
+	query feasim.Query
+	check parityCheck
+} {
+	sc := feasim.Scenario{Name: "parity", J: 400, W: 4, O: 10, Util: 0.05, Seed: 1993}
+	return map[string]struct {
+		query feasim.Query
+		check parityCheck
+	}{
+		feasim.KindReport: {
+			query: feasim.ReportQuery{Scenario: sc},
+			check: func(t *testing.T, backend string, got, analytic feasim.Answer) {
+				g, a := got.(feasim.ReportAnswer).Report, analytic.(feasim.ReportAnswer).Report
+				if g.Backend != backend {
+					t.Errorf("report backend %q", g.Backend)
+				}
+				if backend == feasim.BackendAnalytic {
+					return
+				}
+				if rel := math.Abs(g.EJob-a.EJob) / a.EJob; rel > 0.05 {
+					t.Errorf("E[job] %.3f vs analytic %.3f: off %.1f%%", g.EJob, a.EJob, rel*100)
+				}
+				if ci := g.WeffCI.Widen(0.75); !ci.Contains(a.WeightedEfficiency) {
+					t.Errorf("weff CI [%.4f, %.4f] misses analytic %.4f", ci.Lo, ci.Hi, a.WeightedEfficiency)
+				}
+				if g.Samples == 0 {
+					t.Error("simulated report should carry a sample count")
+				}
+			},
+		},
+		feasim.KindThreshold: {
+			query: feasim.ThresholdQuery{W: 4, O: 10, Util: 0.05, TargetEff: 0.7, Seed: 1993},
+			check: func(t *testing.T, backend string, got, analytic feasim.Answer) {
+				g, a := got.(feasim.ThresholdAnswer), analytic.(feasim.ThresholdAnswer)
+				if d := g.MinRatio - a.MinRatio; d < -1 || d > 1 {
+					t.Errorf("min ratio %d vs analytic %d: off by more than one step", g.MinRatio, a.MinRatio)
+				}
+				if g.MinJobDemand != float64(g.MinRatio)*10*4 {
+					t.Errorf("min job demand %.0f != ratio·O·W", g.MinJobDemand)
+				}
+				if backend != feasim.BackendAnalytic && (g.Probes == 0 || g.Samples == 0) {
+					t.Errorf("empirical answer should report bisection cost: probes=%d samples=%d", g.Probes, g.Samples)
+				}
+			},
+		},
+		feasim.KindPartition: {
+			query: feasim.PartitionQuery{J: 400, O: 10, Util: 0.05, TargetEff: 0.5, MaxW: 8, Seed: 7},
+			check: func(t *testing.T, backend string, got, analytic feasim.Answer) {
+				g, a := got.(feasim.PartitionAnswer), analytic.(feasim.PartitionAnswer)
+				if g.W < 1 || g.W > 8 {
+					t.Fatalf("chosen W=%d outside [1, 8]", g.W)
+				}
+				if d := g.W - a.W; d < -2 || d > 2 {
+					t.Errorf("right-size W=%d vs analytic %d: too far apart", g.W, a.W)
+				}
+				if g.Report.WeightedEfficiency < 0.5 {
+					t.Errorf("report at chosen W=%d has weff %.4f below target", g.W, g.Report.WeightedEfficiency)
+				}
+			},
+		},
+		feasim.KindDistribution: {
+			query: feasim.DistributionQuery{
+				Scenario:  sc,
+				Quantiles: []float64{0.5, 0.9},
+				Deadlines: []float64{110},
+			},
+			check: func(t *testing.T, backend string, got, analytic feasim.Answer) {
+				g, a := got.(feasim.DistributionAnswer), analytic.(feasim.DistributionAnswer)
+				if backend == feasim.BackendAnalytic {
+					return
+				}
+				if rel := math.Abs(g.Mean-a.Mean) / a.Mean; rel > 0.05 {
+					t.Errorf("mean %.3f vs analytic %.3f: off %.1f%%", g.Mean, a.Mean, rel*100)
+				}
+				for i := range a.Quantiles {
+					// The job time lives on the lattice T + k·O, so empirical
+					// quantiles should land within one O step.
+					if d := math.Abs(g.Quantiles[i].Time - a.Quantiles[i].Time); d > 10 {
+						t.Errorf("q%g: empirical %.1f vs exact %.1f", a.Quantiles[i].Q*100, g.Quantiles[i].Time, a.Quantiles[i].Time)
+					}
+				}
+				if d := math.Abs(g.Deadlines[0].Prob - a.Deadlines[0].Prob); d > 0.1 {
+					t.Errorf("P(done by 110): empirical %.3f vs exact %.3f", g.Deadlines[0].Prob, a.Deadlines[0].Prob)
+				}
+				if g.Samples == 0 {
+					t.Error("empirical distribution should carry a sample count")
+				}
+			},
+		},
+		feasim.KindScaled: {
+			query: feasim.ScaledQuery{T: 100, O: 10, Util: 0.05, Ws: []int{1, 4, 16}},
+			check: func(t *testing.T, backend string, got, analytic feasim.Answer) {
+				g := got.(feasim.ScaledAnswer)
+				if len(g.Points) != 3 || g.Points[0].IncreaseVsSingle != 0 {
+					t.Fatalf("bad scaled curve: %+v", g.Points)
+				}
+				for i := 1; i < len(g.Points); i++ {
+					if g.Points[i].EJob < g.Points[i-1].EJob {
+						t.Errorf("scaled E[job] not monotone at %d", i)
+					}
+				}
+			},
+		},
+	}
+}
+
+// TestBackendKindParityMatrix drives every (backend, kind) cell of the
+// capability matrix.
+func TestBackendKindParityMatrix(t *testing.T) {
+	ctx := context.Background()
+	table := parityQueries()
+	analytic := feasim.NewAnalyticSolver()
+
+	// Analytic reference answers, one per kind (the analytic backend
+	// advertises every kind; the suite relies on that).
+	refs := make(map[string]feasim.Answer, len(table))
+	for kind, c := range table {
+		a, err := analytic.Answer(ctx, c.query)
+		if err != nil {
+			t.Fatalf("analytic reference for %s: %v", kind, err)
+		}
+		refs[kind] = a
+	}
+
+	for _, sv := range paritySolvers() {
+		capable := make(map[string]bool)
+		for _, k := range sv.Capabilities() {
+			capable[k] = true
+		}
+		for _, kind := range feasim.QueryKinds() {
+			sv, kind := sv, kind
+			t.Run(sv.Name()+"/"+kind, func(t *testing.T) {
+				c, ok := table[kind]
+				if !ok {
+					t.Fatalf("no canonical query for kind %q — extend the parity table", kind)
+				}
+				got, err := sv.Answer(ctx, c.query)
+				if capable[kind] {
+					if err != nil {
+						t.Fatalf("advertised pair failed: %v", err)
+					}
+					if got.Kind() != kind {
+						t.Fatalf("answer kind %q", got.Kind())
+					}
+					c.check(t, sv.Name(), got, refs[kind])
+					return
+				}
+				// Not advertised: the pair must actually refuse, with the
+				// typed error naming it.
+				if !errors.Is(err, feasim.ErrUnsupported) {
+					t.Fatalf("unadvertised pair: want ErrUnsupported, got answer=%v err=%v", got, err)
+				}
+				var ue *feasim.UnsupportedError
+				if !errors.As(err, &ue) || ue.Backend != sv.Name() || ue.Kind != kind {
+					t.Errorf("UnsupportedError should carry (%s, %s), got %v", sv.Name(), kind, err)
+				}
+			})
+		}
+	}
+}
+
+// TestCapabilityListsAreExact pins the advertised matrix itself, so a
+// capability added or dropped without updating the other layers (CLI docs,
+// serve taxonomy, this suite) fails loudly.
+func TestCapabilityListsAreExact(t *testing.T) {
+	want := map[string][]string{
+		feasim.BackendAnalytic: {feasim.KindReport, feasim.KindThreshold, feasim.KindPartition, feasim.KindDistribution, feasim.KindScaled},
+		feasim.BackendExact:    {feasim.KindReport, feasim.KindThreshold, feasim.KindDistribution},
+		feasim.BackendDES:      {feasim.KindReport, feasim.KindThreshold, feasim.KindPartition, feasim.KindDistribution},
+	}
+	for _, sv := range paritySolvers() {
+		got := sv.Capabilities()
+		w := want[sv.Name()]
+		if len(got) != len(w) {
+			t.Errorf("%s capabilities %v, want %v", sv.Name(), got, w)
+			continue
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("%s capabilities %v, want %v", sv.Name(), got, w)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package feasim
+
+import "feasim/internal/serve"
+
+// ---- HTTP query service ----
+//
+// The serve layer puts the typed Query/Answer envelope over HTTP: POST
+// /v1/query answers one envelope, POST /v1/sweep a QuerySweepSpec grid, GET
+// /v1/healthz and /v1/stats report liveness and the cache/traffic counters.
+// Every backend sits behind the shared answer layer (AnswerCache +
+// CachedSolver), so repeated queries are served from the LRU and concurrent
+// identical queries execute once. `feasim serve` is the CLI front-end.
+
+// QueryServer serves typed queries over HTTP with answer caching, request
+// coalescing, a concurrency limiter, per-request deadlines and graceful
+// shutdown.
+type QueryServer = serve.Server
+
+// ServeConfig configures NewQueryServer; the zero value serves the three
+// standard backends with default options.
+type ServeConfig = serve.Config
+
+// ServerStats is the /v1/stats payload: traffic counters, the in-flight
+// gauge, per-kind counts and the cache statistics.
+type ServerStats = serve.Stats
+
+// NewQueryServer builds the HTTP query service.
+func NewQueryServer(cfg ServeConfig) (*QueryServer, error) { return serve.New(cfg) }

@@ -66,3 +66,36 @@ func NewSolver(name string, opts SolverOptions) (Solver, error) {
 func SolverByName(name string, pr Protocol) (Solver, error) {
 	return solve.NewSolver(name, solve.Options{Protocol: pr})
 }
+
+// ---- The shared answer layer ----
+
+// AnswerCache is a size-bounded LRU of query answers with single-flight
+// coalescing of concurrent identical queries, shareable across backends
+// (keys include the backend name — but nothing else of a solver's identity,
+// so all solvers sharing one cache under one backend name must be
+// configured identically; use separate caches for differently-configured
+// solvers of the same backend). It backs the HTTP query service and the
+// sweep engine's analytic dedup.
+type AnswerCache = solve.AnswerCache
+
+// CacheStats is a point-in-time snapshot of an AnswerCache.
+type CacheStats = solve.CacheStats
+
+// CachedSolver wraps any Solver with an AnswerCache; it implements Solver,
+// so it drops in anywhere a backend does. Analytic answers are cached by
+// scenario core (seed-independent); stochastic backends by their full
+// envelope, seed included.
+type CachedSolver = solve.CachedSolver
+
+// DefaultAnswerCacheCapacity bounds an AnswerCache built with capacity <= 0.
+const DefaultAnswerCacheCapacity = solve.DefaultAnswerCacheCapacity
+
+// NewAnswerCache builds a cache bounded to capacity answers; capacity <= 0
+// means DefaultAnswerCacheCapacity.
+func NewAnswerCache(capacity int) *AnswerCache { return solve.NewAnswerCache(capacity) }
+
+// NewCachedSolver wraps inner with the given cache; a nil cache gets a
+// private one with the default capacity.
+func NewCachedSolver(inner Solver, cache *AnswerCache) *CachedSolver {
+	return solve.NewCachedSolver(inner, cache)
+}
