@@ -21,11 +21,15 @@ fmt:
 	gofmt -l -w .
 
 # bench runs the core performance suite in-process — including the typed
-# query path (threshold bisections/s) and the served-query pair (the HTTP
-# service cold vs cache-hit) — and records the result as BENCH_4.json
-# (schema feasim-bench/1), the repository's performance trajectory artifact.
+# query path (threshold bisections/s), the served-query pair (the HTTP
+# service cold vs cache-hit), the served batch (64 mixed envelopes per
+# request) and the answer-cache contention pairs — and records the result as
+# BENCH_5.json (schema feasim-bench/1), the repository's performance
+# trajectory artifact. When the previous artifact is present, benchdiff
+# reports per-benchmark deltas and flags >20% ns/op regressions.
 bench:
-	go run ./cmd/feasim bench -out BENCH_4.json
+	go run ./cmd/feasim bench -out BENCH_5.json
+	@if [ -f BENCH_4.json ]; then go run ./cmd/feasim benchdiff BENCH_4.json BENCH_5.json; fi
 
 # fuzz gives each JSON-envelope fuzz target a short budget; CI runs this
 # non-blocking. Failures drop reproducers under testdata/fuzz/.

@@ -317,6 +317,39 @@ func BenchmarkServedQuery(b *testing.B) {
 	b.Run("hit", benchgrid.ServedQueryBench(true))
 }
 
+// BenchmarkServedBatch measures the batched hot path via the canonical
+// benchgrid batch (shared with `feasim bench`, so BENCH_5.json tracks the
+// same workload): 64 mixed envelopes per /v1/batch request, all served from
+// the answer LRU after the warm request, reported as envelopes/s. The
+// acceptance bar is per-envelope throughput ≥ 5× served_query_hit's request
+// rate — one round trip and one pooled response encode amortized over the
+// whole batch.
+func BenchmarkServedBatch(b *testing.B) {
+	b.Run(fmt.Sprintf("hit%d", benchgrid.ServedBatchSize), benchgrid.ServedBatchBench())
+}
+
+// BenchmarkAnswerCacheHit measures the answer cache's hot path over a
+// resident 256-key working set: the single-mutex layout (shards=1, the
+// pre-sharding baseline) against the deployed layout (shards sized to
+// GOMAXPROCS — exactly one shard on a 1-CPU host, so the default never pays
+// the shard hash where it cannot shed contention) and a pinned 16-shard
+// layout that records the hash tax and the contention relief explicitly.
+func BenchmarkAnswerCacheHit(b *testing.B) {
+	for _, cfg := range []struct {
+		name        string
+		shards, par int
+	}{
+		{"mutex/p1", 1, 1},
+		{"sharded/p1", 0, 1},
+		{"mutex/p8", 1, 8},
+		{"sharded/p8", 0, 8},
+		{"sharded16/p1", 16, 1},
+		{"sharded16/p8", 16, 8},
+	} {
+		b.Run(cfg.name, benchgrid.CacheHitContentionBench(cfg.shards, cfg.par))
+	}
+}
+
 // BenchmarkQueryThresholdSweep measures the typed query path on the
 // canonical threshold grid of internal/benchgrid (shared with `feasim
 // bench`, so BENCH_3.json tracks the same workload): 40 analytic threshold

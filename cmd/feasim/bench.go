@@ -44,7 +44,7 @@ type benchReport struct {
 // cmdBench runs the benchmark suite and writes the JSON report.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_4.json", "output JSON file")
+	out := fs.String("out", "BENCH_5.json", "output JSON file")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
@@ -134,6 +134,24 @@ func cmdBench(args []string) error {
 		// heavy-traffic hot case the serve layer exists for.
 		{"served_query_cold", benchgrid.ServedQueryBench(false)},
 		{"served_query_hit", benchgrid.ServedQueryBench(true)},
+		// The batched hot path: 64 mixed envelopes per /v1/batch request,
+		// all answered from the LRU after the warm request. env/s is the
+		// per-envelope throughput the acceptance bar compares against
+		// served_query_hit's request rate.
+		{"served_batch", benchgrid.ServedBatchBench()},
+		// The answer-cache hot path at 1 shard (the pre-sharding
+		// single-mutex baseline) vs the deployed layout (shards sized to
+		// GOMAXPROCS — one shard on a 1-CPU host, so the default never pays
+		// the shard hash where it cannot shed contention), uncontended (p1)
+		// and with goroutine parallelism (p8). The deployed layout must not
+		// lose to mutex at p1; the pinned 16-shard rows record the shard
+		// hash tax and the contention relief explicitly.
+		{"cache_hits_mutex_p1", benchgrid.CacheHitContentionBench(1, 1)},
+		{"cache_hits_sharded_p1", benchgrid.CacheHitContentionBench(0, 1)},
+		{"cache_hits_mutex_p8", benchgrid.CacheHitContentionBench(1, 8)},
+		{"cache_hits_sharded_p8", benchgrid.CacheHitContentionBench(0, 8)},
+		{"cache_hits_sharded16_p1", benchgrid.CacheHitContentionBench(16, 1)},
+		{"cache_hits_sharded16_p8", benchgrid.CacheHitContentionBench(16, 8)},
 	}
 
 	rep := benchReport{

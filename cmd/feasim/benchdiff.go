@@ -1,0 +1,81 @@
+package main
+
+// The benchdiff subcommand compares two BENCH_*.json reports (the schema
+// cmdBench emits) and flags per-benchmark ns/op regressions past a
+// threshold. CI runs it non-blocking after `make bench`, piping the Markdown
+// table into the job summary so the performance trajectory of each PR is
+// visible without gating merges on noisy shared runners.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// cmdBenchDiff diffs OLD.json NEW.json and prints a Markdown table; it never
+// fails on regressions (the report is informational — the calling CI step is
+// non-blocking), only on unreadable input.
+func cmdBenchDiff(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.20, "fractional ns/op increase flagged as a regression")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("benchdiff: want exactly two report files (old new), got %d args", fs.NArg())
+	}
+	oldRep, err := loadBenchReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := loadBenchReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]benchResult, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Printf("### Benchmark diff: %s → %s\n\n", fs.Arg(0), fs.Arg(1))
+	fmt.Printf("| benchmark | old ns/op | new ns/op | delta |\n")
+	fmt.Printf("|---|---:|---:|---:|\n")
+	regressions := 0
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("| %s | — | %.0f | new |\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		delete(oldBy, ob.Name)
+		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		mark := ""
+		if delta > *threshold {
+			mark = " ⚠️ REGRESSION"
+			regressions++
+		}
+		fmt.Printf("| %s | %.0f | %.0f | %+.1f%%%s |\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta*100, mark)
+	}
+	for name := range oldBy {
+		fmt.Printf("| %s | %.0f | — | removed |\n", name, oldBy[name].NsPerOp)
+	}
+	fmt.Println()
+	if regressions > 0 {
+		fmt.Printf("**%d benchmark(s) regressed more than %.0f%%.**\n", regressions, *threshold*100)
+	} else {
+		fmt.Printf("No regressions past %.0f%%.\n", *threshold*100)
+	}
+	return nil
+}
+
+// loadBenchReport reads one BENCH_*.json file.
+func loadBenchReport(path string) (benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return benchReport{}, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -5,10 +5,10 @@
 //
 //	query      answer a typed query envelope ({"kind": ...} JSON) with any
 //	           capable backend: report, threshold, partition, distribution,
-//	           scaled
+//	           scaled; -batch answers a JSON array of envelopes concurrently
 //	serve      run the query service: the same envelopes over HTTP
-//	           (POST /v1/query, POST /v1/sweep) with answer caching and
-//	           request coalescing in front of the backends
+//	           (POST /v1/query, POST /v1/batch, POST /v1/sweep) with answer
+//	           caching and request coalescing in front of the backends
 //	run        answer a scenario JSON file with any or all solver backends
 //	           (the "report" query kind as a convenience form)
 //	sweep      fan a scenario grid across a parallel worker pool
@@ -20,6 +20,7 @@
 //	           {"kind": "scaled"})
 //	simulate   validate the analysis by simulation (Section 2.2)
 //	bench      run the core benchmarks and emit a JSON report
+//	benchdiff  compare two bench reports and flag ns/op regressions
 //
 // Examples:
 //
@@ -79,6 +80,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "benchdiff":
+		err = cmdBenchDiff(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -93,13 +96,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: feasim <query|serve|run|sweep|analyze|assess|threshold|scaled|simulate|bench> [flags]
+	fmt.Fprintln(os.Stderr, `usage: feasim <query|serve|run|sweep|analyze|assess|threshold|scaled|simulate|bench|benchdiff> [flags]
 
 query answers a typed query envelope file — {"kind": "report"|"threshold"|
-"partition"|"distribution"|"scaled", ...} — with any capable backend; serve
-answers the same envelopes over HTTP (POST /v1/query, POST /v1/sweep) with
-answer caching and request coalescing; run and sweep answer scenario files
-(the "report" kind). Run "feasim <subcommand> -h" for flags.`)
+"partition"|"distribution"|"scaled", ...} — with any capable backend (-batch
+answers a JSON array of envelopes concurrently); serve answers the same
+envelopes over HTTP (POST /v1/query, /v1/batch, /v1/sweep) with answer
+caching and request coalescing; run and sweep answer scenario files (the
+"report" kind); benchdiff compares two bench reports and flags regressions.
+Run "feasim <subcommand> -h" for flags.`)
 }
 
 // solveContext builds the run/sweep context, honoring an optional timeout.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -187,6 +188,59 @@ func TestCmdQuery(t *testing.T) {
 	}
 }
 
+// TestCmdQueryBatchGolden answers the checked-in envelope array with the
+// deterministic analytic backend and compares the rendered text against the
+// golden file. Regenerate with:
+//
+//	go run ./cmd/feasim query -batch cmd/feasim/testdata/query_batch.json \
+//	    > cmd/feasim/testdata/query_batch.golden
+func TestCmdQueryBatchGolden(t *testing.T) {
+	in := filepath.Join("testdata", "query_batch.json")
+	out := captureStdout(t, func() error { return cmdQuery([]string{"-batch", in}) })
+	want, err := os.ReadFile(filepath.Join("testdata", "query_batch.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("batch golden mismatch:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+func TestCmdQueryBatch(t *testing.T) {
+	discardStdout(t)
+	// Partial failure: the malformed middle item fails alone; the command
+	// still succeeds because its neighbors answered.
+	mixed := writeFile(t, "mixed.json", `[
+		{"kind": "threshold", "w": 10, "o": 10, "util": 0.1, "target_eff": 0.8},
+		{"kind": "bogus"},
+		{"kind": "scaled", "t": 100, "o": 10, "util": 0.1, "ws": [1, 10]}
+	]`)
+	if err := cmdQuery([]string{"-batch", mixed}); err != nil {
+		t.Errorf("partially failing batch should still succeed: %v", err)
+	}
+	// JSON emission.
+	if err := cmdQuery([]string{"-batch", "-json", mixed}); err != nil {
+		t.Fatal(err)
+	}
+	// All items failing is a command failure.
+	allBad := writeFile(t, "allbad.json", `[{"kind": "bogus"}, {"kind": "worse"}]`)
+	if err := cmdQuery([]string{"-batch", allBad}); err == nil {
+		t.Error("batch with every item failing should error")
+	}
+	// The array shell must validate.
+	notArray := writeFile(t, "notarray.json", `{"kind": "threshold", "w": 10, "o": 10, "util": 0.1, "target_eff": 0.8}`)
+	if err := cmdQuery([]string{"-batch", notArray}); err == nil {
+		t.Error("-batch on a non-array file should error")
+	}
+	empty := writeFile(t, "empty.json", `[]`)
+	if err := cmdQuery([]string{"-batch", empty}); err == nil {
+		t.Error("empty batch should error")
+	}
+	if err := cmdQuery([]string{"-batch", "-backend", "all", mixed}); err == nil {
+		t.Error("-batch with -backend all should error")
+	}
+}
+
 func TestCmdRunWarmupFlag(t *testing.T) {
 	discardStdout(t)
 	path := writeFile(t, "scenario.json", testScenario)
@@ -249,6 +303,36 @@ func TestCmdSimulate(t *testing.T) {
 	if err := cmdSimulate([]string{"-j", "1000", "-w", "3", "-util", "0.1",
 		"-batches", "5", "-batchsize", "50"}); err == nil {
 		t.Error("non-integral T should error")
+	}
+}
+
+func TestCmdBenchDiff(t *testing.T) {
+	oldRep := writeFile(t, "old.json", `{"schema": "feasim-bench/1", "benchmarks": [
+		{"name": "a", "ns_per_op": 100},
+		{"name": "b", "ns_per_op": 100},
+		{"name": "gone", "ns_per_op": 5}
+	]}`)
+	newRep := writeFile(t, "new.json", `{"schema": "feasim-bench/1", "benchmarks": [
+		{"name": "a", "ns_per_op": 150},
+		{"name": "b", "ns_per_op": 90},
+		{"name": "fresh", "ns_per_op": 7}
+	]}`)
+	out := captureStdout(t, func() error { return cmdBenchDiff([]string{oldRep, newRep}) })
+	for _, want := range []string{"REGRESSION", "+50.0%", "-10.0%", "| fresh | — |", "| gone |", "1 benchmark(s) regressed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("benchdiff output missing %q:\n%s", want, out)
+		}
+	}
+	// A looser threshold clears the regression.
+	out = captureStdout(t, func() error { return cmdBenchDiff([]string{"-threshold", "0.6", oldRep, newRep}) })
+	if strings.Contains(out, "REGRESSION") {
+		t.Errorf("threshold 0.6 should clear the +50%% delta:\n%s", out)
+	}
+	if err := cmdBenchDiff([]string{oldRep}); err == nil {
+		t.Error("one file should error")
+	}
+	if err := cmdBenchDiff([]string{oldRep, filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing file should error")
 	}
 }
 

@@ -2,13 +2,20 @@ package main
 
 // The query subcommand answers a typed query envelope file — any of the
 // paper's question kinds ("report", "threshold", "partition",
-// "distribution", "scaled") — with any capable backend.
+// "distribution", "scaled") — with any capable backend. With -batch the
+// file holds a JSON array of envelopes, answered concurrently through a
+// shared answer cache (duplicates solve once), mirroring the HTTP service's
+// POST /v1/batch.
 
 import (
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
 
 	"feasim"
 )
@@ -21,18 +28,26 @@ func cmdQuery(args []string) error {
 	warmup := fs.Int("warmup", 0, "DES warmup job count (0 = default, negative disables)")
 	timeout := fs.Duration("timeout", 0, "overall deadline for the solve (0 = none)")
 	asJSON := fs.Bool("json", false, "emit answers as JSON")
+	batch := fs.Bool("batch", false, "the file holds a JSON array of envelopes, answered concurrently with per-item results")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("query: want exactly one query envelope JSON file, got %d args", fs.NArg())
+	}
+	pr0, err := parseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+	if *batch {
+		if *backend == "all" {
+			return fmt.Errorf("query: -batch answers with one backend (got -backend all)")
+		}
+		return runBatchQuery(fs.Arg(0), *backend, feasim.SolverOptions{Protocol: pr0, Warmup: *warmup}, *timeout, *asJSON)
 	}
 	q, err := feasim.LoadQuery(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	pr, err := parseProtocol(*protocol)
-	if err != nil {
-		return err
-	}
+	pr := pr0
 	all := *backend == "all"
 	backends := []string{*backend}
 	if all {
@@ -65,6 +80,104 @@ func cmdQuery(args []string) error {
 		} else {
 			printAnswer(a)
 		}
+	}
+	return nil
+}
+
+// batchResult is one item of a -batch run, in input order.
+type batchResult struct {
+	ans    feasim.Answer
+	cached bool
+	err    error
+}
+
+// runBatchQuery answers a JSON array of envelopes concurrently through one
+// CachedSolver — the CLI twin of POST /v1/batch. Items fail individually; the
+// command only errors when nothing could be answered at all.
+func runBatchQuery(path, backend string, opts feasim.SolverOptions, timeout time.Duration, asJSON bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var envs []json.RawMessage
+	if err := json.Unmarshal(data, &envs); err != nil {
+		return fmt.Errorf("query: -batch wants a JSON array of query envelopes: %w", err)
+	}
+	if len(envs) == 0 {
+		return fmt.Errorf("query: empty batch")
+	}
+	inner, err := feasim.NewSolver(backend, opts)
+	if err != nil {
+		return err
+	}
+	solver := feasim.NewCachedSolver(inner, nil)
+	ctx, cancel := solveContext(timeout)
+	defer cancel()
+
+	results := make([]batchResult, len(envs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(envs) {
+		workers = len(envs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				q, err := feasim.ParseQuery(envs[i])
+				if err != nil {
+					results[i] = batchResult{err: err}
+					continue
+				}
+				a, cached, err := solver.AnswerCached(ctx, q)
+				results[i] = batchResult{ans: a, cached: cached, err: err}
+			}
+		}()
+	}
+	for i := range envs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	failed := 0
+	if asJSON {
+		type itemJSON struct {
+			Kind   string        `json:"kind,omitempty"`
+			Cached bool          `json:"cached,omitempty"`
+			Answer feasim.Answer `json:"answer,omitempty"`
+			Error  string        `json:"error,omitempty"`
+		}
+		items := make([]itemJSON, len(results))
+		for i, r := range results {
+			if r.err != nil {
+				items[i] = itemJSON{Error: r.err.Error()}
+				failed++
+				continue
+			}
+			items[i] = itemJSON{Kind: r.ans.Kind(), Cached: r.cached, Answer: r.ans}
+		}
+		out, err := json.MarshalIndent(items, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		for i, r := range results {
+			fmt.Printf("=== item %d\n", i)
+			if r.err != nil {
+				fmt.Printf("error: %v\n", r.err)
+				failed++
+				continue
+			}
+			printAnswer(r.ans)
+		}
+		fmt.Printf("batch: %d answered, %d failed\n", len(results)-failed, failed)
+	}
+	if failed == len(results) {
+		return fmt.Errorf("query: every batch item failed")
 	}
 	return nil
 }

@@ -1,15 +1,18 @@
-// Package benchgrid defines the canonical sweep workloads measured both by
-// the in-repo benchmarks and by `feasim bench` (BENCH_3.json). Keeping one
-// definition ensures the tracked performance artifact and the benchmark the
-// README/ROADMAP numbers cite measure the same grids.
+// Package benchgrid defines the canonical sweep, served-query and cache
+// workloads measured both by the in-repo benchmarks and by `feasim bench`
+// (BENCH_*.json, currently BENCH_5.json). Keeping one definition ensures the
+// tracked performance artifact and the benchmark the README/ROADMAP numbers
+// cite measure the same workloads.
 package benchgrid
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"feasim/internal/serve"
@@ -137,6 +140,160 @@ func ServedQueryBench(hit bool) func(b *testing.B) {
 			} else {
 				post(ServedQueryEnvelope(i + 1))
 			}
+		}
+	}
+}
+
+// ServedBatchSize is the number of envelopes per /v1/batch request in the
+// served-batch workload.
+const ServedBatchSize = 64
+
+// ServedBatchBody is the canonical batch: ServedBatchSize mixed envelopes —
+// threshold, report and distribution queries on the exact backend, cycling
+// through distinct seeds so the batch holds distinct cache keys rather than
+// one repeated envelope.
+func ServedBatchBody() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < ServedBatchSize; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		seed := i/3 + 1
+		switch i % 3 {
+		case 0:
+			sb.WriteString(ServedQueryEnvelope(seed))
+		case 1:
+			fmt.Fprintf(&sb, `{"kind": "report", "scenario": {"j": 1000, "w": 10, "o": 10, "util": 0.1, "seed": %d}}`, seed)
+		case 2:
+			fmt.Fprintf(&sb, `{"kind": "distribution", "scenario": {"j": 1000, "w": 10, "o": 10, "util": 0.1, "seed": %d}, "deadlines": [150]}`, seed)
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// ServedBatchBench measures the batched hot path (served_batch in
+// BENCH_5.json): one warm request populates the answer cache, then every
+// iteration answers all ServedBatchSize envelopes in a single /v1/batch
+// round trip from the LRU. The env/s metric is what the acceptance bar
+// compares against the per-request served_query_hit throughput — the
+// batch's value is amortizing the HTTP round trip and response encoding
+// across 64 answers.
+func ServedBatchBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		srv, err := serve.New(serve.Config{
+			Options: solve.Options{Protocol: ServedProtocol()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		body := ServedBatchBody()
+		post := func() {
+			resp, err := http.Post(ts.URL+"/v1/batch?backend="+ServedQueryBackend,
+				"application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		post() // warm: every distinct envelope solves once
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post()
+		}
+		b.ReportMetric(float64(ServedBatchSize*b.N)/b.Elapsed().Seconds(), "env/s")
+	}
+}
+
+// cannedSolver answers instantly with a fixed-shape answer, so the cache
+// contention benchmark measures the answer layer's locking and key hashing,
+// not a backend.
+type cannedSolver struct{ name string }
+
+func (c cannedSolver) Name() string           { return c.name }
+func (c cannedSolver) Capabilities() []string { return solve.QueryKinds() }
+
+func (c cannedSolver) Answer(_ context.Context, q solve.Query) (solve.Answer, error) {
+	if rq, ok := q.(solve.ReportQuery); ok {
+		return solve.ReportAnswer{Report: solve.Report{Scenario: rq.Scenario, Backend: c.name, EJob: 1}}, nil
+	}
+	return solve.ThresholdAnswer{Backend: c.name, MinRatio: 7}, nil
+}
+
+func (c cannedSolver) Solve(ctx context.Context, s solve.Scenario) (solve.Report, error) {
+	a, err := c.Answer(ctx, solve.ReportQuery{Scenario: s})
+	if err != nil {
+		return solve.Report{}, err
+	}
+	return a.(solve.ReportAnswer).Report, nil
+}
+
+// CacheHitContentionBench measures the AnswerCache hot path — repeated hits
+// over a resident working set of 256 distinct keys — at a given shard count
+// and parallelism (cache_hits_* in BENCH_5.json). shards == 1 is the
+// pre-sharding single-mutex layout, the baseline the deployed layout
+// (shards == 0, sized to GOMAXPROCS) must not lose to at parallelism 1 — on
+// a single-CPU host the default *is* one shard, by design, so the deployed
+// cache never pays the shard hash where it cannot shed contention. A pinned
+// shards > 1 run records that hash tax explicitly; higher parallelism shows
+// what sharding buys once goroutines contend (visible only on multi-core
+// hosts).
+func CacheHitContentionBench(shards, parallelism int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cache := solve.NewAnswerCacheShards(4096, shards)
+		cs := solve.NewCachedSolver(cannedSolver{name: solve.BackendAnalytic}, cache)
+		const keys = 256
+		queries := make([]solve.Query, keys)
+		for i := range queries {
+			// Distinct J per key (integral per-task demand at W=10) spreads
+			// the working set across shards.
+			queries[i] = solve.ReportQuery{Scenario: solve.Scenario{
+				J: float64(1000 + 10*i), W: 10, O: 10, Util: 0.1,
+			}}
+		}
+		ctx := context.Background()
+		for _, q := range queries {
+			if _, err := cs.Answer(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if parallelism <= 1 {
+			// The uncontended baseline must actually be uncontended: a
+			// plain sequential loop, not RunParallel (whose goroutine count
+			// is parallelism × GOMAXPROCS and would contend on any
+			// multi-core host).
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, cached, err := cs.AnswerCached(ctx, queries[i%keys])
+				if err != nil || !cached {
+					b.Fatalf("cached=%v err=%v", cached, err)
+				}
+			}
+			return
+		}
+		var failure atomic.Value
+		b.SetParallelism(parallelism)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				_, cached, err := cs.AnswerCached(ctx, queries[i%keys])
+				i++
+				if err != nil || !cached {
+					failure.Store(fmt.Sprintf("cached=%v err=%v", cached, err))
+					return
+				}
+			}
+		})
+		if msg := failure.Load(); msg != nil {
+			b.Fatal(msg)
 		}
 	}
 }

@@ -151,8 +151,18 @@ func TestSpeedupBounds(t *testing.T) {
 			return false
 		}
 		r := MustAnalyze(p)
+		// The rounded-trials convention undercounts interruption
+		// opportunities when T = J/W sits barely above the granularity
+		// floor (trials = round(T) < T), which can push the weighted
+		// efficiency above 1 — by at most T/trials: E_task = T + trials·P·O
+		// ≥ trials/(1−u), so weff = T/((1−u)·E_job) ≤ T/trials. Scale the
+		// upper bound to that provable envelope (exactly 1 once trials ≥ T).
+		weffBound := 1.0
+		if tr := p.trials(); float64(tr) < p.TaskDemand() {
+			weffBound = p.TaskDemand() / float64(tr)
+		}
 		return r.Speedup > 0 && r.Speedup <= float64(w)+1e-9 &&
-			r.WeightedEfficiency > 0 && r.WeightedEfficiency <= 1+1e-9
+			r.WeightedEfficiency > 0 && r.WeightedEfficiency <= weffBound+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"math"
 	"sync"
 )
@@ -64,34 +65,42 @@ type BinomialTables struct {
 // shared and must not be modified.
 func Tables(n int, p float64) *BinomialTables {
 	key := tableKey{n: n, p: p}
-	tableCache.Lock()
-	if t, ok := tableCache.m[key]; ok {
-		tableCache.hits++
-		tableCache.Unlock()
+	s := tableShardFor(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		s.hits++
+		t := el.Value.(*tableEntry).t
+		s.mu.Unlock()
 		return t
 	}
-	tableCache.misses++
-	tableCache.Unlock()
+	s.misses++
+	s.mu.Unlock()
 
 	// Build outside the lock: tables are deterministic, so two goroutines
 	// racing on the same key waste one build, never correctness.
 	t := newBinomialTables(n, p)
 
-	tableCache.Lock()
-	if len(tableCache.m) >= tableCacheCap {
-		// Evict about half the entries; regeneration is cheap and the memo
-		// must not grow without bound under adversarial parameter streams.
-		drop := tableCacheCap / 2
-		for k := range tableCache.m {
-			if drop == 0 {
-				break
-			}
-			delete(tableCache.m, k)
-			drop--
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		// A racing build won the insert; keep the resident table so every
+		// caller of this key shares one value.
+		s.order.MoveToFront(el)
+		t = el.Value.(*tableEntry).t
+	} else {
+		s.entries[key] = s.order.PushFront(&tableEntry{key: key, t: t})
+		for len(s.entries) > tableShardCap {
+			// Evict in recency order, never the key just inserted: the memo
+			// must stay bounded under adversarial parameter streams, but a
+			// hot (N, P) that every sweep worker touches stays resident
+			// (the old random map-order half-sweep could drop it mid-use).
+			back := s.order.Back()
+			s.order.Remove(back)
+			delete(s.entries, back.Value.(*tableEntry).key)
+			s.evictions++
 		}
 	}
-	tableCache.m[key] = t
-	tableCache.Unlock()
+	s.mu.Unlock()
 	return t
 }
 
@@ -100,21 +109,82 @@ type tableKey struct {
 	p float64
 }
 
-const tableCacheCap = 128
+// tableEntry is the recency-list payload, carrying the key back for
+// eviction.
+type tableEntry struct {
+	key tableKey
+	t   *BinomialTables
+}
 
-var tableCache = struct {
-	sync.Mutex
-	m      map[tableKey]*BinomialTables
-	hits   uint64
-	misses uint64
-}{m: make(map[tableKey]*BinomialTables)}
+const (
+	// tableCacheCap bounds the memo's total residency across all shards.
+	// Sized so a shard still holds a canonical sweep's working set (~100
+	// distinct (N, P) keys across the whole memo) even when the key hash
+	// distributes unevenly: the bound only exists to stop unbounded growth
+	// under adversarial parameter streams, and tables are O(√T), so the
+	// memory cost of headroom is small next to the cost of rebuilding a hot
+	// table every grid pass.
+	tableCacheCap = 256
+	// tableShardCount splits the memo so concurrent sweep workers hitting
+	// distinct (N, P) keys do not serialize on one mutex. Power of two.
+	tableShardCount = 8
+	// tableShardCap is each shard's recency-eviction bound.
+	tableShardCap = tableCacheCap / tableShardCount
+)
+
+// tableShard is one slice of the memo: its own lock, map and recency list
+// (front = most recently used).
+type tableShard struct {
+	mu      sync.Mutex
+	entries map[tableKey]*list.Element
+	order   *list.List
+	hits    uint64
+	misses  uint64
+	// evictions counts entries dropped by the recency bound.
+	evictions uint64
+}
+
+var tableShards = func() [tableShardCount]*tableShard {
+	var out [tableShardCount]*tableShard
+	for i := range out {
+		out[i] = &tableShard{entries: make(map[tableKey]*list.Element), order: list.New()}
+	}
+	return out
+}()
+
+// tableShardFor hashes (n, p) onto a shard with a 64-bit finalizer mix; the
+// same key always lands on the same shard.
+func tableShardFor(key tableKey) *tableShard {
+	h := math.Float64bits(key.p) ^ uint64(key.n)*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return tableShards[h&(tableShardCount-1)]
+}
 
 // TablesCacheStats reports the cumulative hit/miss counts of the shared
-// table memo, for benchmarks and tests of cross-worker sharing.
+// table memo (summed across shards), for benchmarks and tests of
+// cross-worker sharing.
 func TablesCacheStats() (hits, misses uint64) {
-	tableCache.Lock()
-	defer tableCache.Unlock()
-	return tableCache.hits, tableCache.misses
+	for _, s := range tableShards {
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// tablesCacheEntries reports the memo's current residency, for the bound
+// tests.
+func tablesCacheEntries() int {
+	n := 0
+	for _, s := range tableShards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // pointMass reports whether Bin(n, p) is degenerate, and at which count.

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/big"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -329,11 +330,57 @@ func TestTablesCacheBounded(t *testing.T) {
 	for i := 0; i < 3*tableCacheCap; i++ {
 		Tables(100+i, 0.37)
 	}
-	tableCache.Lock()
-	n := len(tableCache.m)
-	tableCache.Unlock()
-	if n > tableCacheCap {
+	if n := tablesCacheEntries(); n > tableCacheCap {
 		t.Errorf("cache grew to %d entries, cap is %d", n, tableCacheCap)
+	}
+}
+
+// TestTablesHotKeySurvivesEviction is the regression test for the old
+// eviction sweep, which deleted half the memo in random map-iteration order
+// and could drop the hottest (N, P) mid-sweep. With recency-aware eviction a
+// table that is touched between insertions must stay resident through any
+// number of eviction cycles on its shard.
+func TestTablesHotKeySurvivesEviction(t *testing.T) {
+	hot := Tables(613, 0.29)
+	// Push far more distinct keys through the memo than it can hold, enough
+	// to overflow every shard several times, re-touching the hot key between
+	// insertions the way a sweep worker would.
+	for i := 0; i < 8*tableCacheCap; i++ {
+		Tables(1000+i, 0.41)
+		if got := Tables(613, 0.29); got != hot {
+			t.Fatalf("hot table evicted and rebuilt after %d insertions", i+1)
+		}
+	}
+}
+
+// TestTablesConcurrentBuildEvict hammers the memo from many goroutines with
+// overlapping hot keys and a churning stream of cold keys — the shard locks,
+// recency lists and racing double-builds must stay consistent under -race,
+// and every caller of one key must observe a usable table.
+func TestTablesConcurrentBuildEvict(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Cold churn unique to this worker forces evictions...
+				cold := Tables(2000+w*1000+i, 0.33)
+				// ...while a small hot set is shared by all workers.
+				hot := Tables(500+i%4, 0.27)
+				for _, tb := range []*BinomialTables{cold, hot} {
+					if tb.CDF(tb.Hi) < 0.999999 {
+						t.Errorf("table (%d, %v) unusable: CDF(Hi)=%v", tb.N, tb.P, tb.CDF(tb.Hi))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := tablesCacheEntries(); n > tableCacheCap {
+		t.Errorf("cache grew to %d entries under concurrency, cap is %d", n, tableCacheCap)
 	}
 }
 

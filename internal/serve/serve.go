@@ -8,11 +8,23 @@
 //	POST /v1/query?backend=NAME   one query envelope {"kind": ...}; answers
 //	                              with {"kind", "backend", "cached",
 //	                              "elapsed_ns", "answer"}
+//	POST /v1/batch?backend=NAME   a JSON array of query envelopes, answered
+//	                              concurrently; one response with a per-item
+//	                              status + answer (or error) in request
+//	                              order
 //	POST /v1/sweep                a QuerySweepSpec grid; answers with the
 //	                              collected results in grid order
 //	GET  /v1/healthz              liveness probe
 //	GET  /v1/stats                cache hits/misses/coalesced, in-flight
 //	                              gauge, per-kind counters, uptime
+//
+// Batches amortize the per-request overhead of the hot cache-hit path: the
+// whole array shares one deadline and occupies one concurrency-limiter slot,
+// its items fan out across an internal worker pool straight into the shared
+// answer layer (so duplicate envelopes in one batch — or across concurrent
+// batches — coalesce onto a single solve), and a malformed or failing item
+// reports its own status without failing its neighbors. The batch request
+// itself is 200 whenever the array was admitted at all.
 //
 // Error taxonomy: a body that does not decode or validate is 400; an
 // unknown backend name is 400; a (backend, kind) pair outside the backend's
@@ -41,6 +53,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -50,6 +63,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,8 +77,12 @@ const (
 	DefaultMaxInFlight = 64
 	// DefaultRequestTimeout is the per-request solve deadline.
 	DefaultRequestTimeout = time.Minute
-	// maxBodyBytes caps request bodies; envelopes are small, sweeps modest.
+	// maxBodyBytes caps request bodies; envelopes are small, sweeps and
+	// batches modest.
 	maxBodyBytes = 1 << 20
+	// maxBatchItems caps one /v1/batch array: a batch shares one limiter
+	// slot, so its internal fan-out must stay bounded.
+	maxBatchItems = 1024
 )
 
 // Config configures a Server. The zero value serves the three standard
@@ -95,15 +113,19 @@ type Config struct {
 	SweepWorkers int
 }
 
-// Stats is the /v1/stats payload (and the Server.Stats snapshot).
+// Stats is the /v1/stats payload (and the Server.Stats snapshot). Queries
+// counts /v1/query requests; Batches counts /v1/batch requests and
+// BatchItems their parsed envelopes (each of which also counts in PerKind).
 type Stats struct {
-	UptimeNS int64            `json:"uptime_ns"`
-	InFlight int64            `json:"in_flight"`
-	Queries  int64            `json:"queries"`
-	Sweeps   int64            `json:"sweeps"`
-	Errors   int64            `json:"errors"`
-	PerKind  map[string]int64 `json:"per_kind"`
-	Cache    solve.CacheStats `json:"cache"`
+	UptimeNS   int64            `json:"uptime_ns"`
+	InFlight   int64            `json:"in_flight"`
+	Queries    int64            `json:"queries"`
+	Batches    int64            `json:"batches"`
+	BatchItems int64            `json:"batch_items"`
+	Sweeps     int64            `json:"sweeps"`
+	Errors     int64            `json:"errors"`
+	PerKind    map[string]int64 `json:"per_kind"`
+	Cache      solve.CacheStats `json:"cache"`
 }
 
 // Server is the HTTP front-end. Construct with New; serve with Serve (or
@@ -121,12 +143,72 @@ type Server struct {
 	mux            *http.ServeMux
 	http           *http.Server
 
-	start    time.Time
-	inFlight atomic.Int64
-	queries  atomic.Int64
-	sweeps   atomic.Int64
-	errors   atomic.Int64
-	perKind  map[string]*atomic.Int64
+	parsed parseCache
+
+	start      time.Time
+	inFlight   atomic.Int64
+	queries    atomic.Int64
+	batches    atomic.Int64
+	batchItems atomic.Int64
+	sweeps     atomic.Int64
+	errors     atomic.Int64
+	perKind    map[string]*atomic.Int64
+}
+
+// parseCache memoizes ParseQuery by the raw envelope bytes. Under heavy
+// traffic the same envelopes arrive verbatim over and over (the cache-hit
+// case the service exists for), and the two-pass strict decode is several
+// times the cost of the answer lookup itself. Reads are lock-free
+// (sync.Map); the bound is enforced by swapping in a fresh map once the
+// entry count passes parseCacheCap — crude eviction, but envelope diversity
+// is tiny next to the churn of a real LRU and the swap costs one pointer
+// store. Parsed queries are validated before caching and are treated as
+// immutable by everything downstream; parse *errors* are never cached, so
+// the malformed (cold) path stays un-memoized.
+type parseCache struct {
+	entries atomic.Int64
+	m       atomic.Pointer[sync.Map]
+}
+
+// parseCacheCap bounds the memo's entry count and parseCacheMaxEntryBytes
+// its per-entry key size: envelopes above it (legal — maxBodyBytes is 1 MB)
+// are parsed but never memoized, so an adversarial stream of huge distinct
+// envelopes cannot pin more than parseCacheCap × parseCacheMaxEntryBytes
+// ≈ 4 MB of raw keys.
+const (
+	parseCacheCap           = 4096
+	parseCacheMaxEntryBytes = 1 << 10
+)
+
+func (p *parseCache) parse(env []byte) (solve.Query, error) {
+	memoize := len(env) <= parseCacheMaxEntryBytes
+	var m *sync.Map
+	if memoize {
+		m = p.m.Load()
+		if m == nil {
+			m = &sync.Map{}
+			if !p.m.CompareAndSwap(nil, m) {
+				m = p.m.Load()
+			}
+		}
+		if v, ok := m.Load(string(env)); ok {
+			return v.(solve.Query), nil
+		}
+	}
+	q, err := solve.ParseQuery(env)
+	if err != nil {
+		return nil, err
+	}
+	if !memoize {
+		return q, nil
+	}
+	if p.entries.Add(1) > parseCacheCap {
+		p.entries.Store(0)
+		m = &sync.Map{}
+		p.m.Store(m)
+	}
+	m.Store(string(env), q)
+	return q, nil
 }
 
 // New builds a Server from the config.
@@ -184,6 +266,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -208,13 +291,15 @@ func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ct
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		UptimeNS: time.Since(s.start).Nanoseconds(),
-		InFlight: s.inFlight.Load(),
-		Queries:  s.queries.Load(),
-		Sweeps:   s.sweeps.Load(),
-		Errors:   s.errors.Load(),
-		PerKind:  make(map[string]int64, len(s.perKind)),
-		Cache:    s.cache.Stats(),
+		UptimeNS:   time.Since(s.start).Nanoseconds(),
+		InFlight:   s.inFlight.Load(),
+		Queries:    s.queries.Load(),
+		Batches:    s.batches.Load(),
+		BatchItems: s.batchItems.Load(),
+		Sweeps:     s.sweeps.Load(),
+		Errors:     s.errors.Load(),
+		PerKind:    make(map[string]int64, len(s.perKind)),
+		Cache:      s.cache.Stats(),
 	}
 	for kind, n := range s.perKind {
 		st.PerKind[kind] = n.Load()
@@ -276,7 +361,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	q, err := solve.ParseQuery(body)
+	q, err := s.parsed.parse(body)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -306,6 +391,135 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedNS: time.Since(start).Nanoseconds(),
 		Answer:    a,
 	})
+}
+
+// batchItem is one element of the /v1/batch response, mirroring the
+// queryResponse shape plus the per-item status of the error taxonomy.
+type batchItem struct {
+	Status    int          `json:"status"`
+	Kind      string       `json:"kind,omitempty"`
+	Cached    bool         `json:"cached,omitempty"`
+	ElapsedNS int64        `json:"elapsed_ns,omitempty"`
+	Answer    solve.Answer `json:"answer,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+// batchResponse is the /v1/batch success payload; Items keeps request order.
+type batchResponse struct {
+	Backend string      `json:"backend"`
+	OK      int         `json:"ok"`
+	Failed  int         `json:"failed"`
+	Cached  int         `json:"cached"`
+	Items   []batchItem `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// As in handleQuery: read, decode the array shell and resolve the
+	// backend before occupying a limiter slot. Individual envelopes are
+	// parsed per item — a malformed one fails alone.
+	body, err := readBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var envs []json.RawMessage
+	if err := json.Unmarshal(body, &envs); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad batch: want a JSON array of query envelopes: %w", err))
+		return
+	}
+	if len(envs) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty batch"))
+		return
+	}
+	if len(envs) > maxBatchItems {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: batch of %d exceeds %d items", len(envs), maxBatchItems))
+		return
+	}
+	sv, err := s.backend(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	queries := make([]solve.Query, len(envs))
+	items := make([]batchItem, len(envs))
+	todo := make([]int, 0, len(envs))
+	for i, env := range envs {
+		q, err := s.parsed.parse(env)
+		if err != nil {
+			items[i] = batchItem{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		queries[i] = q
+		todo = append(todo, i)
+	}
+
+	// One admission per batch: the array shares a deadline and one limiter
+	// slot, and fans out over an internal pool bounded by the host's cores.
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.batches.Add(1)
+	s.batchItems.Add(int64(len(todo)))
+	for _, i := range todo {
+		s.perKind[queries[i].Kind()].Add(1)
+	}
+	answerItem := func(i int) {
+		start := time.Now()
+		a, cached, err := sv.AnswerCached(ctx, queries[i])
+		if err != nil {
+			items[i] = batchItem{Status: statusForSolveError(err), Error: err.Error()}
+			return
+		}
+		items[i] = batchItem{
+			Status:    http.StatusOK,
+			Kind:      a.Kind(),
+			Cached:    cached,
+			ElapsedNS: time.Since(start).Nanoseconds(),
+			Answer:    a,
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		// A single worker is this goroutine: no pool, no channel hops.
+		for _, i := range todo {
+			answerItem(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for n := 0; n < workers; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					answerItem(i)
+				}
+			}()
+		}
+		for _, i := range todo {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	resp := batchResponse{Backend: sv.Name(), Items: items}
+	for _, it := range items {
+		if it.Status == http.StatusOK {
+			resp.OK++
+			if it.Cached {
+				resp.Cached++
+			}
+		} else {
+			resp.Failed++
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -418,18 +632,40 @@ func statusForSolveError(err error) int {
 	}
 }
 
+// encoderPool recycles response buffers (each carrying its own
+// json.Encoder) across requests, so the hot cache-hit path — and the large
+// batch responses — do not re-allocate an encoding buffer per response.
+var encoderPool = sync.Pool{New: func() any {
+	buf := &bytes.Buffer{}
+	return &pooledEncoder{buf: buf, enc: json.NewEncoder(buf)}
+}}
+
+type pooledEncoder struct {
+	buf *bytes.Buffer
+	enc *json.Encoder
+}
+
+// pooledEncoderMaxBytes stops one huge response (a big sweep or batch) from
+// pinning its buffer in the pool forever.
+const pooledEncoderMaxBytes = 1 << 20
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
+	pe := encoderPool.Get().(*pooledEncoder)
+	pe.buf.Reset()
+	if err := pe.enc.Encode(v); err != nil {
 		// Answers are plain data structs; failing to marshal one is a bug.
 		// Even this path keeps the JSON error-body contract.
 		s.errors.Add(1)
-		data = []byte(fmt.Sprintf(`{"error": %q}`, err.Error()))
+		pe.buf.Reset()
+		fmt.Fprintf(pe.buf, "{\"error\": %q}\n", err.Error())
 		status = http.StatusInternalServerError
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(data, '\n'))
+	w.Write(pe.buf.Bytes())
+	if pe.buf.Cap() <= pooledEncoderMaxBytes {
+		encoderPool.Put(pe)
+	}
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync"
@@ -274,6 +275,155 @@ func TestConcurrencyLimiter(t *testing.T) {
 	}
 	if got := g.calls.Load(); got != 6 {
 		t.Errorf("distinct queries must not coalesce: %d calls, want 6", got)
+	}
+}
+
+// TestBatchMatchesQuery is the batch golden: every kind's envelope answered
+// through /v1/batch must carry byte-for-byte the answer /v1/query gives for
+// the same envelope (modulo wall-clock timings), in request order.
+func TestBatchMatchesQuery(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	envelopes := []string{
+		`{"kind": "report", "scenario": {"j": 1000, "w": 10, "o": 10, "util": 0.05}}`,
+		thresholdEnvelope,
+		`{"kind": "partition", "j": 2000, "o": 10, "util": 0.05, "target_eff": 0.8, "max_w": 200}`,
+		`{"kind": "distribution", "scenario": {"j": 1000, "w": 10, "o": 10, "util": 0.1}, "deadlines": [150]}`,
+		`{"kind": "scaled", "t": 100, "o": 10, "util": 0.1, "ws": [1, 10]}`,
+	}
+	wantKinds := []string{solve.KindReport, solve.KindThreshold, solve.KindPartition,
+		solve.KindDistribution, solve.KindScaled}
+
+	status, payload := post(t, ts.URL+"/v1/batch", "["+strings.Join(envelopes, ",")+"]")
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d: %v", status, payload)
+	}
+	if payload["backend"] != solve.BackendAnalytic || payload["ok"] != float64(len(envelopes)) || payload["failed"] != float64(0) {
+		t.Errorf("batch summary %v", payload)
+	}
+	items := payload["items"].([]any)
+	if len(items) != len(envelopes) {
+		t.Fatalf("got %d items for %d envelopes", len(items), len(envelopes))
+	}
+	// strip drops the volatile fields (wall-clock timings) recursively.
+	var strip func(v any) any
+	strip = func(v any) any {
+		m, ok := v.(map[string]any)
+		if !ok {
+			return v
+		}
+		out := make(map[string]any, len(m))
+		for k, val := range m {
+			if k == "elapsed_ns" {
+				continue
+			}
+			out[k] = strip(val)
+		}
+		return out
+	}
+	for i, raw := range items {
+		item := raw.(map[string]any)
+		if item["status"] != float64(http.StatusOK) || item["kind"] != wantKinds[i] {
+			t.Errorf("item %d: status/kind = %v/%v, want 200/%s", i, item["status"], item["kind"], wantKinds[i])
+			continue
+		}
+		qstatus, qpayload := post(t, ts.URL+"/v1/query", envelopes[i])
+		if qstatus != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, qstatus)
+		}
+		got := strip(item["answer"])
+		want := strip(qpayload["answer"])
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("item %d (%s): batch answer diverges from /v1/query:\n batch: %v\n query: %v",
+				i, wantKinds[i], got, want)
+		}
+	}
+}
+
+// TestBatchPartialFailure: one bad envelope inside a batch fails alone with
+// its own 400 (or taxonomy status), leaving its neighbors answered.
+func TestBatchPartialFailure(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{})
+	batch := `[` + thresholdEnvelope + `,
+		{"kind": "bogus"},
+		{"kind": "scaled", "t": 100, "o": 10, "util": 0.1, "ws": [1]}]`
+	status, payload := post(t, ts.URL+"/v1/batch", batch)
+	if status != http.StatusOK {
+		t.Fatalf("partial batch must still be 200: %d %v", status, payload)
+	}
+	if payload["ok"] != float64(2) || payload["failed"] != float64(1) {
+		t.Errorf("summary %v, want ok=2 failed=1", payload)
+	}
+	items := payload["items"].([]any)
+	wantStatus := []float64{200, 400, 200}
+	for i, raw := range items {
+		item := raw.(map[string]any)
+		if item["status"] != wantStatus[i] {
+			t.Errorf("item %d: status %v, want %v", i, item["status"], wantStatus[i])
+		}
+		if i == 1 {
+			if msg, _ := item["error"].(string); msg == "" {
+				t.Error("failed item must carry its error")
+			}
+			if item["answer"] != nil {
+				t.Error("failed item must not carry an answer")
+			}
+		}
+	}
+	// A failing item is the caller's business, not a service error.
+	if st := s.Stats(); st.Errors != 0 || st.Batches != 1 || st.BatchItems != 2 {
+		t.Errorf("stats %+v, want 0 errors / 1 batch / 2 parsed items", st)
+	}
+}
+
+// TestBatchDeduplicates: identical envelopes inside one batch ride the
+// shared answer layer — the backend executes exactly once whether the items
+// coalesce in flight or hit the freshly stored answer.
+func TestBatchDeduplicates(t *testing.T) {
+	g := &gatedSolver{name: "gated"}
+	s, ts := newTestServer(t, serve.Config{
+		Solvers:        map[string]solve.Solver{"gated": g},
+		DefaultBackend: "gated",
+	})
+	const n = 8
+	envs := make([]string, n)
+	for i := range envs {
+		envs[i] = thresholdEnvelope
+	}
+	status, payload := post(t, ts.URL+"/v1/batch", "["+strings.Join(envs, ",")+"]")
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d: %v", status, payload)
+	}
+	if payload["ok"] != float64(n) {
+		t.Errorf("summary %v, want %d ok", payload, n)
+	}
+	if got := g.calls.Load(); got != 1 {
+		t.Errorf("solver executed %d times for %d identical items, want exactly 1", got, n)
+	}
+	st := s.Stats()
+	if st.Cache.Misses != 1 || st.Cache.Hits+st.Cache.Coalesced != n-1 {
+		t.Errorf("cache stats %+v, want 1 miss and %d hits+coalesced", st.Cache, n-1)
+	}
+	if st.PerKind[solve.KindThreshold] != n {
+		t.Errorf("per-kind count %d, want %d", st.PerKind[solve.KindThreshold], n)
+	}
+}
+
+// TestBatchErrors: the array shell itself must validate — non-array body,
+// empty array, oversized array and unknown backend are whole-request 400s.
+func TestBatchErrors(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	if status, _ := post(t, ts.URL+"/v1/batch", thresholdEnvelope); status != http.StatusBadRequest {
+		t.Errorf("non-array body: status %d", status)
+	}
+	if status, _ := post(t, ts.URL+"/v1/batch", `[]`); status != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", status)
+	}
+	big := "[" + strings.Repeat(thresholdEnvelope+",", 1024) + thresholdEnvelope + "]"
+	if status, _ := post(t, ts.URL+"/v1/batch", big); status != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d", status)
+	}
+	if status, _ := post(t, ts.URL+"/v1/batch?backend=csim", "["+thresholdEnvelope+"]"); status != http.StatusBadRequest {
+		t.Errorf("unknown backend: status %d", status)
 	}
 }
 

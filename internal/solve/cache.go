@@ -3,7 +3,11 @@ package solve
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
+	"hash/maphash"
+	"math"
+	"runtime"
 	"sync"
 )
 
@@ -24,9 +28,34 @@ import (
 // the sample path), so their identity is the full canonical JSON envelope:
 // only literally identical queries — the hot case under heavy traffic —
 // share an answer.
+//
+// Sharding. The hot state — LRU + single-flight table — is split across a
+// power-of-two number of shards selected by a seeded hash of the key, so
+// concurrent lookups of distinct keys contend only within their shard. Each
+// shard carries its own LRU bound (capacity/shards) and its own in-flight
+// table; the capacity bound and single-flight guarantee are therefore
+// per-shard, which preserves the global invariants that matter — total
+// residency never exceeds the configured capacity, and concurrent identical
+// queries (same key → same shard) still execute exactly once.
 
 // DefaultAnswerCacheCapacity bounds an AnswerCache built with capacity <= 0.
 const DefaultAnswerCacheCapacity = 4096
+
+// maxAnswerCacheShards caps the shard count used by NewAnswerCache.
+const maxAnswerCacheShards = 16
+
+// defaultAnswerCacheShards sizes NewAnswerCache's layout to the available
+// parallelism: shards exist to shed inter-core contention, and a
+// GOMAXPROCS=1 process cannot contend on one mutex, so it should not pay
+// the per-lookup shard hash either. Multi-core hosts get up to
+// maxAnswerCacheShards.
+func defaultAnswerCacheShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxAnswerCacheShards {
+		n = maxAnswerCacheShards
+	}
+	return n
+}
 
 // answerKey identifies one (backend, query) answer: the backend name plus
 // the query's dedup identity (the sweep engine's cacheKey, generalized).
@@ -72,7 +101,25 @@ func rebindAnswer(a Answer, q Query) Answer {
 	return a
 }
 
-// CacheStats is a point-in-time snapshot of an AnswerCache.
+// cachedAnswer prepares a stored answer for a hit: rebind the caller's
+// scenario and zero the stored Elapsed stamp. The stored duration belongs to
+// the original solve, not to this lookup — without the scrub a ~37 µs hit
+// would echo a ~780 µs elapsed_ns in the answer body.
+func cachedAnswer(a Answer, q Query) Answer {
+	a = rebindAnswer(a, q)
+	switch t := a.(type) {
+	case ReportAnswer:
+		t.Report.Elapsed = 0
+		return t
+	case PartitionAnswer:
+		t.Report.Elapsed = 0
+		return t
+	}
+	return a
+}
+
+// CacheStats is a point-in-time snapshot of an AnswerCache, aggregated
+// across its shards.
 type CacheStats struct {
 	// Hits counts lookups served from a stored answer.
 	Hits int64 `json:"hits"`
@@ -81,11 +128,13 @@ type CacheStats struct {
 	// Coalesced counts callers that waited on another caller's in-flight
 	// execution of the same key instead of executing themselves.
 	Coalesced int64 `json:"coalesced"`
-	// Evictions counts stored answers dropped by the LRU bound.
+	// Evictions counts stored answers dropped by the per-shard LRU bound.
 	Evictions int64 `json:"evictions"`
-	// Entries and Capacity describe the current LRU occupancy.
+	// Entries and Capacity describe the current occupancy summed over shards.
 	Entries  int `json:"entries"`
 	Capacity int `json:"capacity"`
+	// Shards is the shard count the key space is split across.
+	Shards int `json:"shards"`
 }
 
 // flight is one in-progress execution that concurrent identical queries
@@ -94,17 +143,19 @@ type flight struct {
 	done chan struct{}
 	ans  Answer
 	err  error
-	// retry marks a flight whose leader's own context ended mid-solve: its
-	// error says nothing about the waiters' queries, so they re-enter the
-	// cache (and one of them leads a fresh execution) instead of inheriting
-	// a failure they did not cause.
+	// retry marks a flight that failed *because* the leader's own context
+	// ended mid-solve: that error says nothing about the waiters' queries, so
+	// they re-enter the cache (and one of them leads a fresh execution)
+	// instead of inheriting a cancellation they did not cause. A failure that
+	// is not the leader's context error — a deterministic domain error — is
+	// shared as-is: re-executing it would fail identically.
 	retry bool
 }
 
-// AnswerCache is the shared answer layer: a mutex-guarded LRU of answers
-// plus the single-flight table. The zero value is not usable; construct with
-// NewAnswerCache. All methods are safe for concurrent use.
-type AnswerCache struct {
+// cacheShard is one slice of the key space: its own mutex, LRU and
+// single-flight table. Keys never move between shards, so every per-key
+// guarantee of the old single-mutex design holds within a shard.
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[answerKey]*list.Element
@@ -114,6 +165,14 @@ type AnswerCache struct {
 	hits, misses, coalesced, evictions int64
 }
 
+// AnswerCache is the shared answer layer: sharded LRUs of answers plus
+// per-shard single-flight tables. The zero value is not usable; construct
+// with NewAnswerCache. All methods are safe for concurrent use.
+type AnswerCache struct {
+	seed   maphash.Seed
+	shards []*cacheShard // len is a power of two
+}
+
 // lruEntry is the list payload, carrying the key back for eviction.
 type lruEntry struct {
 	key answerKey
@@ -121,92 +180,169 @@ type lruEntry struct {
 }
 
 // NewAnswerCache builds a cache bounded to capacity answers; capacity <= 0
-// means DefaultAnswerCacheCapacity.
+// means DefaultAnswerCacheCapacity. The key space is split across a
+// power-of-two number of shards sized to the host's parallelism (up to
+// maxAnswerCacheShards, fewer for tiny capacities so each shard holds at
+// least one entry — and exactly one shard on a GOMAXPROCS=1 host, where
+// there is no contention to shed).
 func NewAnswerCache(capacity int) *AnswerCache {
+	return NewAnswerCacheShards(capacity, 0)
+}
+
+// NewAnswerCacheShards builds a cache with an explicit shard count, rounded
+// up to a power of two and capped so every shard holds at least one entry;
+// shards <= 0 selects the parallelism-sized default. shards == 1 is the
+// single-mutex layout — the contention baseline, also used by tests that
+// pin strict global LRU order.
+func NewAnswerCacheShards(capacity, shards int) *AnswerCache {
 	if capacity <= 0 {
 		capacity = DefaultAnswerCacheCapacity
 	}
-	return &AnswerCache{
-		capacity: capacity,
-		entries:  make(map[answerKey]*list.Element),
-		order:    list.New(),
-		inflight: make(map[answerKey]*flight),
+	if shards <= 0 {
+		shards = defaultAnswerCacheShards()
 	}
+	n := 1
+	for n < shards {
+		n *= 2
+	}
+	// Cap AFTER rounding to a power of two: rounding up must never push the
+	// shard count past capacity, or the excess shards would get a zero
+	// capacity bound and evict every entry the instant it is stored.
+	for n > capacity {
+		n /= 2
+	}
+	c := &AnswerCache{seed: maphash.MakeSeed(), shards: make([]*cacheShard, n)}
+	for i := range c.shards {
+		// Spread the bound as evenly as integer division allows; the first
+		// capacity%n shards absorb the remainder so the total is exact.
+		cap := capacity / n
+		if i < capacity%n {
+			cap++
+		}
+		c.shards[i] = &cacheShard{
+			capacity: cap,
+			entries:  make(map[answerKey]*list.Element),
+			order:    list.New(),
+			inflight: make(map[answerKey]*flight),
+		}
+	}
+	return c
 }
 
-// Stats snapshots the counters.
-func (c *AnswerCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Evictions: c.evictions,
-		Entries:   len(c.entries),
-		Capacity:  c.capacity,
+// shardFor hashes the key onto one shard. Identical keys always land on the
+// same shard — the choice is a pure function of the key's content — which is
+// what keeps the per-shard single-flight exact; distinct keys may share a
+// shard, which only costs contention. The hottest key shape (an analytic
+// report/distribution point: non-zero scenario core, empty extra) is hashed
+// as a handful of integer mixes over the fixed-size core, skipping string
+// hashing entirely so the uncontended sharded lookup costs the same as the
+// single-mutex layout's; every other shape goes through one
+// maphash.Comparable call over the whole key.
+func (c *AnswerCache) shardFor(key answerKey) *cacheShard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
 	}
+	if key.key.extra == "" && key.key.scen != (analyticKey{}) {
+		// Shard spread only needs the high-entropy axes (J, P, W); keys
+		// differing solely in deadline/target/O sharing a shard is harmless.
+		s := key.key.scen
+		h := math.Float64bits(s.j) ^ math.Float64bits(s.p)*0x9e3779b97f4a7c15 ^ uint64(s.w)*0xff51afd7ed558ccd
+		h ^= h >> 29
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 32
+		return c.shards[h&uint64(len(c.shards)-1)]
+	}
+	return c.shardForString(key)
+}
+
+// shardForString is the string-bearing key shapes' path, kept out of
+// shardFor so the fixed-size fast path stays inlinable.
+func (c *AnswerCache) shardForString(key answerKey) *cacheShard {
+	h := maphash.Comparable(c.seed, key)
+	return c.shards[h&uint64(len(c.shards)-1)]
+}
+
+// Stats snapshots the counters, summed across shards.
+func (c *AnswerCache) Stats() CacheStats {
+	st := CacheStats{Shards: len(c.shards)}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Coalesced += s.coalesced
+		st.Evictions += s.evictions
+		st.Entries += len(s.entries)
+		st.Capacity += s.capacity
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // lookup returns the stored answer for key, counting a hit or a miss.
 func (c *AnswerCache) lookup(key answerKey) (Answer, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil, false
 	}
-	c.order.MoveToFront(el)
-	c.hits++
+	s.order.MoveToFront(el)
+	s.hits++
 	return el.Value.(*lruEntry).ans, true
 }
 
-// store inserts an answer, evicting the least recently used entry past the
-// capacity bound.
+// store inserts an answer, evicting the least recently used entry of the
+// key's shard past that shard's capacity bound.
 func (c *AnswerCache) store(key answerKey, a Answer) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.storeLocked(key, a)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.storeLocked(key, a)
 }
 
-func (c *AnswerCache) storeLocked(key answerKey, a Answer) {
-	if el, ok := c.entries[key]; ok {
+func (s *cacheShard) storeLocked(key answerKey, a Answer) {
+	if el, ok := s.entries[key]; ok {
 		el.Value.(*lruEntry).ans = a
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&lruEntry{key: key, ans: a})
-	if len(c.entries) > c.capacity {
-		back := c.order.Back()
-		c.order.Remove(back)
-		delete(c.entries, back.Value.(*lruEntry).key)
-		c.evictions++
+	s.entries[key] = s.order.PushFront(&lruEntry{key: key, ans: a})
+	if len(s.entries) > s.capacity {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.entries, back.Value.(*lruEntry).key)
+		s.evictions++
 	}
 }
 
 // do returns the cached answer for key, or executes fn — at most once across
-// concurrent callers of the same key (single flight). Callers that find an
-// execution already in flight wait for its result; a caller whose context
-// expires while waiting returns the context error without disturbing the
-// execution. Errors are shared with waiting callers but never cached, so a
-// transient failure does not poison the key — and when the shared failure
-// was only the *leader's* context ending (its client hung up mid-solve),
-// the waiters re-enter and one of them leads a fresh execution rather than
-// inheriting a cancellation they did not cause.
+// concurrent callers of the same key (single flight; same key → same shard).
+// Callers that find an execution already in flight wait for its result; a
+// caller whose context expires while waiting returns the context error
+// without disturbing the execution. Errors are shared with waiting callers
+// but never cached, so a transient failure does not poison the key — and
+// when the shared failure *is* the leader's own context ending (its client
+// hung up mid-solve), the waiters re-enter and one of them leads a fresh
+// execution rather than inheriting a cancellation they did not cause. A
+// deterministic failure that merely coincided with the leader's context
+// ending is shared as-is: re-executing a guaranteed failure in a loop would
+// never converge.
 func (c *AnswerCache) do(ctx context.Context, key answerKey, fn func() (Answer, error)) (a Answer, cached bool, err error) {
+	s := c.shardFor(key)
 	for {
-		c.mu.Lock()
-		if el, ok := c.entries[key]; ok {
-			c.order.MoveToFront(el)
-			c.hits++
+		s.mu.Lock()
+		if el, ok := s.entries[key]; ok {
+			s.order.MoveToFront(el)
+			s.hits++
 			a = el.Value.(*lruEntry).ans
-			c.mu.Unlock()
+			s.mu.Unlock()
 			return a, true, nil
 		}
-		if f, ok := c.inflight[key]; ok {
-			c.coalesced++
-			c.mu.Unlock()
+		if f, ok := s.inflight[key]; ok {
+			s.coalesced++
+			s.mu.Unlock()
 			select {
 			case <-f.done:
 				if f.retry {
@@ -218,20 +354,23 @@ func (c *AnswerCache) do(ctx context.Context, key answerKey, fn func() (Answer, 
 			}
 		}
 		f := &flight{done: make(chan struct{})}
-		c.inflight[key] = f
-		c.misses++
-		c.mu.Unlock()
+		s.inflight[key] = f
+		s.misses++
+		s.mu.Unlock()
 
 		f.ans, f.err = fn()
 
-		c.mu.Lock()
-		delete(c.inflight, key)
+		s.mu.Lock()
+		delete(s.inflight, key)
 		if f.err == nil {
-			c.storeLocked(key, f.ans)
-		} else if ctx.Err() != nil {
+			s.storeLocked(key, f.ans)
+		} else if cerr := ctx.Err(); cerr != nil && errors.Is(f.err, cerr) {
+			// Only the leader's own context error is worth retrying; any
+			// other failure under an expired context is deterministic for
+			// the waiters too.
 			f.retry = true
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		close(f.done)
 		return f.ans, false, f.err
 	}
@@ -277,7 +416,8 @@ func (c *CachedSolver) Answer(ctx context.Context, q Query) (Answer, error) {
 
 // AnswerCached answers like Answer and additionally reports whether the
 // answer came from the cache (as opposed to a fresh — possibly coalesced —
-// execution).
+// execution). Hits carry a zero Elapsed in the answer body: the stored
+// solve's duration is not this lookup's.
 func (c *CachedSolver) AnswerCached(ctx context.Context, q Query) (Answer, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
@@ -293,7 +433,10 @@ func (c *CachedSolver) AnswerCached(ctx context.Context, q Query) (Answer, bool,
 	if err != nil {
 		return nil, false, err
 	}
-	return rebindAnswer(a, q), cached, nil
+	if cached {
+		return cachedAnswer(a, q), true, nil
+	}
+	return rebindAnswer(a, q), false, nil
 }
 
 // Solve implements Solver as the ReportQuery shorthand, so report answers

@@ -19,6 +19,10 @@ type countingSolver struct {
 	calls   atomic.Int64
 	release chan struct{} // nil: answer immediately
 	err     error
+	// ignoreCtx makes a gated solver wait out its release even under a
+	// cancelled context, so tests can order "ctx expires, then the solver
+	// fails deterministically" without racing the select below.
+	ignoreCtx bool
 }
 
 func (c *countingSolver) Name() string           { return c.name }
@@ -27,10 +31,14 @@ func (c *countingSolver) Capabilities() []string { return QueryKinds() }
 func (c *countingSolver) Answer(ctx context.Context, q Query) (Answer, error) {
 	c.calls.Add(1)
 	if c.release != nil {
-		select {
-		case <-c.release:
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if c.ignoreCtx {
+			<-c.release
+		} else {
+			select {
+			case <-c.release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 	}
 	if c.err != nil {
@@ -198,9 +206,10 @@ func TestCachedSolverSolveSharesCache(t *testing.T) {
 }
 
 // TestAnswerCacheLRUBound: the cache must hold at most its capacity and
-// evict least-recently-used entries first.
+// evict least-recently-used entries first. Pinned to the single-shard layout,
+// where the LRU order is global and deterministic.
 func TestAnswerCacheLRUBound(t *testing.T) {
-	c := NewAnswerCache(2)
+	c := NewAnswerCacheShards(2, 1)
 	key := func(i int) answerKey {
 		return answerKey{backend: "fake", key: cacheKey{kind: KindThreshold, extra: fmt.Sprint(i)}}
 	}
@@ -221,6 +230,163 @@ func TestAnswerCacheLRUBound(t *testing.T) {
 	st := c.Stats()
 	if st.Entries != 2 || st.Capacity != 2 || st.Evictions != 1 {
 		t.Errorf("stats %+v, want 2 entries / capacity 2 / 1 eviction", st)
+	}
+}
+
+// TestAnswerCacheShardedBound: under a sharded layout, total residency
+// never exceeds the configured capacity no matter how keys hash, and the
+// capacity reported by Stats is exactly the configured bound. The shard
+// count is pinned (the default adapts to GOMAXPROCS and may be 1 on a
+// single-CPU host).
+func TestAnswerCacheShardedBound(t *testing.T) {
+	const capacity = 64
+	c := NewAnswerCacheShards(capacity, 8)
+	if st := c.Stats(); st.Capacity != capacity {
+		t.Fatalf("sharded capacity sums to %d, want %d", st.Capacity, capacity)
+	}
+	if st := c.Stats(); st.Shards != 8 {
+		t.Fatalf("want 8 shards, got %d", st.Shards)
+	}
+	for i := 0; i < 10*capacity; i++ {
+		key := answerKey{backend: "fake", key: cacheKey{kind: KindThreshold, extra: fmt.Sprint(i)}}
+		c.store(key, ThresholdAnswer{MinRatio: i})
+	}
+	st := c.Stats()
+	if st.Entries > capacity {
+		t.Errorf("%d entries resident, capacity %d", st.Entries, capacity)
+	}
+	if st.Evictions == 0 {
+		t.Error("overflow insertions must evict")
+	}
+}
+
+// TestAnswerCacheShardCapacityInvariant: every shard must hold at least one
+// entry of capacity no matter how the requested shard count rounds — a
+// zero-capacity shard would evict each entry the instant it is stored,
+// silently disabling caching for its slice of the key space.
+func TestAnswerCacheShardCapacityInvariant(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{5, 5}, {1, 16}, {2, 3}, {7, 8}, {16, 16}, {4096, 0}, {3, 0},
+	} {
+		c := NewAnswerCacheShards(tc.capacity, tc.shards)
+		st := c.Stats()
+		if st.Capacity != tc.capacity {
+			t.Errorf("cap %d shards %d: capacities sum to %d", tc.capacity, tc.shards, st.Capacity)
+		}
+		for i, s := range c.shards {
+			if s.capacity < 1 {
+				t.Errorf("cap %d shards %d: shard %d/%d has capacity %d",
+					tc.capacity, tc.shards, i, st.Shards, s.capacity)
+			}
+		}
+		// And a store on any key must stay resident until capacity pressure.
+		key := answerKey{backend: "fake", key: cacheKey{kind: KindThreshold, extra: "probe"}}
+		c.store(key, ThresholdAnswer{MinRatio: 1})
+		if _, ok := c.lookup(key); !ok {
+			t.Errorf("cap %d shards %d: freshly stored entry not resident", tc.capacity, tc.shards)
+		}
+	}
+}
+
+// TestAnswerCacheShardedSingleFlight: the per-shard in-flight tables must
+// still guarantee exactly one execution per distinct key with many keys in
+// flight at once across shards.
+func TestAnswerCacheShardedSingleFlight(t *testing.T) {
+	ctx := context.Background()
+	inner := &countingSolver{name: "fake"}
+	cs := NewCachedSolver(inner, NewAnswerCacheShards(256, 16))
+
+	const keys = 32
+	const callersPerKey = 4
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		q := ThresholdQuery{W: 10, O: 10, Util: 0.1, TargetEff: 0.8, Seed: uint64(k + 1)}
+		for i := 0; i < callersPerKey; i++ {
+			wg.Add(1)
+			go func(q ThresholdQuery) {
+				defer wg.Done()
+				if _, _, err := cs.AnswerCached(ctx, q); err != nil {
+					t.Error(err)
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	if got := inner.calls.Load(); got != keys {
+		t.Errorf("inner executed %d times for %d distinct keys, want exactly one each", got, keys)
+	}
+	st := cs.Cache().Stats()
+	if st.Misses != keys || st.Hits+st.Coalesced != keys*(callersPerKey-1) {
+		t.Errorf("stats %+v, want %d misses and %d hits+coalesced", st, keys, keys*(callersPerKey-1))
+	}
+}
+
+// TestCachedSolverFreshElapsedOnHit: a cache hit must not echo the original
+// solve's Elapsed in the answer body — a microsecond lookup claiming a long
+// solve's duration misreports the service's latency.
+func TestCachedSolverFreshElapsedOnHit(t *testing.T) {
+	ctx := context.Background()
+	cs := NewCachedSolver(Analytic{}, nil)
+	q := ReportQuery{Scenario: Scenario{J: 1000, W: 10, O: 10, Util: 0.1}}
+
+	a, cached, err := cs.AnswerCached(ctx, q)
+	if err != nil || cached {
+		t.Fatalf("first solve: cached=%v err=%v", cached, err)
+	}
+	if a.(ReportAnswer).Report.Elapsed <= 0 {
+		t.Fatal("fresh solve should stamp a positive Elapsed")
+	}
+	a, cached, err = cs.AnswerCached(ctx, q)
+	if err != nil || !cached {
+		t.Fatalf("second solve: cached=%v err=%v", cached, err)
+	}
+	if got := a.(ReportAnswer).Report.Elapsed; got != 0 {
+		t.Errorf("cache hit echoes the original solve's Elapsed %v, want 0", got)
+	}
+}
+
+// TestCachedSolverDomainErrorAfterLeaderCancelIsShared: when the leader's
+// context has ended but the execution failed with a *deterministic* domain
+// error, waiters must inherit that error instead of re-executing a
+// guaranteed failure in a loop (the retry path is only for failures that ARE
+// the leader's context error).
+func TestCachedSolverDomainErrorAfterLeaderCancelIsShared(t *testing.T) {
+	domainErr := errors.New("non-integral task demand")
+	inner := &countingSolver{name: "fake", release: make(chan struct{}), ignoreCtx: true, err: domainErr}
+	cs := NewCachedSolver(inner, nil)
+	q := ThresholdQuery{W: 10, O: 10, Util: 0.1, TargetEff: 0.8, Seed: 21}
+
+	leaderCtx, leaderCancel := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := cs.AnswerCached(leaderCtx, q)
+		leaderDone <- err
+	}()
+	for cs.Cache().Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := cs.AnswerCached(context.Background(), q)
+		waiterDone <- err
+	}()
+	for cs.Cache().Stats().Coalesced == 0 {
+		runtime.Gosched()
+	}
+
+	// The leader's client hangs up, but the solver fails with the domain
+	// error — not the context error (ignoreCtx makes it wait out the release
+	// and return inner.err regardless of the cancellation).
+	leaderCancel()
+	close(inner.release)
+	if err := <-leaderDone; !errors.Is(err, domainErr) {
+		t.Fatalf("leader: want the domain error, got %v", err)
+	}
+	if err := <-waiterDone; !errors.Is(err, domainErr) {
+		t.Fatalf("waiter must inherit the deterministic failure, got %v", err)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("inner executed %d times; a deterministic failure must not be retried", got)
 	}
 }
 

@@ -468,8 +468,9 @@ func solveQueryPoint(ctx context.Context, solver Solver, cache *AnswerCache, p Q
 	if cacheable {
 		if a, ok := cache.lookup(key); ok {
 			// The cached solve may carry a sibling's name/seed; restore this
-			// point's scenario on the scenario-carrying answer kinds.
-			res.Answer = rebindAnswer(a, p.Query)
+			// point's scenario on the scenario-carrying answer kinds (and
+			// scrub the stored Elapsed — it is not this point's).
+			res.Answer = cachedAnswer(a, p.Query)
 			res.Cached = true
 			return res
 		}

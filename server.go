@@ -5,11 +5,14 @@ import "feasim/internal/serve"
 // ---- HTTP query service ----
 //
 // The serve layer puts the typed Query/Answer envelope over HTTP: POST
-// /v1/query answers one envelope, POST /v1/sweep a QuerySweepSpec grid, GET
-// /v1/healthz and /v1/stats report liveness and the cache/traffic counters.
-// Every backend sits behind the shared answer layer (AnswerCache +
-// CachedSolver), so repeated queries are served from the LRU and concurrent
-// identical queries execute once. `feasim serve` is the CLI front-end.
+// /v1/query answers one envelope, POST /v1/batch a JSON array of envelopes
+// in one round trip (per-item status, one deadline, one limiter slot), POST
+// /v1/sweep a QuerySweepSpec grid, GET /v1/healthz and /v1/stats report
+// liveness and the cache/traffic counters. Every backend sits behind the
+// shared answer layer (the sharded AnswerCache + CachedSolver), so repeated
+// queries are served from the LRU and concurrent identical queries execute
+// once; response encoding is pooled and envelope parsing memoized by raw
+// request bytes. `feasim serve` is the CLI front-end.
 
 // QueryServer serves typed queries over HTTP with answer caching, request
 // coalescing, a concurrency limiter, per-request deadlines and graceful

@@ -91,8 +91,20 @@ type CachedSolver = solve.CachedSolver
 const DefaultAnswerCacheCapacity = solve.DefaultAnswerCacheCapacity
 
 // NewAnswerCache builds a cache bounded to capacity answers; capacity <= 0
-// means DefaultAnswerCacheCapacity.
+// means DefaultAnswerCacheCapacity. The hot state is sharded by key hash so
+// many-core traffic on distinct keys does not serialize on one mutex; the
+// shard count is sized to the host's parallelism (one shard on a
+// GOMAXPROCS=1 host, which cannot contend).
 func NewAnswerCache(capacity int) *AnswerCache { return solve.NewAnswerCache(capacity) }
+
+// NewAnswerCacheShards builds a cache with an explicit shard count (rounded
+// up to a power of two, capped so each shard holds at least one entry;
+// <= 0 selects the parallelism-sized default). shards == 1 is the
+// single-mutex layout, kept as a contention baseline for benchmarks and for
+// tests that need strict global LRU order.
+func NewAnswerCacheShards(capacity, shards int) *AnswerCache {
+	return solve.NewAnswerCacheShards(capacity, shards)
+}
 
 // NewCachedSolver wraps inner with the given cache; a nil cache gets a
 // private one with the default capacity.
