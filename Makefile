@@ -1,7 +1,7 @@
 # Development targets. CI runs build/test/race/serve-smoke blocking and
 # bench/fuzz non-blocking.
 
-.PHONY: all build test race vet fmt bench fuzz serve-smoke
+.PHONY: all build test race vet fmt bench fuzz serve-smoke cluster-smoke
 
 all: build test
 
@@ -23,13 +23,14 @@ fmt:
 # bench runs the core performance suite in-process — including the typed
 # query path (threshold bisections/s), the served-query pair (the HTTP
 # service cold vs cache-hit), the served batch (64 mixed envelopes per
-# request) and the answer-cache contention pairs — and records the result as
-# BENCH_5.json (schema feasim-bench/1), the repository's performance
+# request), the cluster forwarded-hit path (one peer hop on top of a warm
+# home cache) and the answer-cache contention pairs — and records the result
+# as BENCH_6.json (schema feasim-bench/1), the repository's performance
 # trajectory artifact. When the previous artifact is present, benchdiff
 # reports per-benchmark deltas and flags >20% ns/op regressions.
 bench:
-	go run ./cmd/feasim bench -out BENCH_5.json
-	@if [ -f BENCH_4.json ]; then go run ./cmd/feasim benchdiff BENCH_4.json BENCH_5.json; fi
+	go run ./cmd/feasim bench -out BENCH_6.json
+	@if [ -f BENCH_5.json ]; then go run ./cmd/feasim benchdiff BENCH_5.json BENCH_6.json; fi
 
 # fuzz gives each JSON-envelope fuzz target a short budget; CI runs this
 # non-blocking. Failures drop reproducers under testdata/fuzz/.
@@ -42,3 +43,11 @@ fuzz:
 # query` output — proof the HTTP and CLI paths stay in lockstep.
 serve-smoke:
 	go test ./cmd/feasim -run '^TestServeSmoke$$' -count=1 -v
+
+# cluster-smoke launches three real `feasim serve` processes on loopback in
+# cluster mode, posts the same envelope to each, and checks via /v1/cluster
+# that the fleet executed exactly one solve (two nodes forwarded to the key's
+# home). This is the out-of-process counterpart to the in-process httptest
+# cluster suite.
+cluster-smoke:
+	go test ./cmd/feasim -run '^TestClusterSmoke$$' -count=1 -v

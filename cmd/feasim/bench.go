@@ -44,7 +44,7 @@ type benchReport struct {
 // cmdBench runs the benchmark suite and writes the JSON report.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_5.json", "output JSON file")
+	out := fs.String("out", "BENCH_6.json", "output JSON file")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
@@ -139,6 +139,13 @@ func cmdBench(args []string) error {
 		// per-envelope throughput the acceptance bar compares against
 		// served_query_hit's request rate.
 		{"served_batch", benchgrid.ServedBatchBench()},
+		// The multi-node answer tier's added hop: every measured request
+		// enters a 3-node ring at a non-home node and is served by
+		// forwarding to the home's warm cache (the entry node's one-answer
+		// cache keeps the replica path from absorbing the workload). Compare
+		// against served_query_hit: the delta is the cost of peer routing
+		// when the local replica cache misses.
+		{"cluster_forward_hit", benchgrid.ClusterForwardBench()},
 		// The answer-cache hot path at 1 shard (the pre-sharding
 		// single-mutex baseline) vs the deployed layout (shards sized to
 		// GOMAXPROCS — one shard on a 1-CPU host, so the default never pays

@@ -1,0 +1,101 @@
+package main
+
+// The cluster subcommand inspects a running node's view of the multi-node
+// answer tier: GET /v1/cluster rendered as an operator-readable table (ring
+// membership, ownership fractions, peer health, forward/fallback counters)
+// or passed through as JSON. It works against single-node servers too, which
+// report {"enabled": false}.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"feasim"
+)
+
+// clusterView mirrors the serve layer's /v1/cluster payload.
+type clusterView struct {
+	Enabled     bool                  `json:"enabled"`
+	LocalSolves int64                 `json:"local_solves"`
+	Cluster     *feasim.ClusterStatus `json:"cluster"`
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the node to inspect")
+	timeout := fs.Duration("timeout", 5*time.Second, "request timeout")
+	asJSON := fs.Bool("json", false, "emit the raw /v1/cluster JSON")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("cluster: unexpected arguments %v", fs.Args())
+	}
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(base + "/v1/cluster")
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("cluster: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s answered status %d: %s", base, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if *asJSON {
+		fmt.Println(strings.TrimSpace(string(body)))
+		return nil
+	}
+	var view clusterView
+	if err := json.Unmarshal(body, &view); err != nil {
+		return fmt.Errorf("cluster: bad /v1/cluster payload: %w", err)
+	}
+	if !view.Enabled {
+		fmt.Printf("%s: cluster mode off (single node, %d local solves)\n", base, view.LocalSolves)
+		return nil
+	}
+	st := view.Cluster
+	fmt.Printf("%s: cluster of %d (self %s, %d virtual nodes/member)\n",
+		base, len(st.Members), st.Self, st.VirtualNodes)
+	fmt.Printf("  local solves   %d\n", view.LocalSolves)
+	fmt.Printf("  forwards       %d (%d failed)\n", st.Forwards, st.ForwardErrors)
+	fmt.Printf("  forwarded in   %d\n", st.ForwardedIn)
+	fmt.Printf("  fallbacks      %d\n", st.Fallbacks)
+	fmt.Printf("  replica hits   %d\n", st.ReplicaHits)
+	fmt.Printf("  %-32s %-10s %-10s %-8s %s\n", "member", "health", "ownership", "fails", "forwards")
+	health := func(m string) string {
+		if m == st.Self {
+			return "self"
+		}
+		for _, p := range st.Peers {
+			if p.URL == m {
+				if p.Healthy {
+					return "healthy"
+				}
+				return "EJECTED"
+			}
+		}
+		return "?"
+	}
+	for _, m := range st.Members {
+		var fails int
+		var fwd, fwdErr int64
+		for _, p := range st.Peers {
+			if p.URL == m {
+				fails, fwd, fwdErr = p.ConsecutiveFails, p.Forwards, p.ForwardErrors
+			}
+		}
+		fmt.Printf("  %-32s %-10s %-10.3f %-8d %d (%d failed)\n",
+			m, health(m), st.Ownership[m], fails, fwd, fwdErr)
+	}
+	return nil
+}

@@ -8,7 +8,11 @@
 //	           scaled; -batch answers a JSON array of envelopes concurrently
 //	serve      run the query service: the same envelopes over HTTP
 //	           (POST /v1/query, POST /v1/batch, POST /v1/sweep) with answer
-//	           caching and request coalescing in front of the backends
+//	           caching and request coalescing in front of the backends;
+//	           -self/-peers joins a multi-node answer tier (consistent-hash
+//	           routing, peer health probing, local fallback)
+//	cluster    inspect a running node's cluster view: ring membership,
+//	           ownership, peer health and forward/fallback counters
 //	run        answer a scenario JSON file with any or all solver backends
 //	           (the "report" query kind as a convenience form)
 //	sweep      fan a scenario grid across a parallel worker pool
@@ -64,6 +68,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "sweep":
@@ -96,15 +102,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: feasim <query|serve|run|sweep|analyze|assess|threshold|scaled|simulate|bench|benchdiff> [flags]
+	fmt.Fprintln(os.Stderr, `usage: feasim <query|serve|cluster|run|sweep|analyze|assess|threshold|scaled|simulate|bench|benchdiff> [flags]
 
 query answers a typed query envelope file — {"kind": "report"|"threshold"|
 "partition"|"distribution"|"scaled", ...} — with any capable backend (-batch
 answers a JSON array of envelopes concurrently); serve answers the same
 envelopes over HTTP (POST /v1/query, /v1/batch, /v1/sweep) with answer
-caching and request coalescing; run and sweep answer scenario files (the
-"report" kind); benchdiff compares two bench reports and flags regressions.
-Run "feasim <subcommand> -h" for flags.`)
+caching and request coalescing, and with -self/-peers joins a multi-node
+answer tier; cluster inspects a running node's ring membership, peer health
+and routing counters (GET /v1/cluster); run and sweep answer scenario files
+(the "report" kind); benchdiff compares two bench reports and flags
+regressions. Run "feasim <subcommand> -h" for flags.`)
 }
 
 // solveContext builds the run/sweep context, honoring an optional timeout.

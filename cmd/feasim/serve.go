@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,6 +33,10 @@ func cmdServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", time.Minute, "per-request solve deadline (negative = none)")
 	sweepWorkers := fs.Int("sweep-workers", 0, "default sweep worker pool (0 = GOMAXPROCS)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+	self := fs.String("self", "", "cluster mode: this node's advertised base URL (e.g. http://10.0.0.1:8080)")
+	peers := fs.String("peers", "", "cluster mode: comma-separated base URLs of the other nodes")
+	probeInterval := fs.Duration("probe-interval", 0, "cluster mode: peer health-probe period (0 = default)")
+	failAfter := fs.Int("fail-after", 0, "cluster mode: consecutive probe failures before ejecting a peer (0 = default)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
@@ -40,6 +45,21 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	var cluster *feasim.ServeCluster
+	if *peers != "" || *self != "" {
+		if *self == "" || *peers == "" {
+			return fmt.Errorf("serve: cluster mode needs both -self and -peers")
+		}
+		cluster, err = feasim.NewServeCluster(feasim.ServeClusterConfig{
+			Self:          *self,
+			Peers:         strings.Split(*peers, ","),
+			ProbeInterval: *probeInterval,
+			FailAfter:     *failAfter,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	srv, err := feasim.NewQueryServer(feasim.ServeConfig{
 		Options:        feasim.SolverOptions{Protocol: pr, Warmup: *warmup},
 		CacheCapacity:  *cacheCap,
@@ -47,6 +67,7 @@ func cmdServe(args []string) error {
 		RequestTimeout: *reqTimeout,
 		DefaultBackend: *backend,
 		SweepWorkers:   *sweepWorkers,
+		Cluster:        cluster,
 	})
 	if err != nil {
 		return err
@@ -57,6 +78,10 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("feasim serve: listening on http://%s (backends %v, default %s)\n",
 		ln.Addr(), srv.Backends(), *backend)
+	if cluster != nil {
+		fmt.Printf("feasim serve: cluster mode as %s with %d members\n",
+			cluster.Self(), len(cluster.Members()))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,132 @@
+package benchgrid
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"feasim/internal/peer"
+	"feasim/internal/serve"
+	"feasim/internal/solve"
+)
+
+// The cluster-forward workload (cluster_forward_hit in BENCH_6.json): a
+// 3-node loopback ring where every measured request lands on a non-home node
+// and is served by forwarding to the home's warm cache — one extra HTTP hop
+// on top of the served_query_hit path, which is exactly the cost the
+// multi-node answer tier adds when the replica cache cannot absorb a key.
+// The entry node's cache holds a single answer while the loop alternates two
+// remote-homed envelopes, so each request evicts the other's replica and the
+// forward path stays exercised instead of degrading into local replica hits.
+
+// clusterForwardNodes is the ring size of the cluster-forward workload.
+const clusterForwardNodes = 3
+
+// ClusterForwardBench builds the forwarded-hit benchmark body: three serve
+// nodes on real loopback listeners (the ring needs the URLs before the
+// servers exist, so httptest's late-bound address does not fit), the home
+// caches warmed directly, and every measured POST entering at a non-home
+// node.
+func ClusterForwardBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		lns := make([]net.Listener, clusterForwardNodes)
+		urls := make([]string, clusterForwardNodes)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			lns[i] = ln
+			urls[i] = "http://" + ln.Addr().String()
+		}
+		servers := make([]*serve.Server, clusterForwardNodes)
+		clusters := make([]*peer.Cluster, clusterForwardNodes)
+		for i := range lns {
+			var others []string
+			for j, u := range urls {
+				if j != i {
+					others = append(others, u)
+				}
+			}
+			cl, err := peer.New(peer.Config{Self: urls[i], Peers: others})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clusters[i] = cl
+			cfg := serve.Config{
+				Options: solve.Options{Protocol: ServedProtocol()},
+				Cluster: cl,
+			}
+			if i == 0 {
+				// The entry node keeps one cached answer: alternating two
+				// remote-homed envelopes evicts the other's replica every
+				// request, so the measured path is always a forward.
+				cfg.CacheCapacity = 1
+			}
+			srv, err := serve.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			servers[i] = srv
+			go srv.Serve(lns[i])
+		}
+		defer func() {
+			http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+			for _, srv := range servers {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				srv.Shutdown(ctx)
+				cancel()
+			}
+		}()
+
+		// Pick two envelopes homed away from the entry node; the ephemeral
+		// ports make the ring layout run-dependent, so select dynamically.
+		var envs, homes []string
+		for seed := 1; len(envs) < 2 && seed < 1000; seed++ {
+			env := ServedQueryEnvelope(seed)
+			q, err := solve.ParseQuery([]byte(env))
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, ok := solve.RouteHash(ServedQueryBackend, q)
+			if !ok {
+				b.Fatal("unroutable bench envelope")
+			}
+			if home, local := clusters[0].Home(h); !local {
+				envs = append(envs, env)
+				homes = append(homes, home)
+			}
+		}
+		if len(envs) < 2 {
+			b.Fatal("could not find two remote-homed envelopes")
+		}
+		post := func(base, env string) {
+			resp, err := http.Post(base+"/v1/query?backend="+ServedQueryBackend,
+				"application/json", strings.NewReader(env))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		for i, env := range envs {
+			post(homes[i], env) // warm each home's cache directly
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(urls[0], envs[i%2])
+		}
+		b.StopTimer()
+		st := clusters[0].Status()
+		if st.Forwards < int64(b.N) {
+			b.Fatalf("only %d forwards for %d requests — the workload degraded into local hits", st.Forwards, b.N)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package peer
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// threeNodeViews builds the same 3-member cluster from each member's
+// perspective. The URLs are fake — fine for pure ring/routing tests.
+func threeNodeViews(t *testing.T) []*Cluster {
+	t.Helper()
+	urls := []string{"http://10.0.0.1:8080", "http://10.0.0.2:8080", "http://10.0.0.3:8080"}
+	views := make([]*Cluster, len(urls))
+	for i, self := range urls {
+		var others []string
+		for j, u := range urls {
+			if j != i {
+				others = append(others, u)
+			}
+		}
+		c, err := New(Config{Self: self, Peers: others})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = c
+	}
+	return views
+}
+
+// TestRingAgreement: every member computes the same home for every key — the
+// property that lets the fleet route without coordination — and marks
+// exactly itself as local.
+func TestRingAgreement(t *testing.T) {
+	views := threeNodeViews(t)
+	for h := uint64(0); h < 10_000; h++ {
+		key := h * 0x9e3779b97f4a7c15 // spread probes over the ring
+		home0, _ := views[0].Home(key)
+		for i, v := range views {
+			home, local := v.Home(key)
+			if home != home0 {
+				t.Fatalf("key %#x: view %d homes %s, view 0 homes %s", key, i, home, home0)
+			}
+			if local != (home == v.Self()) {
+				t.Fatalf("key %#x: view %d local=%v for home %s", key, i, local, home)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual node count, a 3-member ring's
+// ownership fractions are within a reasonable band of 1/3 and sum to 1.
+func TestRingBalance(t *testing.T) {
+	views := threeNodeViews(t)
+	own := views[0].Status().Ownership
+	if len(own) != 3 {
+		t.Fatalf("ownership over %d members, want 3", len(own))
+	}
+	var sum float64
+	for m, f := range own {
+		sum += f
+		if f < 0.15 || f > 0.55 {
+			t.Errorf("member %s owns %.3f of the keyspace — too far from 1/3", m, f)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ownership fractions sum to %v, want 1", sum)
+	}
+}
+
+// TestNewValidation: the config must be rejected early, not at first route.
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{},                   // no self
+		{Self: "http://a:1"}, // no peers
+		{Self: "http://a:1", Peers: []string{"http://a:1"}},     // only self
+		{Self: "a:1", Peers: []string{"http://b:1"}},            // relative self
+		{Self: "ftp://a:1", Peers: []string{"http://b:1"}},      // bad scheme
+		{Self: "http://a:1", Peers: []string{"http://b:1?x=1"}}, // query string
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+	// Duplicates, self-mentions and trailing slashes normalize away.
+	c, err := New(Config{
+		Self:  "http://a:1/",
+		Peers: []string{"http://b:1/", "http://b:1", "http://a:1", "http://c:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Members(); len(got) != 3 {
+		t.Errorf("members %v, want 3 normalized entries", got)
+	}
+	if !c.Healthy("http://b:1") || c.Healthy("http://nope:1") {
+		t.Error("known peers start healthy; unknown URLs are never healthy")
+	}
+}
+
+// TestForwardLoopGuardAndEcho: a forward carries the loop-guard header, and
+// sub-5xx responses — including 4xx verdicts — are echoed with their status.
+func TestForwardLoopGuardAndEcho(t *testing.T) {
+	var gotHeader atomic.Value
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get(ForwardHeader))
+		if strings.Contains(r.URL.RawQuery, "backend=bogus") {
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error":"bad backend"}`))
+			return
+		}
+		w.Write([]byte(`{"kind":"threshold"}`))
+	}))
+	defer peerSrv.Close()
+
+	c, err := New(Config{Self: "http://self:1", Peers: []string{peerSrv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body, err := c.Forward(context.Background(), peerSrv.URL, "/v1/query", "", []byte(`{}`))
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("forward: status=%d err=%v", status, err)
+	}
+	if string(body) != `{"kind":"threshold"}` {
+		t.Errorf("forward body %q", body)
+	}
+	if got := gotHeader.Load(); got != "http://self:1" {
+		t.Errorf("loop-guard header %q, want the forwarder's URL", got)
+	}
+	status, body, err = c.Forward(context.Background(), peerSrv.URL, "/v1/query", "backend=bogus", []byte(`{}`))
+	if err != nil || status != http.StatusBadRequest {
+		t.Fatalf("4xx must echo, not error: status=%d err=%v", status, err)
+	}
+	if string(body) != `{"error":"bad backend"}` {
+		t.Errorf("4xx body %q", body)
+	}
+	if st := c.Status(); st.Forwards != 2 || st.ForwardErrors != 0 {
+		t.Errorf("counters %+v, want 2 forwards / 0 errors", st)
+	}
+}
+
+// TestForwardFailureCounts: transport errors and 5xx count against the
+// peer's health; failAfter consecutive failures eject it, one success
+// readmits.
+func TestForwardFailureCounts(t *testing.T) {
+	var failing atomic.Bool
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer peerSrv.Close()
+
+	c, err := New(Config{Self: "http://self:1", Peers: []string{peerSrv.URL}, FailAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing.Store(true)
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Forward(context.Background(), peerSrv.URL, "/v1/query", "", nil); err == nil {
+			t.Fatal("5xx must surface as an error")
+		}
+	}
+	if c.Healthy(peerSrv.URL) {
+		t.Fatal("peer should be ejected after FailAfter consecutive failures")
+	}
+	st := c.Status()
+	if st.ForwardErrors != 2 || len(st.Peers) != 1 || st.Peers[0].Ejections != 1 {
+		t.Errorf("status %+v, want 2 forward errors and 1 ejection", st)
+	}
+	failing.Store(false)
+	if _, _, err := c.Forward(context.Background(), peerSrv.URL, "/v1/query", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Healthy(peerSrv.URL) {
+		t.Error("a successful forward must readmit the peer")
+	}
+}
+
+// TestProbeEjectReadmit: the background prober ejects a peer whose healthz
+// fails and readmits it when it recovers.
+func TestProbeEjectReadmit(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer peerSrv.Close()
+
+	c, err := New(Config{
+		Self:          "http://self:1",
+		Peers:         []string{peerSrv.URL},
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailAfter:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Close()
+
+	wait := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for c.Healthy(peerSrv.URL) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	wait(true, "initial health")
+	healthy.Store(false)
+	wait(false, "ejection after flapping down")
+	healthy.Store(true)
+	wait(true, "readmission after recovery")
+	if st := c.Status(); st.Peers[0].Ejections < 1 {
+		t.Errorf("status %+v, want at least one recorded ejection", st.Peers[0])
+	}
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"feasim/internal/peer"
+	"feasim/internal/solve"
+)
+
+// Cluster mode: the multi-node answer tier. Each query's cache key doubles
+// as a routing key (solve.RouteHash); a consistent-hash ring over the static
+// member list assigns the key one home node fleet-wide. A non-home node
+// forwards the envelope to the home over the ordinary /v1/query//v1/batch
+// wire format — so the home's LRU and single-flight make N nodes behave as
+// one cache and one solver fleet — and adopts the returned answer as a local
+// replica, so repeats of a hot key stop crossing the network. When the home
+// is unhealthy (ejected by the prober) or a forward fails, the node solves
+// locally instead: availability over strict ownership, counted as a
+// fallback. Requests carrying the loop-guard header are always answered
+// locally, bounding any ring disagreement to one hop.
+
+// routeQuery decides route-or-solve for a single query and reports true when
+// it wrote the response (replica hit or forwarded verdict). false means the
+// caller must solve locally — the key is homed here, unroutable, or the home
+// is unreachable (fallback).
+func (s *Server) routeQuery(ctx context.Context, w http.ResponseWriter, sv *solve.CachedSolver, q solve.Query, body []byte, rawQuery string) bool {
+	h, ok := solve.RouteHash(sv.Name(), q)
+	if !ok {
+		return false
+	}
+	home, local := s.cluster.Home(h)
+	if local {
+		return false
+	}
+	start := time.Now()
+	if a, enc, ok := sv.Peek(q); ok {
+		s.cluster.NoteReplicaHit()
+		s.writeJSON(w, http.StatusOK, queryResponse{
+			Kind:      a.Kind(),
+			Backend:   sv.Name(),
+			Cached:    true,
+			ElapsedNS: time.Since(start).Nanoseconds(),
+			Answer:    answerPayload(a, enc, true),
+		})
+		return true
+	}
+	if !s.cluster.Healthy(home) {
+		s.cluster.NoteFallback()
+		return false
+	}
+	status, respBody, err := s.cluster.Forward(ctx, home, "/v1/query", rawQuery, body)
+	if err != nil {
+		s.cluster.NoteFallback()
+		return false
+	}
+	if status == http.StatusOK {
+		s.storeReplica(sv, q, respBody)
+	}
+	// Echo the home's verdict verbatim — including 4xx, which judged the
+	// envelope itself. The home counted the request in its own stats; this
+	// node only counted the forward.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(respBody)
+	return true
+}
+
+// forwardedAnswer is the slice of a peer's queryResponse / batch-item wire
+// shape the replica path reads back.
+type forwardedAnswer struct {
+	Kind   string          `json:"kind"`
+	Answer json.RawMessage `json:"answer"`
+}
+
+// storeReplica adopts a forwarded 200 response as a local cache entry. The
+// body is re-parsed into a typed Answer (never trusting the peer's bytes
+// into the cache verbatim: the local entry must carry this cache's canonical
+// scrubbed encoding, not whatever elapsed stamp the wire had). A body that
+// does not parse is simply not cached — the client already got its answer.
+func (s *Server) storeReplica(sv *solve.CachedSolver, q solve.Query, respBody []byte) {
+	var fa forwardedAnswer
+	if err := json.Unmarshal(respBody, &fa); err != nil || fa.Kind == "" || len(fa.Answer) == 0 {
+		return
+	}
+	a, err := solve.ParseAnswer(fa.Kind, fa.Answer)
+	if err != nil {
+		return
+	}
+	sv.StoreReplica(q, a)
+}
+
+// routeBatchItems partitions a batch's parseable items by home node: items
+// answerable from the local replica cache are filled in directly, items
+// homed on a healthy peer are fanned out as one sub-batch per peer, and
+// everything else — homed here, unroutable, or fallen back — is returned as
+// the list the caller's local worker pool must still answer. items is
+// written at disjoint indices only.
+func (s *Server) routeBatchItems(ctx context.Context, sv *solve.CachedSolver, envs []json.RawMessage, queries []solve.Query, items []batchItem, todo []int, rawQuery string) []int {
+	local := make([]int, 0, len(todo))
+	var groups map[string][]int
+	for _, i := range todo {
+		h, ok := solve.RouteHash(sv.Name(), queries[i])
+		if !ok {
+			local = append(local, i)
+			continue
+		}
+		home, isLocal := s.cluster.Home(h)
+		if isLocal {
+			local = append(local, i)
+			continue
+		}
+		start := time.Now()
+		if a, enc, ok := sv.Peek(queries[i]); ok {
+			s.cluster.NoteReplicaHit()
+			items[i] = batchItem{
+				Status:    http.StatusOK,
+				Kind:      a.Kind(),
+				Cached:    true,
+				ElapsedNS: time.Since(start).Nanoseconds(),
+				Answer:    answerPayload(a, enc, true),
+			}
+			continue
+		}
+		if !s.cluster.Healthy(home) {
+			s.cluster.NoteFallback()
+			local = append(local, i)
+			continue
+		}
+		if groups == nil {
+			groups = make(map[string][]int)
+		}
+		groups[home] = append(groups[home], i)
+	}
+	if len(groups) == 0 {
+		return local
+	}
+
+	var mu sync.Mutex // guards local across sub-batch goroutines
+	var wg sync.WaitGroup
+	for home, idxs := range groups {
+		wg.Add(1)
+		go func(home string, idxs []int) {
+			defer wg.Done()
+			rescue := func() {
+				for range idxs {
+					s.cluster.NoteFallback()
+				}
+				mu.Lock()
+				local = append(local, idxs...)
+				mu.Unlock()
+			}
+			sub := make([]json.RawMessage, len(idxs))
+			for j, i := range idxs {
+				sub[j] = envs[i]
+			}
+			body, err := json.Marshal(sub)
+			if err != nil {
+				rescue()
+				return
+			}
+			status, respBody, err := s.cluster.Forward(ctx, home, "/v1/batch", rawQuery, body)
+			if err != nil || status != http.StatusOK {
+				// A non-200 here rejected the whole sub-batch (taxonomy says
+				// per-item failures still answer 200) — treat like a transport
+				// failure and solve the items locally.
+				rescue()
+				return
+			}
+			var br struct {
+				Items []struct {
+					Status    int             `json:"status"`
+					Kind      string          `json:"kind"`
+					Cached    bool            `json:"cached"`
+					ElapsedNS int64           `json:"elapsed_ns"`
+					Answer    json.RawMessage `json:"answer"`
+					Error     string          `json:"error"`
+				} `json:"items"`
+			}
+			if err := json.Unmarshal(respBody, &br); err != nil || len(br.Items) != len(idxs) {
+				rescue()
+				return
+			}
+			for j, it := range br.Items {
+				i := idxs[j]
+				items[i] = batchItem{
+					Status:    it.Status,
+					Kind:      it.Kind,
+					Cached:    it.Cached,
+					ElapsedNS: it.ElapsedNS,
+					Error:     it.Error,
+				}
+				if len(it.Answer) > 0 {
+					items[i].Answer = it.Answer
+				}
+				if it.Status == http.StatusOK {
+					if a, err := solve.ParseAnswer(it.Kind, it.Answer); err == nil {
+						sv.StoreReplica(queries[i], a)
+					}
+				}
+			}
+		}(home, idxs)
+	}
+	wg.Wait()
+	return local
+}
+
+// clusterResponse is the GET /v1/cluster payload. Served in single-node mode
+// too (enabled=false), so fleet tooling can poll every node uniformly.
+type clusterResponse struct {
+	Enabled bool `json:"enabled"`
+	// LocalSolves counts backend executions this node performed (exactly the
+	// answer cache's misses: hits, coalesced waiters and replica echoes never
+	// reach a backend, and routing probes don't count). Summing it across
+	// members gives the fleet-wide solve count — the number the cluster
+	// exists to minimize.
+	LocalSolves int64        `json:"local_solves"`
+	Cluster     *peer.Status `json:"cluster,omitempty"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	resp := clusterResponse{LocalSolves: s.cache.Stats().Misses}
+	if s.cluster != nil {
+		resp.Enabled = true
+		st := s.cluster.Status()
+		resp.Cluster = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

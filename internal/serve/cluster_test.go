@@ -1,0 +1,462 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"feasim/internal/peer"
+	"feasim/internal/serve"
+	"feasim/internal/solve"
+)
+
+// clusterNode is one member of an in-process test cluster: a real listener
+// (the URL must be known before serve.New, so httptest's late-bound address
+// doesn't fit), a counting solver, and the node's peer view.
+type clusterNode struct {
+	url     string
+	ln      net.Listener
+	srv     *serve.Server
+	solver  *gatedSolver
+	cluster *peer.Cluster
+}
+
+func (n *clusterNode) post(t *testing.T, path, body string) (int, map[string]any) {
+	t.Helper()
+	return post(t, n.url+path, body)
+}
+
+// solves reports the node's backend execution count.
+func (n *clusterNode) solves() int64 { return n.solver.calls.Load() }
+
+// newTestCluster spins up n serve nodes on loopback listeners, each with its
+// own gated counting solver (backend "gated" — stochastic-keyed, so routing
+// uses the full envelope) and a peer view of the others. Probing is fast so
+// health transitions settle within test timescales.
+func newTestCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &clusterNode{ln: ln, url: "http://" + ln.Addr().String()}
+		urls[i] = nodes[i].url
+	}
+	for i, node := range nodes {
+		var others []string
+		for j, u := range urls {
+			if j != i {
+				others = append(others, u)
+			}
+		}
+		cl, err := peer.New(peer.Config{
+			Self:          node.url,
+			Peers:         others,
+			ProbeInterval: 10 * time.Millisecond,
+			ProbeTimeout:  time.Second,
+			FailAfter:     2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.cluster = cl
+		node.solver = &gatedSolver{name: "gated"}
+		srv, err := serve.New(serve.Config{
+			Solvers:        map[string]solve.Solver{"gated": node.solver},
+			DefaultBackend: "gated",
+			Cluster:        cl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.srv = srv
+		go srv.Serve(node.ln)
+	}
+	t.Cleanup(func() {
+		// Concurrent bursts make the shared Transport dial spare keep-alive
+		// conns that never carry a request; the server holds them in StateNew
+		// and Shutdown would wait out its deadline on them. Dropping the
+		// client-side pool first lets every node drain instantly.
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		for _, node := range nodes {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			node.srv.Shutdown(ctx)
+			cancel()
+		}
+	})
+	waitAllHealthy(t, nodes)
+	return nodes
+}
+
+// waitAllHealthy blocks until every node sees every peer healthy, so tests
+// start from a settled ring instead of racing the first probe round.
+func waitAllHealthy(t *testing.T, nodes []*clusterNode) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		settled := true
+		for _, node := range nodes {
+			for _, other := range nodes {
+				if other != node && !node.cluster.Healthy(other.url) {
+					settled = false
+				}
+			}
+		}
+		if settled {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cluster never settled healthy")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// homeOf returns the index of the node that homes the given envelope on the
+// "gated" backend, and a non-home node index.
+func homeOf(t *testing.T, nodes []*clusterNode, envelope string) (home, other int) {
+	t.Helper()
+	q, err := solve.ParseQuery([]byte(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := solve.RouteHash("gated", q)
+	if !ok {
+		t.Fatal("envelope must be routable")
+	}
+	homeURL, _ := nodes[0].cluster.Home(h)
+	home, other = -1, -1
+	for i, node := range nodes {
+		if node.url == homeURL {
+			home = i
+		} else if other < 0 {
+			other = i
+		}
+	}
+	if home < 0 || other < 0 {
+		t.Fatalf("home %s not among nodes", homeURL)
+	}
+	return home, other
+}
+
+// fleetSolves sums backend executions across the cluster.
+func fleetSolves(nodes []*clusterNode) int64 {
+	var sum int64
+	for _, node := range nodes {
+		sum += node.solves()
+	}
+	return sum
+}
+
+// TestClusterSingleSolveFleetwide is the acceptance shape the ROADMAP pins:
+// identical envelopes hitting different nodes execute exactly one solve
+// fleet-wide — the home's cache and single-flight absorb everything.
+func TestClusterSingleSolveFleetwide(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	const n = 8
+	var wg sync.WaitGroup
+	statuses := make([]int, n)
+	payloads := make([]map[string]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], payloads[i] = nodes[i%3].post(t, "/v1/query", thresholdEnvelope)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d (%v)", i, statuses[i], payloads[i])
+		}
+		ans, _ := payloads[i]["answer"].(map[string]any)
+		if ans["min_ratio"] != float64(7) {
+			t.Errorf("request %d: answer %v", i, payloads[i]["answer"])
+		}
+	}
+	if got := fleetSolves(nodes); got != 1 {
+		t.Fatalf("%d solver calls fleet-wide for %d identical envelopes, want exactly 1", got, n)
+	}
+	home, _ := homeOf(t, nodes, thresholdEnvelope)
+	if nodes[home].solves() != 1 {
+		t.Errorf("the single solve should have run on the home node")
+	}
+}
+
+// TestClusterHomeDownFallback: killing the home node must not lose answers —
+// non-home nodes fall back to solving locally, count the fallback, and serve
+// repeats from the adopted local entry.
+func TestClusterHomeDownFallback(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	home, other := homeOf(t, nodes, thresholdEnvelope)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := nodes[home].srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	// Every surviving node still answers correctly, healthy-home belief or
+	// not: a refused forward falls back to a local solve in-line.
+	for i, node := range nodes {
+		if i == home {
+			continue
+		}
+		status, payload := node.post(t, "/v1/query", thresholdEnvelope)
+		if status != http.StatusOK {
+			t.Fatalf("node %d with home down: status %d (%v)", i, status, payload)
+		}
+		ans, _ := payload["answer"].(map[string]any)
+		if ans["min_ratio"] != float64(7) {
+			t.Errorf("node %d: answer %v", i, payload["answer"])
+		}
+	}
+	if got := nodes[other].cluster.Status().Fallbacks; got < 1 {
+		t.Errorf("survivor recorded %d fallbacks, want at least 1", got)
+	}
+	if nodes[home].solves() != 0 {
+		t.Errorf("dead home cannot have solved")
+	}
+
+	// The fallback answer was cached locally: a repeat on the same survivor
+	// is a replica hit — cached, no new solve, no network.
+	before := nodes[other].solves()
+	status, payload := nodes[other].post(t, "/v1/query", thresholdEnvelope)
+	if status != http.StatusOK || payload["cached"] != true {
+		t.Fatalf("repeat after fallback: status %d cached %v", status, payload["cached"])
+	}
+	if nodes[other].solves() != before {
+		t.Error("repeat after fallback must not re-solve")
+	}
+	if got := nodes[other].cluster.Status().ReplicaHits; got < 1 {
+		t.Errorf("survivor recorded %d replica hits, want at least 1", got)
+	}
+}
+
+// TestClusterForwardLoopGuard: a request carrying the forwarded marker is
+// answered locally even by a non-home node — one hop, never two.
+func TestClusterForwardLoopGuard(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	_, other := homeOf(t, nodes, thresholdEnvelope)
+
+	req, err := http.NewRequest(http.MethodPost, nodes[other].url+"/v1/query", strings.NewReader(thresholdEnvelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(peer.ForwardHeader, "http://elsewhere:1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded request: status %d", resp.StatusCode)
+	}
+	if nodes[other].solves() != 1 {
+		t.Errorf("non-home node must solve a forwarded request locally (%d solves)", nodes[other].solves())
+	}
+	st := nodes[other].cluster.Status()
+	if st.Forwards != 0 {
+		t.Errorf("a forwarded request must never be re-forwarded (%d forwards)", st.Forwards)
+	}
+	if st.ForwardedIn != 1 {
+		t.Errorf("forwarded-in counter %d, want 1", st.ForwardedIn)
+	}
+}
+
+// TestClusterBatchPartition: a mixed batch posted to one node fans out to
+// each item's home — every distinct envelope solves exactly once fleet-wide,
+// wherever it was homed, and a repeat batch is answered entirely from caches.
+func TestClusterBatchPartition(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	const n = 12
+	envs := make([]string, n)
+	for i := range envs {
+		envs[i] = fmt.Sprintf(`{"kind": "threshold", "w": 10, "o": 10, "util": 0.1, "target_eff": 0.8, "seed": %d}`, i+1)
+	}
+	batch := "[" + strings.Join(envs, ",") + "]"
+
+	status, payload := nodes[0].post(t, "/v1/batch", batch)
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d (%v)", status, payload)
+	}
+	if payload["ok"] != float64(n) || payload["failed"] != float64(0) {
+		t.Fatalf("batch ok=%v failed=%v, want %d/0", payload["ok"], payload["failed"], n)
+	}
+	items := payload["items"].([]any)
+	for i, it := range items {
+		item := it.(map[string]any)
+		if item["status"] != float64(http.StatusOK) {
+			t.Errorf("item %d: %v", i, item)
+		}
+		ans, _ := item["answer"].(map[string]any)
+		if ans["min_ratio"] != float64(7) {
+			t.Errorf("item %d answer %v", i, item["answer"])
+		}
+	}
+	if got := fleetSolves(nodes); got != n {
+		t.Fatalf("%d solver calls fleet-wide for %d distinct envelopes, want exactly %d", got, n, n)
+	}
+	// The envelopes landed on their homes, so with 12 seeds and 3 nodes each
+	// node should have solved at least one (overwhelmingly likely under any
+	// reasonable ring balance) — and forwarding must actually have happened.
+	if st := nodes[0].cluster.Status(); st.Forwards == 0 {
+		t.Error("a 12-envelope batch on a 3-node ring should forward sub-batches")
+	}
+
+	// Repeat: all cached (home hits and adopted replicas), no new solves.
+	status, payload = nodes[0].post(t, "/v1/batch", batch)
+	if status != http.StatusOK || payload["cached"] != float64(n) {
+		t.Fatalf("repeat batch: status %d cached %v, want all %d cached", status, payload["cached"], n)
+	}
+	if got := fleetSolves(nodes); got != n {
+		t.Errorf("repeat batch re-solved: %d fleet-wide calls, want still %d", got, n)
+	}
+}
+
+// TestClusterStatsExposure: /v1/stats carries the cluster block and the
+// per-shard cache breakdown; /v1/cluster reports ring, health and
+// local_solves on cluster nodes and enabled=false on single nodes.
+func TestClusterStatsExposure(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	home, other := homeOf(t, nodes, thresholdEnvelope)
+	if status, _ := nodes[other].post(t, "/v1/query", thresholdEnvelope); status != http.StatusOK {
+		t.Fatal("query failed")
+	}
+
+	resp, err := http.Get(nodes[other].url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil {
+		t.Fatal("cluster node stats must carry the cluster block")
+	}
+	if st.Cluster.Forwards != 1 || len(st.Cluster.Members) != 3 {
+		t.Errorf("cluster block %+v, want 1 forward across 3 members", st.Cluster)
+	}
+	if len(st.Cache.PerShard) != st.Cache.Shards {
+		t.Errorf("%d per-shard stats for %d shards", len(st.Cache.PerShard), st.Cache.Shards)
+	}
+
+	var view struct {
+		Enabled     bool         `json:"enabled"`
+		LocalSolves int64        `json:"local_solves"`
+		Cluster     *peer.Status `json:"cluster"`
+	}
+	get := func(url string) {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		view = struct {
+			Enabled     bool         `json:"enabled"`
+			LocalSolves int64        `json:"local_solves"`
+			Cluster     *peer.Status `json:"cluster"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(nodes[home].url)
+	if !view.Enabled || view.LocalSolves != 1 || view.Cluster == nil {
+		t.Errorf("home /v1/cluster: enabled=%v local_solves=%d", view.Enabled, view.LocalSolves)
+	}
+	get(nodes[other].url)
+	if !view.Enabled || view.LocalSolves != 0 {
+		t.Errorf("forwarder /v1/cluster: enabled=%v local_solves=%d, want 0 local solves", view.Enabled, view.LocalSolves)
+	}
+
+	// A single-node server answers the same endpoint with enabled=false.
+	_, ts := newTestServer(t, serve.Config{
+		Solvers:        map[string]solve.Solver{"gated": &gatedSolver{name: "gated"}},
+		DefaultBackend: "gated",
+	})
+	resp2, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var single map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	if single["enabled"] != false {
+		t.Errorf("single-node /v1/cluster: %v", single)
+	}
+}
+
+// TestClusterEjectReadmitEndToEnd: a node that dies is ejected after
+// FailAfter probe failures (queries fall back without attempting the
+// forward), and a node that comes back on the same address is readmitted.
+func TestClusterEjectReadmitEndToEnd(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	home, other := homeOf(t, nodes, thresholdEnvelope)
+
+	addr := nodes[home].ln.Addr().String()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := nodes[home].srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	waitHealth := func(node *clusterNode, url string, want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for node.cluster.Healthy(url) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitHealth(nodes[other], nodes[home].url, false, "ejection of the dead home")
+
+	// With the home ejected, a query falls back before any network attempt.
+	st0 := nodes[other].cluster.Status()
+	if status, _ := nodes[other].post(t, "/v1/query", thresholdEnvelope); status != http.StatusOK {
+		t.Fatal("query with ejected home failed")
+	}
+	st1 := nodes[other].cluster.Status()
+	if st1.Fallbacks <= st0.Fallbacks {
+		t.Error("ejected home should count a fallback")
+	}
+	if st1.Forwards != st0.Forwards {
+		t.Error("ejected home must not be forwarded to")
+	}
+
+	// Resurrect a healthz-only listener on the same address: the prober
+	// readmits the member. (A real redeploy would bring back a full node.)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	revived := &http.Server{Handler: mux}
+	go revived.Serve(ln)
+	t.Cleanup(func() { revived.Close() })
+
+	waitHealth(nodes[other], nodes[home].url, true, "readmission of the revived home")
+	if st := nodes[other].cluster.Status(); len(st.Peers) != 2 {
+		t.Errorf("peer table %+v, want 2 remote members", st.Peers)
+	}
+}

@@ -67,6 +67,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"feasim/internal/peer"
 	"feasim/internal/sim"
 	"feasim/internal/solve"
 )
@@ -111,6 +112,15 @@ type Config struct {
 	// Workers at 0 get this value, and client-supplied Workers are clamped
 	// to it. 0 means the engine default (GOMAXPROCS).
 	SweepWorkers int
+	// Cluster, when non-nil, makes this node a member of the multi-node
+	// answer tier: queries whose routing key is homed on a healthy peer are
+	// forwarded there (and the answer cached locally as a replica) instead
+	// of solved locally. New starts the cluster's health prober; Shutdown
+	// stops it. Nil means single-node operation; /v1/cluster then reports
+	// {"enabled": false}. All members must serve identically-configured
+	// solver sets — the routing key is cache identity, which assumes one
+	// backend name means one configuration fleet-wide.
+	Cluster *peer.Cluster
 }
 
 // Stats is the /v1/stats payload (and the Server.Stats snapshot). Queries
@@ -126,6 +136,9 @@ type Stats struct {
 	Errors     int64            `json:"errors"`
 	PerKind    map[string]int64 `json:"per_kind"`
 	Cache      solve.CacheStats `json:"cache"`
+	// Cluster carries the answer-tier view (ring, peer health,
+	// forward/fallback counters) when cluster mode is on; omitted otherwise.
+	Cluster *peer.Status `json:"cluster,omitempty"`
 }
 
 // Server is the HTTP front-end. Construct with New; serve with Serve (or
@@ -140,6 +153,7 @@ type Server struct {
 	timeout        time.Duration
 	sem            chan struct{}
 	sweepWorkers   int
+	cluster        *peer.Cluster // nil: single-node
 	mux            *http.ServeMux
 	http           *http.Server
 
@@ -253,6 +267,7 @@ func New(cfg Config) (*Server, error) {
 		timeout:        timeout,
 		sem:            make(chan struct{}, maxInFlight),
 		sweepWorkers:   cfg.SweepWorkers,
+		cluster:        cfg.Cluster,
 		start:          time.Now(),
 		perKind:        make(map[string]*atomic.Int64, len(solve.QueryKinds())),
 	}
@@ -270,7 +285,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.http = &http.Server{Handler: s.mux}
+	if s.cluster != nil {
+		s.cluster.Start()
+	}
 	return s, nil
 }
 
@@ -285,8 +304,15 @@ func (s *Server) Backends() []string { return append([]string(nil), s.backends..
 func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 
 // Shutdown stops accepting new requests and waits for in-flight ones to
-// drain, bounded by ctx — the graceful path.
-func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+// drain, bounded by ctx — the graceful path. In cluster mode it also stops
+// the health prober.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+	return err
+}
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
@@ -303,6 +329,10 @@ func (s *Server) Stats() Stats {
 	}
 	for kind, n := range s.perKind {
 		st.PerKind[kind] = n.Load()
+	}
+	if s.cluster != nil {
+		cst := s.cluster.Status()
+		st.Cluster = &cst
 	}
 	return st
 }
@@ -330,13 +360,25 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 	}, true
 }
 
-// queryResponse is the /v1/query success payload.
+// queryResponse is the /v1/query success payload. Answer is either a typed
+// solve.Answer (cold path) or the cache's pre-encoded json.RawMessage bytes
+// (stochastic-key hits and cluster replicas) — identical on the wire.
 type queryResponse struct {
-	Kind      string       `json:"kind"`
-	Backend   string       `json:"backend"`
-	Cached    bool         `json:"cached"`
-	ElapsedNS int64        `json:"elapsed_ns"`
-	Answer    solve.Answer `json:"answer"`
+	Kind      string `json:"kind"`
+	Backend   string `json:"backend"`
+	Cached    bool   `json:"cached"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Answer    any    `json:"answer"`
+}
+
+// answerPayload picks the wire form of an answer: cached hits whose entry
+// carries its canonical encoding are echoed as raw bytes, skipping the
+// per-response reflection encode that PR 5 left on the stochastic hit path.
+func answerPayload(a solve.Answer, enc []byte, cached bool) any {
+	if cached && enc != nil {
+		return json.RawMessage(enc)
+	}
+	return a
 }
 
 // sweepResponse is the /v1/sweep success payload.
@@ -378,8 +420,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	s.queries.Add(1)
 	s.perKind[q.Kind()].Add(1)
+	if s.cluster != nil {
+		if r.Header.Get(peer.ForwardHeader) != "" {
+			// Loop guard: a forwarded request is answered here no matter what
+			// this node thinks the key's home is.
+			s.cluster.NoteForwardedIn()
+		} else if s.routeQuery(ctx, w, sv, q, body, r.URL.RawQuery) {
+			return
+		}
+	}
 	start := time.Now()
-	a, cached, err := sv.AnswerCached(ctx, q)
+	a, enc, cached, err := sv.AnswerCachedEncoded(ctx, q)
 	if err != nil {
 		s.writeError(w, statusForSolveError(err), err)
 		return
@@ -389,19 +440,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Backend:   sv.Name(),
 		Cached:    cached,
 		ElapsedNS: time.Since(start).Nanoseconds(),
-		Answer:    a,
+		Answer:    answerPayload(a, enc, cached),
 	})
 }
 
 // batchItem is one element of the /v1/batch response, mirroring the
 // queryResponse shape plus the per-item status of the error taxonomy.
 type batchItem struct {
-	Status    int          `json:"status"`
-	Kind      string       `json:"kind,omitempty"`
-	Cached    bool         `json:"cached,omitempty"`
-	ElapsedNS int64        `json:"elapsed_ns,omitempty"`
-	Answer    solve.Answer `json:"answer,omitempty"`
-	Error     string       `json:"error,omitempty"`
+	Status    int    `json:"status"`
+	Kind      string `json:"kind,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	ElapsedNS int64  `json:"elapsed_ns,omitempty"`
+	Answer    any    `json:"answer,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // batchResponse is the /v1/batch success payload; Items keeps request order.
@@ -465,9 +516,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for _, i := range todo {
 		s.perKind[queries[i].Kind()].Add(1)
 	}
+	if s.cluster != nil {
+		if r.Header.Get(peer.ForwardHeader) != "" {
+			// Loop guard: answer a peer's sub-batch entirely locally.
+			s.cluster.NoteForwardedIn()
+		} else {
+			todo = s.routeBatchItems(ctx, sv, envs, queries, items, todo, r.URL.RawQuery)
+		}
+	}
 	answerItem := func(i int) {
 		start := time.Now()
-		a, cached, err := sv.AnswerCached(ctx, queries[i])
+		a, enc, cached, err := sv.AnswerCachedEncoded(ctx, queries[i])
 		if err != nil {
 			items[i] = batchItem{Status: statusForSolveError(err), Error: err.Error()}
 			return
@@ -477,7 +536,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Kind:      a.Kind(),
 			Cached:    cached,
 			ElapsedNS: time.Since(start).Nanoseconds(),
-			Answer:    a,
+			Answer:    answerPayload(a, enc, cached),
 		}
 	}
 	workers := runtime.GOMAXPROCS(0)

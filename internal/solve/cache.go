@@ -3,6 +3,7 @@ package solve
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -101,12 +102,11 @@ func rebindAnswer(a Answer, q Query) Answer {
 	return a
 }
 
-// cachedAnswer prepares a stored answer for a hit: rebind the caller's
-// scenario and zero the stored Elapsed stamp. The stored duration belongs to
-// the original solve, not to this lookup — without the scrub a ~37 µs hit
-// would echo a ~780 µs elapsed_ns in the answer body.
-func cachedAnswer(a Answer, q Query) Answer {
-	a = rebindAnswer(a, q)
+// zeroElapsed scrubs the stored Elapsed stamp from answer kinds that carry
+// one. The stored duration belongs to the original solve, not to a later
+// lookup — without the scrub a ~37 µs hit would echo a ~780 µs elapsed_ns in
+// the answer body.
+func zeroElapsed(a Answer) Answer {
 	switch t := a.(type) {
 	case ReportAnswer:
 		t.Report.Elapsed = 0
@@ -116,6 +116,30 @@ func cachedAnswer(a Answer, q Query) Answer {
 		return t
 	}
 	return a
+}
+
+// cachedAnswer prepares a stored answer for a hit: rebind the caller's
+// scenario and zero the stored Elapsed stamp.
+func cachedAnswer(a Answer, q Query) Answer {
+	return zeroElapsed(rebindAnswer(a, q))
+}
+
+// bytesSafe reports whether a stored answer's JSON encoding can be echoed
+// verbatim to any future hit of this key. True exactly for non-analytic
+// keys: they are keyed on the full canonical envelope, so every hit *is* the
+// original query and the scenario rebind is a no-op. Analytic entries are
+// seed/name/CV²-blind — a sibling hit must see its own scenario echoed back,
+// which a byte replay cannot do.
+func bytesSafe(key answerKey) bool { return key.backend != BackendAnalytic }
+
+// encodeAnswer renders the canonical hit encoding of an answer: the JSON of
+// the Elapsed-scrubbed body, so a byte replay never echoes a stale duration.
+func encodeAnswer(a Answer) []byte {
+	enc, err := json.Marshal(zeroElapsed(a))
+	if err != nil {
+		return nil // answers are plain structs; unreachable in practice
+	}
+	return enc
 }
 
 // CacheStats is a point-in-time snapshot of an AnswerCache, aggregated
@@ -135,6 +159,20 @@ type CacheStats struct {
 	Capacity int `json:"capacity"`
 	// Shards is the shard count the key space is split across.
 	Shards int `json:"shards"`
+	// PerShard breaks the counters down by shard (in shard order), making
+	// hash imbalance — one shard hot, its siblings idle — visible to
+	// operators instead of hiding inside the aggregate.
+	PerShard []ShardCacheStats `json:"per_shard,omitempty"`
+}
+
+// ShardCacheStats is one shard's slice of CacheStats.
+type ShardCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
 }
 
 // flight is one in-progress execution that concurrent identical queries
@@ -173,10 +211,14 @@ type AnswerCache struct {
 	shards []*cacheShard // len is a power of two
 }
 
-// lruEntry is the list payload, carrying the key back for eviction.
+// lruEntry is the list payload, carrying the key back for eviction. enc,
+// when non-nil, is the canonical hit encoding (Elapsed-scrubbed JSON) of
+// ans, kept only for bytes-safe keys so the serve layer can echo hits
+// without re-encoding the answer.
 type lruEntry struct {
 	key answerKey
 	ans Answer
+	enc []byte
 }
 
 // NewAnswerCache builds a cache bounded to capacity answers; capacity <= 0
@@ -262,18 +304,28 @@ func (c *AnswerCache) shardForString(key answerKey) *cacheShard {
 	return c.shards[h&uint64(len(c.shards)-1)]
 }
 
-// Stats snapshots the counters, summed across shards.
+// Stats snapshots the counters, summed across shards, plus the per-shard
+// breakdown.
 func (c *AnswerCache) Stats() CacheStats {
-	st := CacheStats{Shards: len(c.shards)}
+	st := CacheStats{Shards: len(c.shards), PerShard: make([]ShardCacheStats, 0, len(c.shards))}
 	for _, s := range c.shards {
 		s.mu.Lock()
-		st.Hits += s.hits
-		st.Misses += s.misses
-		st.Coalesced += s.coalesced
-		st.Evictions += s.evictions
-		st.Entries += len(s.entries)
-		st.Capacity += s.capacity
+		sh := ShardCacheStats{
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Coalesced: s.coalesced,
+			Evictions: s.evictions,
+			Entries:   len(s.entries),
+			Capacity:  s.capacity,
+		}
 		s.mu.Unlock()
+		st.Hits += sh.Hits
+		st.Misses += sh.Misses
+		st.Coalesced += sh.Coalesced
+		st.Evictions += sh.Evictions
+		st.Entries += sh.Entries
+		st.Capacity += sh.Capacity
+		st.PerShard = append(st.PerShard, sh)
 	}
 	return st
 }
@@ -293,22 +345,42 @@ func (c *AnswerCache) lookup(key answerKey) (Answer, bool) {
 	return el.Value.(*lruEntry).ans, true
 }
 
-// store inserts an answer, evicting the least recently used entry of the
-// key's shard past that shard's capacity bound.
-func (c *AnswerCache) store(key answerKey, a Answer) {
+// peek returns the stored answer and encoding for key without counting a
+// miss: it serves the cluster routing probe ("do I hold a replica?"), and a
+// probe that finds nothing forwards the query instead of executing it, so it
+// must not skew the miss counter that tracks local backend executions. A
+// find still counts as a hit (it served traffic) and refreshes recency.
+func (c *AnswerCache) peek(key answerKey) (Answer, []byte, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.storeLocked(key, a)
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, nil, false
+	}
+	s.order.MoveToFront(el)
+	s.hits++
+	e := el.Value.(*lruEntry)
+	return e.ans, e.enc, true
 }
 
-func (s *cacheShard) storeLocked(key answerKey, a Answer) {
+// store inserts an answer, evicting the least recently used entry of the
+// key's shard past that shard's capacity bound.
+func (c *AnswerCache) store(key answerKey, a Answer, enc []byte) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.storeLocked(key, a, enc)
+}
+
+func (s *cacheShard) storeLocked(key answerKey, a Answer, enc []byte) {
 	if el, ok := s.entries[key]; ok {
-		el.Value.(*lruEntry).ans = a
+		e := el.Value.(*lruEntry)
+		e.ans, e.enc = a, enc
 		s.order.MoveToFront(el)
 		return
 	}
-	s.entries[key] = s.order.PushFront(&lruEntry{key: key, ans: a})
+	s.entries[key] = s.order.PushFront(&lruEntry{key: key, ans: a, enc: enc})
 	if len(s.entries) > s.capacity {
 		back := s.order.Back()
 		s.order.Remove(back)
@@ -329,16 +401,17 @@ func (s *cacheShard) storeLocked(key answerKey, a Answer) {
 // deterministic failure that merely coincided with the leader's context
 // ending is shared as-is: re-executing a guaranteed failure in a loop would
 // never converge.
-func (c *AnswerCache) do(ctx context.Context, key answerKey, fn func() (Answer, error)) (a Answer, cached bool, err error) {
+func (c *AnswerCache) do(ctx context.Context, key answerKey, fn func() (Answer, error)) (a Answer, enc []byte, cached bool, err error) {
 	s := c.shardFor(key)
 	for {
 		s.mu.Lock()
 		if el, ok := s.entries[key]; ok {
 			s.order.MoveToFront(el)
 			s.hits++
-			a = el.Value.(*lruEntry).ans
+			e := el.Value.(*lruEntry)
+			a, enc = e.ans, e.enc
 			s.mu.Unlock()
-			return a, true, nil
+			return a, enc, true, nil
 		}
 		if f, ok := s.inflight[key]; ok {
 			s.coalesced++
@@ -348,9 +421,9 @@ func (c *AnswerCache) do(ctx context.Context, key answerKey, fn func() (Answer, 
 				if f.retry {
 					continue
 				}
-				return f.ans, false, f.err
+				return f.ans, nil, false, f.err
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, nil, false, ctx.Err()
 			}
 		}
 		f := &flight{done: make(chan struct{})}
@@ -360,10 +433,16 @@ func (c *AnswerCache) do(ctx context.Context, key answerKey, fn func() (Answer, 
 
 		f.ans, f.err = fn()
 
+		var stored []byte
+		if f.err == nil && bytesSafe(key) {
+			// Encode outside the shard lock: one encode per miss buys every
+			// future hit a verbatim byte echo.
+			stored = encodeAnswer(f.ans)
+		}
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if f.err == nil {
-			s.storeLocked(key, f.ans)
+			s.storeLocked(key, f.ans, stored)
 		} else if cerr := ctx.Err(); cerr != nil && errors.Is(f.err, cerr) {
 			// Only the leader's own context error is worth retrying; any
 			// other failure under an expired context is deterministic for
@@ -372,7 +451,7 @@ func (c *AnswerCache) do(ctx context.Context, key answerKey, fn func() (Answer, 
 		}
 		s.mu.Unlock()
 		close(f.done)
-		return f.ans, false, f.err
+		return f.ans, nil, false, f.err
 	}
 }
 
@@ -419,24 +498,72 @@ func (c *CachedSolver) Answer(ctx context.Context, q Query) (Answer, error) {
 // execution). Hits carry a zero Elapsed in the answer body: the stored
 // solve's duration is not this lookup's.
 func (c *CachedSolver) AnswerCached(ctx context.Context, q Query) (Answer, bool, error) {
+	a, _, cached, err := c.AnswerCachedEncoded(ctx, q)
+	return a, cached, err
+}
+
+// AnswerCachedEncoded answers like AnswerCached and additionally returns the
+// canonical JSON encoding of the answer body when the hit carries one —
+// non-analytic keys only, where the full-envelope identity makes a byte
+// replay exact. A nil enc means the caller must encode the typed answer
+// itself (fresh executions, coalesced waiters, and every analytic key, whose
+// hits rebind the caller's scenario and so cannot be replayed verbatim).
+func (c *CachedSolver) AnswerCachedEncoded(ctx context.Context, q Query) (Answer, []byte, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	key, ok := answerCacheKey(c.inner.Name(), q)
 	if !ok {
 		a, err := c.inner.Answer(ctx, q)
-		return a, false, err
+		return a, nil, false, err
 	}
-	a, cached, err := c.cache.do(ctx, key, func() (Answer, error) {
+	a, enc, cached, err := c.cache.do(ctx, key, func() (Answer, error) {
 		return c.inner.Answer(ctx, q)
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	if cached {
-		return cachedAnswer(a, q), true, nil
+		return cachedAnswer(a, q), enc, true, nil
 	}
-	return rebindAnswer(a, q), false, nil
+	return rebindAnswer(a, q), nil, false, nil
+}
+
+// Peek returns the cached answer (and, for non-analytic keys, its canonical
+// encoding) without executing the backend or joining an in-flight execution.
+// A miss leaves the miss counter untouched — Peek is the cluster routing
+// probe, and a probe that finds nothing forwards the query to its home node
+// rather than executing it here, so counting it would break the "misses ==
+// local backend executions" reading the cluster endpoint reports.
+func (c *CachedSolver) Peek(q Query) (Answer, []byte, bool) {
+	key, ok := answerCacheKey(c.inner.Name(), q)
+	if !ok {
+		return nil, nil, false
+	}
+	a, enc, ok := c.cache.peek(key)
+	if !ok {
+		return nil, nil, false
+	}
+	return cachedAnswer(a, q), enc, true
+}
+
+// StoreReplica adopts an answer computed elsewhere — a peer's forwarded
+// response — as a local cache entry, so repeats of the same query are served
+// here without another network hop. The entry is indistinguishable from a
+// locally computed one: non-analytic keys get the canonical hit encoding
+// (re-encoded from the typed answer, never trusted bytes, so a peer's
+// elapsed stamp cannot leak into future hits); analytic keys store the typed
+// answer only, keeping the scenario rebind on sibling hits intact.
+func (c *CachedSolver) StoreReplica(q Query, a Answer) {
+	key, ok := answerCacheKey(c.inner.Name(), q)
+	if !ok {
+		return
+	}
+	var enc []byte
+	if bytesSafe(key) {
+		enc = encodeAnswer(a)
+	}
+	c.cache.store(key, a, enc)
 }
 
 // Solve implements Solver as the ReportQuery shorthand, so report answers

@@ -213,12 +213,12 @@ func TestAnswerCacheLRUBound(t *testing.T) {
 	key := func(i int) answerKey {
 		return answerKey{backend: "fake", key: cacheKey{kind: KindThreshold, extra: fmt.Sprint(i)}}
 	}
-	c.store(key(1), ThresholdAnswer{MinRatio: 1})
-	c.store(key(2), ThresholdAnswer{MinRatio: 2})
+	c.store(key(1), ThresholdAnswer{MinRatio: 1}, nil)
+	c.store(key(2), ThresholdAnswer{MinRatio: 2}, nil)
 	if _, ok := c.lookup(key(1)); !ok { // touch 1 → 2 becomes LRU
 		t.Fatal("entry 1 should be resident")
 	}
-	c.store(key(3), ThresholdAnswer{MinRatio: 3}) // evicts 2
+	c.store(key(3), ThresholdAnswer{MinRatio: 3}, nil) // evicts 2
 	if _, ok := c.lookup(key(2)); ok {
 		t.Error("entry 2 should have been evicted")
 	}
@@ -249,7 +249,7 @@ func TestAnswerCacheShardedBound(t *testing.T) {
 	}
 	for i := 0; i < 10*capacity; i++ {
 		key := answerKey{backend: "fake", key: cacheKey{kind: KindThreshold, extra: fmt.Sprint(i)}}
-		c.store(key, ThresholdAnswer{MinRatio: i})
+		c.store(key, ThresholdAnswer{MinRatio: i}, nil)
 	}
 	st := c.Stats()
 	if st.Entries > capacity {
@@ -281,7 +281,7 @@ func TestAnswerCacheShardCapacityInvariant(t *testing.T) {
 		}
 		// And a store on any key must stay resident until capacity pressure.
 		key := answerKey{backend: "fake", key: cacheKey{kind: KindThreshold, extra: "probe"}}
-		c.store(key, ThresholdAnswer{MinRatio: 1})
+		c.store(key, ThresholdAnswer{MinRatio: 1}, nil)
 		if _, ok := c.lookup(key); !ok {
 			t.Errorf("cap %d shards %d: freshly stored entry not resident", tc.capacity, tc.shards)
 		}

@@ -483,7 +483,7 @@ func solveQueryPoint(ctx context.Context, solver Solver, cache *AnswerCache, p Q
 	}
 	res.Answer = a
 	if cacheable {
-		cache.store(key, a)
+		cache.store(key, a, nil)
 	}
 	return res
 }

@@ -1,6 +1,9 @@
 package feasim
 
-import "feasim/internal/serve"
+import (
+	"feasim/internal/peer"
+	"feasim/internal/serve"
+)
 
 // ---- HTTP query service ----
 //
@@ -29,3 +32,39 @@ type ServerStats = serve.Stats
 
 // NewQueryServer builds the HTTP query service.
 func NewQueryServer(cfg ServeConfig) (*QueryServer, error) { return serve.New(cfg) }
+
+// ---- Multi-node answer tier (cluster mode) ----
+//
+// N query servers become one cache and one solver fleet: a consistent-hash
+// ring over the answer-cache key assigns every query a home node, non-home
+// nodes forward the envelope there over HTTP and keep the answer as a local
+// replica, and per-peer health probing ejects dead peers (queries then fall
+// back to a local solve — availability over strict ownership). Build a
+// ServeCluster with NewServeCluster and hand it to ServeConfig.Cluster;
+// inspect it live via GET /v1/cluster or `feasim cluster`. (The name stays
+// clear of Cluster, which is the paper's Section 4 virtual workstation
+// cluster.)
+
+// ServeCluster is one node's view of the answer-tier ring: membership,
+// per-peer health, and the forwarding transport.
+type ServeCluster = peer.Cluster
+
+// ServeClusterConfig configures NewServeCluster: this node's own URL, the
+// static peer list, and the health-probe/forwarding knobs.
+type ServeClusterConfig = peer.Config
+
+// ClusterStatus is the GET /v1/cluster snapshot: ring layout, ownership
+// fractions, peer health and the forward/fallback/replica counters.
+type ClusterStatus = peer.Status
+
+// ClusterPeerStatus is one remote member's health record inside a
+// ClusterStatus.
+type ClusterPeerStatus = peer.PeerStatus
+
+// ClusterForwardHeader marks a forwarded request; a node receiving it
+// answers locally, never re-forwards (the loop guard).
+const ClusterForwardHeader = peer.ForwardHeader
+
+// NewServeCluster validates the config and builds the node's cluster view;
+// the health prober starts when the cluster is handed to a query server.
+func NewServeCluster(cfg ServeClusterConfig) (*ServeCluster, error) { return peer.New(cfg) }
