@@ -1,7 +1,7 @@
-# Development targets. CI runs build/test/race/serve-smoke blocking and
-# bench/fuzz non-blocking.
+# Development targets. CI runs build/test/race/serve-smoke/cluster-smoke/
+# chaos-smoke blocking and bench/fuzz non-blocking.
 
-.PHONY: all build test race vet fmt bench fuzz serve-smoke cluster-smoke
+.PHONY: all build test race vet fmt bench fuzz serve-smoke cluster-smoke chaos-smoke
 
 all: build test
 
@@ -25,12 +25,12 @@ fmt:
 # service cold vs cache-hit), the served batch (64 mixed envelopes per
 # request), the cluster forwarded-hit path (one peer hop on top of a warm
 # home cache) and the answer-cache contention pairs — and records the result
-# as BENCH_6.json (schema feasim-bench/1), the repository's performance
+# as BENCH_7.json (schema feasim-bench/1), the repository's performance
 # trajectory artifact. When the previous artifact is present, benchdiff
 # reports per-benchmark deltas and flags >20% ns/op regressions.
 bench:
-	go run ./cmd/feasim bench -out BENCH_6.json
-	@if [ -f BENCH_5.json ]; then go run ./cmd/feasim benchdiff BENCH_5.json BENCH_6.json; fi
+	go run ./cmd/feasim bench -out BENCH_7.json
+	@if [ -f BENCH_6.json ]; then go run ./cmd/feasim benchdiff BENCH_6.json BENCH_7.json; fi
 
 # fuzz gives each JSON-envelope fuzz target a short budget; CI runs this
 # non-blocking. Failures drop reproducers under testdata/fuzz/.
@@ -51,3 +51,11 @@ serve-smoke:
 # cluster suite.
 cluster-smoke:
 	go test ./cmd/feasim -run '^TestClusterSmoke$$' -count=1 -v
+
+# chaos-smoke launches three real `feasim serve` processes, one with every
+# outbound peer request failing (-chaos "seed=7;error=1"), and checks that
+# the faulty node's breakers open (visible in `feasim cluster`) while every
+# node keeps answering every query correctly — the resilience tier's
+# end-to-end gate.
+chaos-smoke:
+	go test ./cmd/feasim -run '^TestChaosSmoke$$' -count=1 -v

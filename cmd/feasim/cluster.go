@@ -22,6 +22,9 @@ import (
 type clusterView struct {
 	Enabled     bool                  `json:"enabled"`
 	LocalSolves int64                 `json:"local_solves"`
+	Rejected    int64                 `json:"rejected"`
+	Panics      int64                 `json:"panics"`
+	Sheds       int64                 `json:"sheds"`
 	Cluster     *feasim.ClusterStatus `json:"cluster"`
 }
 
@@ -67,21 +70,27 @@ func cmdCluster(args []string) error {
 	fmt.Printf("%s: cluster of %d (self %s, %d virtual nodes/member)\n",
 		base, len(st.Members), st.Self, st.VirtualNodes)
 	fmt.Printf("  local solves   %d\n", view.LocalSolves)
-	fmt.Printf("  forwards       %d (%d failed)\n", st.Forwards, st.ForwardErrors)
+	fmt.Printf("  forwards       %d (%d failed, %d corrupt)\n", st.Forwards, st.ForwardErrors, st.ForwardCorrupt)
 	fmt.Printf("  forwarded in   %d\n", st.ForwardedIn)
 	fmt.Printf("  fallbacks      %d\n", st.Fallbacks)
 	fmt.Printf("  replica hits   %d\n", st.ReplicaHits)
-	fmt.Printf("  %-32s %-10s %-10s %-8s %s\n", "member", "health", "ownership", "fails", "forwards")
-	health := func(m string) string {
+	fmt.Printf("  retries        %d (budget %.1f tokens, %d exhaustions)\n",
+		st.Retries, st.RetryBudgetTokens, st.RetryBudgetExhausted)
+	fmt.Printf("  hedges         %d (%d won, %d lost, %d local; delay %s)\n",
+		st.Hedges, st.HedgesWon, st.HedgesLost, st.HedgesLocal, time.Duration(st.HedgeDelayNS))
+	fmt.Printf("  overload       %d rejected, %d shed, %d panics recovered\n",
+		view.Rejected, view.Sheds, view.Panics)
+	fmt.Printf("  %-32s %-10s %-10s %-8s %s\n", "member", "breaker", "ownership", "fails", "forwards")
+	breaker := func(m string) string {
 		if m == st.Self {
 			return "self"
 		}
 		for _, p := range st.Peers {
 			if p.URL == m {
-				if p.Healthy {
-					return "healthy"
+				if p.Breaker == "open" {
+					return "OPEN"
 				}
-				return "EJECTED"
+				return p.Breaker
 			}
 		}
 		return "?"
@@ -95,7 +104,7 @@ func cmdCluster(args []string) error {
 			}
 		}
 		fmt.Printf("  %-32s %-10s %-10.3f %-8d %d (%d failed)\n",
-			m, health(m), st.Ownership[m], fails, fwd, fwdErr)
+			m, breaker(m), st.Ownership[m], fails, fwd, fwdErr)
 	}
 	return nil
 }

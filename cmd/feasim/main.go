@@ -10,9 +10,12 @@
 //	           (POST /v1/query, POST /v1/batch, POST /v1/sweep) with answer
 //	           caching and request coalescing in front of the backends;
 //	           -self/-peers joins a multi-node answer tier (consistent-hash
-//	           routing, peer health probing, local fallback)
+//	           routing, circuit-breaker peer health, retries, hedged
+//	           forwards, local fallback); -chaos injects seeded faults,
+//	           -shed-analytic opts into degraded-mode load shedding
 //	cluster    inspect a running node's cluster view: ring membership,
-//	           ownership, peer health and forward/fallback counters
+//	           ownership, breaker states, forward/retry/hedge/fallback and
+//	           overload counters
 //	run        answer a scenario JSON file with any or all solver backends
 //	           (the "report" query kind as a convenience form)
 //	sweep      fan a scenario grid across a parallel worker pool
@@ -109,8 +112,10 @@ query answers a typed query envelope file — {"kind": "report"|"threshold"|
 answers a JSON array of envelopes concurrently); serve answers the same
 envelopes over HTTP (POST /v1/query, /v1/batch, /v1/sweep) with answer
 caching and request coalescing, and with -self/-peers joins a multi-node
-answer tier; cluster inspects a running node's ring membership, peer health
-and routing counters (GET /v1/cluster); run and sweep answer scenario files
+answer tier (circuit breakers, retries, hedged forwards; -chaos injects
+seeded faults for drills); cluster inspects a running node's ring
+membership, breaker states and routing/overload counters (GET /v1/cluster);
+run and sweep answer scenario files
 (the "report" kind); benchdiff compares two bench reports and flags
 regressions. Run "feasim <subcommand> -h" for flags.`)
 }

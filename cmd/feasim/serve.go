@@ -37,6 +37,9 @@ func cmdServe(args []string) error {
 	peers := fs.String("peers", "", "cluster mode: comma-separated base URLs of the other nodes")
 	probeInterval := fs.Duration("probe-interval", 0, "cluster mode: peer health-probe period (0 = default)")
 	failAfter := fs.Int("fail-after", 0, "cluster mode: consecutive probe failures before ejecting a peer (0 = default)")
+	hedgeDelay := fs.Duration("hedge-delay", 0, "cluster mode: initial hedged-forward delay (0 = adaptive default, negative disables hedging)")
+	shedAnalytic := fs.Bool("shed-analytic", false, "under saturation, answer stochastic queries with the analytic backend (marked degraded)")
+	chaos := fs.String("chaos", "", `fault injection spec, e.g. "seed=42;latency=0.2:1ms-5ms;error=0.1;corrupt=0.1" (empty = none)`)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
@@ -45,17 +48,34 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	var inj *feasim.ChaosInjector
+	if *chaos != "" {
+		spec, err := feasim.ParseChaosSpec(*chaos)
+		if err != nil {
+			return err
+		}
+		if inj, err = feasim.NewChaosInjector(spec); err != nil {
+			return err
+		}
+	}
 	var cluster *feasim.ServeCluster
 	if *peers != "" || *self != "" {
 		if *self == "" || *peers == "" {
 			return fmt.Errorf("serve: cluster mode needs both -self and -peers")
 		}
-		cluster, err = feasim.NewServeCluster(feasim.ServeClusterConfig{
+		cfg := feasim.ServeClusterConfig{
 			Self:          *self,
 			Peers:         strings.Split(*peers, ","),
 			ProbeInterval: *probeInterval,
 			FailAfter:     *failAfter,
-		})
+			HedgeDelay:    *hedgeDelay,
+		}
+		if inj != nil {
+			// Chaos hits this node's outbound peer traffic (probes and
+			// forwards) as well as its own solves.
+			cfg.Client = &http.Client{Transport: inj.Transport(nil)}
+		}
+		cluster, err = feasim.NewServeCluster(cfg)
 		if err != nil {
 			return err
 		}
@@ -68,6 +88,8 @@ func cmdServe(args []string) error {
 		DefaultBackend: *backend,
 		SweepWorkers:   *sweepWorkers,
 		Cluster:        cluster,
+		ShedAnalytic:   *shedAnalytic,
+		Fault:          inj,
 	})
 	if err != nil {
 		return err
@@ -81,6 +103,9 @@ func cmdServe(args []string) error {
 	if cluster != nil {
 		fmt.Printf("feasim serve: cluster mode as %s with %d members\n",
 			cluster.Self(), len(cluster.Members()))
+	}
+	if inj != nil {
+		fmt.Printf("feasim serve: CHAOS enabled (%s)\n", *chaos)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,6 @@
 // Package benchgrid defines the canonical sweep, served-query and cache
 // workloads measured both by the in-repo benchmarks and by `feasim bench`
-// (BENCH_*.json, currently BENCH_6.json). Keeping one definition ensures the
+// (BENCH_*.json, currently BENCH_7.json). Keeping one definition ensures the
 // tracked performance artifact and the benchmark the README/ROADMAP numbers
 // cite measure the same workloads.
 package benchgrid
@@ -84,7 +84,7 @@ func ThresholdGrid() solve.QuerySweepSpec {
 }
 
 // The served-query workload, shared by BenchmarkServedQuery and `feasim
-// bench` (served_query_cold / served_query_hit in BENCH_6.json): one
+// bench` (served_query_cold / served_query_hit in BENCH_7.json): one
 // empirical threshold bisection per HTTP request on the exact-sim backend.
 // The cold side varies the seed per request so every envelope misses the
 // answer cache; the hit side repeats ServedQueryEnvelope(1).
@@ -174,7 +174,7 @@ func ServedBatchBody() string {
 }
 
 // ServedBatchBench measures the batched hot path (served_batch in
-// BENCH_6.json): one warm request populates the answer cache, then every
+// BENCH_7.json): one warm request populates the answer cache, then every
 // iteration answers all ServedBatchSize envelopes in a single /v1/batch
 // round trip from the LRU. The env/s metric is what the acceptance bar
 // compares against the per-request served_query_hit throughput — the
@@ -237,7 +237,7 @@ func (c cannedSolver) Solve(ctx context.Context, s solve.Scenario) (solve.Report
 
 // CacheHitContentionBench measures the AnswerCache hot path — repeated hits
 // over a resident working set of 256 distinct keys — at a given shard count
-// and parallelism (cache_hits_* in BENCH_6.json). shards == 1 is the
+// and parallelism (cache_hits_* in BENCH_7.json). shards == 1 is the
 // pre-sharding single-mutex layout, the baseline the deployed layout
 // (shards == 0, sized to GOMAXPROCS) must not lose to at parallelism 1 — on
 // a single-CPU host the default *is* one shard, by design, so the deployed

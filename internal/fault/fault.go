@@ -1,0 +1,460 @@
+// Package fault is a deterministic fault-injection layer for the serving
+// tier. An Injector built from a seeded Spec wraps the peer transport
+// (http.RoundTripper) and the solver backends, and flips a seeded coin per
+// request/solve to inject latency, hard errors, connection drops, corrupt
+// 200 bodies, slow-trickle responses, solver errors, and solver panics.
+//
+// Two properties are load-bearing:
+//
+//   - Deterministic: all randomness comes from one mutex-guarded rand.Rand
+//     seeded by Spec.Seed, so a chaos test pins its seeds and replays the
+//     same fault schedule on every run.
+//   - Off by default: a nil *Injector (or an all-zero Spec) injects nothing
+//     and wrapping becomes the identity, so production wiring can pass the
+//     injector through unconditionally.
+package fault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"feasim/internal/solve"
+)
+
+// Spec configures an Injector. All probabilities are in [0, 1]; a zero value
+// disables that fault. Transport faults apply per HTTP round trip, solver
+// faults per Answer/Solve call.
+type Spec struct {
+	// Seed seeds the injector's private RNG. Zero is a valid seed.
+	Seed int64
+
+	// Latency is the probability of sleeping a uniform duration in
+	// [LatencyMin, LatencyMax] before the round trip proceeds.
+	Latency    float64
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+
+	// Error is the probability of failing the round trip outright, before
+	// the request is sent (like a refused connection).
+	Error float64
+
+	// Drop is the probability of sending the request but discarding the
+	// response and returning a transport error (a connection cut after the
+	// request was delivered — the at-most-once hazard retries must tolerate).
+	Drop float64
+
+	// Corrupt is the probability of truncating and garbling the body of a
+	// 200 response, so the payload no longer parses.
+	Corrupt float64
+
+	// Trickle is the probability of delivering the response body a few
+	// bytes at a time with a delay per chunk (a straggler, not a failure).
+	Trickle float64
+
+	// SolveLatency is the probability of sleeping a uniform duration in
+	// [SolveLatencyMin, SolveLatencyMax] before a wrapped solver answers.
+	SolveLatency    float64
+	SolveLatencyMin time.Duration
+	SolveLatencyMax time.Duration
+
+	// SolveError is the probability of a wrapped solver returning an
+	// injected error instead of answering.
+	SolveError float64
+
+	// SolvePanic is the probability of a wrapped solver panicking
+	// mid-answer.
+	SolvePanic float64
+}
+
+// Default latency windows when a spec enables a latency fault without
+// bounding it.
+const (
+	defaultLatencyMin = 1 * time.Millisecond
+	defaultLatencyMax = 20 * time.Millisecond
+)
+
+// trickle delivery shape: small chunks with a fixed per-chunk delay.
+const (
+	trickleChunk = 64
+	trickleDelay = 2 * time.Millisecond
+)
+
+// ErrInjected marks every error produced by the injector, so callers (and
+// tests) can tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// Validate checks probability ranges and latency windows.
+func (s Spec) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"latency", s.Latency}, {"error", s.Error}, {"drop", s.Drop},
+		{"corrupt", s.Corrupt}, {"trickle", s.Trickle},
+		{"solve-latency", s.SolveLatency}, {"solve-error", s.SolveError},
+		{"solve-panic", s.SolvePanic},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if s.LatencyMin < 0 || s.LatencyMax < s.LatencyMin {
+		return fmt.Errorf("fault: latency window [%v,%v] invalid", s.LatencyMin, s.LatencyMax)
+	}
+	if s.SolveLatencyMin < 0 || s.SolveLatencyMax < s.SolveLatencyMin {
+		return fmt.Errorf("fault: solve-latency window [%v,%v] invalid", s.SolveLatencyMin, s.SolveLatencyMax)
+	}
+	return nil
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool {
+	return s.Latency > 0 || s.Error > 0 || s.Drop > 0 || s.Corrupt > 0 ||
+		s.Trickle > 0 || s.SolveLatency > 0 || s.SolveError > 0 || s.SolvePanic > 0
+}
+
+// ParseSpec parses the -chaos flag grammar: semicolon-separated key=value
+// pairs. Probability keys take a bare float; latency keys take either a bare
+// probability or "P:MIN-MAX" with Go durations.
+//
+//	seed=42;latency=0.3:1ms-20ms;error=0.2;drop=0.1;corrupt=0.1;trickle=0.1;
+//	solve-latency=0.2:1ms-5ms;solve-error=0.1;solve-panic=0.01
+func ParseSpec(text string) (Spec, error) {
+	var s Spec
+	s.LatencyMin, s.LatencyMax = defaultLatencyMin, defaultLatencyMax
+	s.SolveLatencyMin, s.SolveLatencyMax = defaultLatencyMin, defaultLatencyMax
+	for _, field := range strings.Split(text, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("fault: %q is not key=value", field)
+		}
+		key, value = strings.TrimSpace(key), strings.TrimSpace(value)
+		prob := func() (float64, error) {
+			p, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return 0, fmt.Errorf("fault: %s=%q: %v", key, value, err)
+			}
+			return p, nil
+		}
+		probWindow := func(min, max *time.Duration) (float64, error) {
+			pv, rest, has := strings.Cut(value, ":")
+			p, err := strconv.ParseFloat(pv, 64)
+			if err != nil {
+				return 0, fmt.Errorf("fault: %s=%q: %v", key, value, err)
+			}
+			if !has {
+				return p, nil
+			}
+			lo, hi, ok := strings.Cut(rest, "-")
+			if !ok {
+				return 0, fmt.Errorf("fault: %s window %q is not MIN-MAX", key, rest)
+			}
+			if *min, err = time.ParseDuration(lo); err != nil {
+				return 0, fmt.Errorf("fault: %s window: %v", key, err)
+			}
+			if *max, err = time.ParseDuration(hi); err != nil {
+				return 0, fmt.Errorf("fault: %s window: %v", key, err)
+			}
+			return p, nil
+		}
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: seed=%q: %v", value, err)
+			}
+		case "latency":
+			s.Latency, err = probWindow(&s.LatencyMin, &s.LatencyMax)
+		case "error":
+			s.Error, err = prob()
+		case "drop":
+			s.Drop, err = prob()
+		case "corrupt":
+			s.Corrupt, err = prob()
+		case "trickle":
+			s.Trickle, err = prob()
+		case "solve-latency":
+			s.SolveLatency, err = probWindow(&s.SolveLatencyMin, &s.SolveLatencyMax)
+		case "solve-error":
+			s.SolveError, err = prob()
+		case "solve-panic":
+			s.SolvePanic, err = prob()
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown key %q", key)
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Stats counts injections by kind. All counters are monotonic.
+type Stats struct {
+	Requests   int64 `json:"requests"`
+	Latencies  int64 `json:"latencies"`
+	Errors     int64 `json:"errors"`
+	Drops      int64 `json:"drops"`
+	Corrupts   int64 `json:"corrupts"`
+	Trickles   int64 `json:"trickles"`
+	Solves     int64 `json:"solves"`
+	SolveLat   int64 `json:"solve_latencies"`
+	SolveErrs  int64 `json:"solve_errors"`
+	SolvePanic int64 `json:"solve_panics"`
+}
+
+// Injector draws seeded faults per request/solve. Safe for concurrent use; a
+// nil Injector injects nothing.
+type Injector struct {
+	spec Spec
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	requests, latencies, errs, drops, corrupts, trickles atomic.Int64
+	solves, solveLat, solveErrs, solvePanics             atomic.Int64
+}
+
+// New builds an Injector from a validated spec.
+func New(spec Spec) (*Injector, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.LatencyMax == 0 {
+		spec.LatencyMin, spec.LatencyMax = defaultLatencyMin, defaultLatencyMax
+	}
+	if spec.SolveLatencyMax == 0 {
+		spec.SolveLatencyMin, spec.SolveLatencyMax = defaultLatencyMin, defaultLatencyMax
+	}
+	return &Injector{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}, nil
+}
+
+// MustNew is New for specs known valid at compile time (tests).
+func MustNew(spec Spec) *Injector {
+	inj, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return inj
+}
+
+// Spec returns the injector's configuration.
+func (i *Injector) Spec() Spec {
+	if i == nil {
+		return Spec{}
+	}
+	return i.spec
+}
+
+// Stats snapshots the injection counters.
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	return Stats{
+		Requests:   i.requests.Load(),
+		Latencies:  i.latencies.Load(),
+		Errors:     i.errs.Load(),
+		Drops:      i.drops.Load(),
+		Corrupts:   i.corrupts.Load(),
+		Trickles:   i.trickles.Load(),
+		Solves:     i.solves.Load(),
+		SolveLat:   i.solveLat.Load(),
+		SolveErrs:  i.solveErrs.Load(),
+		SolvePanic: i.solvePanics.Load(),
+	}
+}
+
+// draw flips one seeded coin.
+func (i *Injector) draw(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	i.mu.Lock()
+	hit := i.rng.Float64() < p
+	i.mu.Unlock()
+	return hit
+}
+
+// window draws one seeded duration in [min, max].
+func (i *Injector) window(min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	i.mu.Lock()
+	d := min + time.Duration(i.rng.Int63n(int64(max-min)+1))
+	i.mu.Unlock()
+	return d
+}
+
+// sleep waits d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Transport wraps an http.RoundTripper with transport-level faults. A nil
+// injector returns base unchanged.
+func (i *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if i == nil {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{inj: i, base: base}
+}
+
+type roundTripper struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := t.inj
+	i.requests.Add(1)
+	if i.draw(i.spec.Latency) {
+		i.latencies.Add(1)
+		sleep(req.Context(), i.window(i.spec.LatencyMin, i.spec.LatencyMax))
+	}
+	if i.draw(i.spec.Error) {
+		i.errs.Add(1)
+		return nil, fmt.Errorf("%w: transport error for %s", ErrInjected, req.URL.Path)
+	}
+	drop := i.draw(i.spec.Drop)
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if drop {
+		// The request was delivered; the response is lost on the wire.
+		i.drops.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: connection dropped for %s", ErrInjected, req.URL.Path)
+	}
+	if resp.StatusCode == http.StatusOK && i.draw(i.spec.Corrupt) {
+		i.corrupts.Add(1)
+		if err := corruptBody(resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+	if i.draw(i.spec.Trickle) {
+		i.trickles.Add(1)
+		resp.Body = &trickleReader{ctx: req.Context(), inner: resp.Body}
+	}
+	return resp, nil
+}
+
+// corruptBody truncates the 200 body to half and garbles the first byte, so
+// JSON payloads reliably fail to decode while the status stays 200.
+func corruptBody(resp *http.Response) error {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	cut := data[:len(data)/2]
+	if len(cut) > 0 {
+		cut[0] ^= 0xff
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(cut))
+	resp.ContentLength = int64(len(cut))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(cut)))
+	return nil
+}
+
+// trickleReader delivers the body in trickleChunk-byte reads with a fixed
+// delay per chunk, honouring the request context.
+type trickleReader struct {
+	ctx   context.Context
+	inner io.ReadCloser
+}
+
+func (r *trickleReader) Read(p []byte) (int, error) {
+	if err := r.ctx.Err(); err != nil {
+		return 0, err
+	}
+	sleep(r.ctx, trickleDelay)
+	if len(p) > trickleChunk {
+		p = p[:trickleChunk]
+	}
+	return r.inner.Read(p)
+}
+
+func (r *trickleReader) Close() error { return r.inner.Close() }
+
+// Solver wraps a solve.Solver with solver-level faults. A nil injector
+// returns inner unchanged.
+func (i *Injector) Solver(inner solve.Solver) solve.Solver {
+	if i == nil {
+		return inner
+	}
+	return &faultSolver{inj: i, inner: inner}
+}
+
+type faultSolver struct {
+	inj   *Injector
+	inner solve.Solver
+}
+
+func (s *faultSolver) Name() string           { return s.inner.Name() }
+func (s *faultSolver) Capabilities() []string { return s.inner.Capabilities() }
+
+func (s *faultSolver) inject(ctx context.Context) error {
+	i := s.inj
+	i.solves.Add(1)
+	if i.draw(i.spec.SolveLatency) {
+		i.solveLat.Add(1)
+		sleep(ctx, i.window(i.spec.SolveLatencyMin, i.spec.SolveLatencyMax))
+	}
+	if i.draw(i.spec.SolvePanic) {
+		i.solvePanics.Add(1)
+		panic(fmt.Sprintf("fault: injected panic in %s backend", s.inner.Name()))
+	}
+	if i.draw(i.spec.SolveError) {
+		i.solveErrs.Add(1)
+		return fmt.Errorf("%w: solver error in %s backend", ErrInjected, s.inner.Name())
+	}
+	return nil
+}
+
+func (s *faultSolver) Answer(ctx context.Context, q solve.Query) (solve.Answer, error) {
+	if err := s.inject(ctx); err != nil {
+		return nil, err
+	}
+	return s.inner.Answer(ctx, q)
+}
+
+func (s *faultSolver) Solve(ctx context.Context, sc solve.Scenario) (solve.Report, error) {
+	if err := s.inject(ctx); err != nil {
+		return solve.Report{}, err
+	}
+	return s.inner.Solve(ctx, sc)
+}

@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"feasim/internal/solve"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("seed=42; latency=0.3:2ms-8ms; error=0.2; drop=0.1; corrupt=0.15; trickle=0.05; solve-latency=0.25:1ms-4ms; solve-error=0.1; solve-panic=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || s.Latency != 0.3 || s.LatencyMin != 2*time.Millisecond ||
+		s.LatencyMax != 8*time.Millisecond || s.Error != 0.2 || s.Drop != 0.1 ||
+		s.Corrupt != 0.15 || s.Trickle != 0.05 || s.SolveLatency != 0.25 ||
+		s.SolveLatencyMin != time.Millisecond || s.SolveLatencyMax != 4*time.Millisecond ||
+		s.SolveError != 0.1 || s.SolvePanic != 0.01 {
+		t.Fatalf("parsed spec %+v", s)
+	}
+	if !s.Enabled() {
+		t.Fatal("spec should be enabled")
+	}
+	if s, err := ParseSpec(""); err != nil || s.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", s, err)
+	}
+	for _, bad := range []string{
+		"nope", "mystery=1", "error=1.5", "error=x",
+		"latency=0.5:9ms-2ms", "latency=0.5:abc", "seed=z",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	spec := Spec{Seed: 7, Error: 0.5}
+	draw := func() []bool {
+		inj := MustNew(spec)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, inj.draw(spec.Error))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded schedules diverge at draw %d", i)
+		}
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	const body = `{"kind":"report","answer":{"speedup":2.5}}`
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer upstream.Close()
+
+	get := func(inj *Injector) (*http.Response, error) {
+		client := &http.Client{Transport: inj.Transport(http.DefaultTransport)}
+		return client.Get(upstream.URL)
+	}
+
+	t.Run("error", func(t *testing.T) {
+		inj := MustNew(Spec{Error: 1})
+		_, err := get(inj)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("want injected error, got %v", err)
+		}
+		if st := inj.Stats(); st.Errors != 1 || st.Requests != 1 {
+			t.Fatalf("stats %+v", st)
+		}
+	})
+	t.Run("drop", func(t *testing.T) {
+		inj := MustNew(Spec{Drop: 1})
+		if _, err := get(inj); err == nil {
+			t.Fatal("want drop error")
+		}
+		if st := inj.Stats(); st.Drops != 1 {
+			t.Fatalf("stats %+v", st)
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		inj := MustNew(Spec{Corrupt: 1})
+		resp, err := get(inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if string(data) == body || len(data) >= len(body) {
+			t.Fatalf("body not corrupted: %q", data)
+		}
+		if _, perr := solve.ParseAnswer("report", data); perr == nil {
+			t.Fatal("corrupted body still parsed")
+		}
+		if st := inj.Stats(); st.Corrupts != 1 {
+			t.Fatalf("stats %+v", st)
+		}
+	})
+	t.Run("trickle", func(t *testing.T) {
+		inj := MustNew(Spec{Trickle: 1})
+		resp, err := get(inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(data) != body {
+			t.Fatalf("trickled body mismatch: %q, %v", data, err)
+		}
+		if st := inj.Stats(); st.Trickles != 1 {
+			t.Fatalf("stats %+v", st)
+		}
+	})
+	t.Run("latency", func(t *testing.T) {
+		inj := MustNew(Spec{Latency: 1, LatencyMin: 5 * time.Millisecond, LatencyMax: 5 * time.Millisecond})
+		start := time.Now()
+		resp, err := get(inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if d := time.Since(start); d < 5*time.Millisecond {
+			t.Fatalf("no latency injected (%v)", d)
+		}
+		if st := inj.Stats(); st.Latencies != 1 {
+			t.Fatalf("stats %+v", st)
+		}
+	})
+	t.Run("nil injector is identity", func(t *testing.T) {
+		var inj *Injector
+		if rt := inj.Transport(http.DefaultTransport); rt != http.DefaultTransport {
+			t.Fatal("nil injector must return base transport")
+		}
+		if st := inj.Stats(); st != (Stats{}) {
+			t.Fatalf("nil stats %+v", st)
+		}
+	})
+}
+
+// passSolver answers nothing but records that it was reached.
+type passSolver struct{ reached int }
+
+func (p *passSolver) Name() string           { return "pass" }
+func (p *passSolver) Capabilities() []string { return solve.QueryKinds() }
+func (p *passSolver) Answer(ctx context.Context, q solve.Query) (solve.Answer, error) {
+	p.reached++
+	return nil, nil
+}
+func (p *passSolver) Solve(ctx context.Context, s solve.Scenario) (solve.Report, error) {
+	p.reached++
+	return solve.Report{}, nil
+}
+
+func TestSolverFaults(t *testing.T) {
+	t.Run("error", func(t *testing.T) {
+		inner := &passSolver{}
+		sv := MustNew(Spec{SolveError: 1}).Solver(inner)
+		if _, err := sv.Answer(context.Background(), nil); !errors.Is(err, ErrInjected) {
+			t.Fatalf("want injected error, got %v", err)
+		}
+		if inner.reached != 0 {
+			t.Fatal("inner solver reached despite injected error")
+		}
+	})
+	t.Run("panic", func(t *testing.T) {
+		inj := MustNew(Spec{SolvePanic: 1})
+		sv := inj.Solver(&passSolver{})
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want injected panic")
+				}
+			}()
+			sv.Answer(context.Background(), nil)
+		}()
+		if st := inj.Stats(); st.SolvePanic != 1 {
+			t.Fatalf("stats %+v", st)
+		}
+	})
+	t.Run("clean passthrough", func(t *testing.T) {
+		inner := &passSolver{}
+		sv := MustNew(Spec{}).Solver(inner)
+		if _, err := sv.Answer(context.Background(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if inner.reached != 1 {
+			t.Fatal("inner solver not reached")
+		}
+		var nilInj *Injector
+		if got := nilInj.Solver(inner); got != solve.Solver(inner) {
+			t.Fatal("nil injector must return inner solver")
+		}
+	})
+}

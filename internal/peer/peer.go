@@ -14,8 +14,10 @@ package peer
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
@@ -56,25 +58,55 @@ type Config struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds a single /v1/healthz probe (<= 0: DefaultProbeTimeout).
 	ProbeTimeout time.Duration
-	// FailAfter is the consecutive-failure count that ejects a peer from
-	// routing (<= 0: DefaultFailAfter). One probe success readmits it.
+	// FailAfter is the consecutive-failure count that opens a peer's breaker
+	// (<= 0: DefaultFailAfter). One probe success readmits it.
 	FailAfter int
 	// ForwardTimeout bounds a forwarded request when the caller's context has
 	// no earlier deadline (<= 0: DefaultForwardTimeout).
 	ForwardTimeout time.Duration
 	// Client issues probes and forwards (nil: a private default client).
 	Client *http.Client
+
+	// BreakerWindow is the rolling outcome window per peer; a failure rate of
+	// BreakerThreshold over at least half the window also opens the breaker,
+	// catching flappers that never fail FailAfter times in a row
+	// (<= 0: DefaultBreakerWindow / DefaultBreakerThreshold).
+	BreakerWindow    int
+	BreakerThreshold float64
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// Allow grants a single half-open trial (<= 0: DefaultBreakerCooldown).
+	// The background prober readmits sooner when the peer recovers.
+	BreakerCooldown time.Duration
+	// RetryMax bounds the retries of one Forward call (0: DefaultRetryMax,
+	// < 0: retries disabled).
+	RetryMax int
+	// RetryBudget caps the retry/hedge token bucket; each logical forward
+	// deposits DefaultRetryBudgetRatio tokens (<= 0: DefaultRetryBudget).
+	RetryBudget float64
+	// RetryBaseDelay is the first backoff step; retry #n sleeps uniform in
+	// [0, RetryBaseDelay·2^n] (<= 0: DefaultRetryBaseDelay).
+	RetryBaseDelay time.Duration
+	// HedgeDelay seeds the adaptive hedge delay before enough forward
+	// latencies are observed (0: DefaultHedgeDelay, < 0: hedging disabled).
+	HedgeDelay time.Duration
 }
 
-// peerState is the mutable health record of one remote member.
+// peerState is the mutable health record of one remote member: its circuit
+// breaker plus per-peer counters.
 type peerState struct {
 	url           string
-	healthy       bool
+	state         breakerState
 	fails         int // consecutive failures (probe or forward)
 	lastError     string
-	ejections     int64
+	ejections     int64 // breaker open transitions
 	forwards      int64 // forwards attempted to this peer
 	forwardErrors int64
+
+	window        []bool // rolling outcome ring, true = failure (closed state only)
+	windowIdx     int
+	windowFails   int
+	openedAt      time.Time // when the breaker last opened
+	halfOpenTrial bool      // the single half-open trial is in flight
 }
 
 // Cluster is one node's live view of the answer-tier ring: the (immutable)
@@ -90,14 +122,39 @@ type Cluster struct {
 	forwardTimeout time.Duration
 	failAfter      int
 
+	breakerWindow    int
+	breakerThreshold float64
+	breakerCooldown  time.Duration
+	retryMax         int
+	retryBaseDelay   time.Duration
+	hedgeInitial     time.Duration
+	hedgeDisabled    bool
+	budget           *retryBudget
+
 	mu    sync.Mutex
 	peers map[string]*peerState // remote members only
 
-	forwards      atomic.Int64 // forwards attempted (this node → a home peer)
-	forwardErrors atomic.Int64 // forwards that failed (transport error or 5xx)
-	fallbacks     atomic.Int64 // remote-homed queries solved locally instead
-	forwardedIn   atomic.Int64 // forwarded requests received from peers
-	replicaHits   atomic.Int64 // remote-homed queries served from the local replica cache
+	jitterMu sync.Mutex
+	jitter   *rand.Rand // backoff jitter
+
+	latMu      sync.Mutex
+	latSamples []time.Duration // ring of recent successful forward latencies
+	latIdx     int
+	latCount   int64
+	hedgeEWMA  time.Duration // smoothed p95, the adaptive hedge delay
+
+	forwards        atomic.Int64 // logical forwards attempted (this node → a home peer)
+	forwardErrors   atomic.Int64 // logical forwards that failed after retries
+	fallbacks       atomic.Int64 // remote-homed queries solved locally instead
+	forwardedIn     atomic.Int64 // forwarded requests received from peers
+	replicaHits     atomic.Int64 // remote-homed queries served from the local replica cache
+	retries         atomic.Int64 // extra forward attempts after a failed one
+	budgetExhausted atomic.Int64 // retries/hedges refused by the token bucket
+	hedges          atomic.Int64 // hedge attempts fired (remote or local)
+	hedgesWon       atomic.Int64 // hedges that answered before the home
+	hedgesLost      atomic.Int64 // homes that answered after a hedge fired
+	hedgesLocal     atomic.Int64 // hedges resolved by a local solve
+	forwardCorrupt  atomic.Int64 // 200 forward bodies that failed to parse
 
 	startOnce sync.Once
 	closeOnce sync.Once
@@ -150,7 +207,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		seen[p] = true
 		members = append(members, p)
-		peers[p] = &peerState{url: p, healthy: true}
+		peers[p] = &peerState{url: p, state: breakerClosed}
 	}
 	if len(peers) == 0 {
 		return nil, fmt.Errorf("peer: no peers besides self; run without a cluster instead")
@@ -161,17 +218,25 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		self:           self,
-		members:        members,
-		ring:           r,
-		client:         cfg.Client,
-		probeInterval:  cfg.ProbeInterval,
-		probeTimeout:   cfg.ProbeTimeout,
-		forwardTimeout: cfg.ForwardTimeout,
-		failAfter:      cfg.FailAfter,
-		peers:          peers,
-		stop:           make(chan struct{}),
-		done:           make(chan struct{}),
+		self:             self,
+		members:          members,
+		ring:             r,
+		client:           cfg.Client,
+		probeInterval:    cfg.ProbeInterval,
+		probeTimeout:     cfg.ProbeTimeout,
+		forwardTimeout:   cfg.ForwardTimeout,
+		failAfter:        cfg.FailAfter,
+		breakerWindow:    cfg.BreakerWindow,
+		breakerThreshold: cfg.BreakerThreshold,
+		breakerCooldown:  cfg.BreakerCooldown,
+		retryMax:         cfg.RetryMax,
+		retryBaseDelay:   cfg.RetryBaseDelay,
+		hedgeInitial:     cfg.HedgeDelay,
+		hedgeDisabled:    cfg.HedgeDelay < 0,
+		jitter:           jitterSource(),
+		peers:            peers,
+		stop:             make(chan struct{}),
+		done:             make(chan struct{}),
 	}
 	if c.client == nil {
 		c.client = &http.Client{}
@@ -188,6 +253,33 @@ func New(cfg Config) (*Cluster, error) {
 	if c.failAfter <= 0 {
 		c.failAfter = DefaultFailAfter
 	}
+	if c.breakerWindow <= 0 {
+		c.breakerWindow = DefaultBreakerWindow
+	}
+	if c.breakerThreshold <= 0 || c.breakerThreshold > 1 {
+		c.breakerThreshold = DefaultBreakerThreshold
+	}
+	if c.breakerCooldown <= 0 {
+		c.breakerCooldown = DefaultBreakerCooldown
+	}
+	switch {
+	case c.retryMax == 0:
+		c.retryMax = DefaultRetryMax
+	case c.retryMax < 0:
+		c.retryMax = 0
+	}
+	budgetCap := cfg.RetryBudget
+	if budgetCap <= 0 {
+		budgetCap = DefaultRetryBudget
+	}
+	c.budget = newRetryBudget(budgetCap, DefaultRetryBudgetRatio)
+	if c.retryBaseDelay <= 0 {
+		c.retryBaseDelay = DefaultRetryBaseDelay
+	}
+	if c.hedgeInitial == 0 {
+		c.hedgeInitial = DefaultHedgeDelay
+	}
+	c.latSamples = make([]time.Duration, 0, 64)
 	return c, nil
 }
 
@@ -208,8 +300,9 @@ func (c *Cluster) Home(h uint64) (url string, local bool) {
 	return owner, owner == c.self
 }
 
-// Healthy reports whether the given member is currently routable. Self is
-// always healthy; unknown URLs are not.
+// Healthy reports whether the given member's breaker is closed. Self is
+// always healthy; unknown URLs are not. Routing decisions should prefer
+// Allow, which additionally grants the half-open trial of an open breaker.
 func (c *Cluster) Healthy(member string) bool {
 	if member == c.self {
 		return true
@@ -217,7 +310,7 @@ func (c *Cluster) Healthy(member string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p, ok := c.peers[member]
-	return ok && p.healthy
+	return ok && p.state == breakerClosed
 }
 
 // Start launches the background health prober. Idempotent.
@@ -287,8 +380,10 @@ func (c *Cluster) probeOne(member string) {
 	c.noteSuccess(member)
 }
 
-// noteFailure records a probe/forward failure and ejects the peer once it
-// accumulates failAfter consecutive failures.
+// noteFailure records a probe/forward failure against the peer's breaker: a
+// closed breaker opens on failAfter consecutive failures or on the rolling
+// failure rate; a half-open trial failure re-opens with a fresh cooldown; an
+// open breaker just refreshes its cooldown (the peer is still down).
 func (c *Cluster) noteFailure(member, errMsg string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -298,14 +393,27 @@ func (c *Cluster) noteFailure(member, errMsg string) {
 	}
 	p.fails++
 	p.lastError = errMsg
-	if p.healthy && p.fails >= c.failAfter {
-		p.healthy = false
+	switch p.state {
+	case breakerClosed:
+		p.pushOutcome(true, c.breakerWindow)
+		if p.fails >= c.failAfter || p.windowTrips(c.breakerWindow, c.breakerThreshold) {
+			p.state = breakerOpen
+			p.openedAt = time.Now()
+			p.ejections++
+		}
+	case breakerHalfOpen:
+		p.state = breakerOpen
+		p.openedAt = time.Now()
+		p.halfOpenTrial = false
 		p.ejections++
+	case breakerOpen:
+		p.openedAt = time.Now()
 	}
 }
 
 // noteSuccess records a probe/forward success: the failure streak resets and
-// an ejected peer is readmitted.
+// an open or half-open breaker closes (readmit), starting from a clean
+// outcome window.
 func (c *Cluster) noteSuccess(member string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -315,7 +423,13 @@ func (c *Cluster) noteSuccess(member string) {
 	}
 	p.fails = 0
 	p.lastError = ""
-	p.healthy = true
+	if p.state == breakerClosed {
+		p.pushOutcome(false, c.breakerWindow)
+		return
+	}
+	p.state = breakerClosed
+	p.halfOpenTrial = false
+	p.clearWindow()
 }
 
 // Forward relays a query body to the home member over the peer's own wire
@@ -325,6 +439,10 @@ func (c *Cluster) noteSuccess(member string) {
 // verdict should be echoed, not retried locally. Transport errors and 5xx
 // (the home is broken, not the envelope) count against the peer's health and
 // return an error so the caller falls back to a local solve.
+// One logical Forward makes up to 1+RetryMax attempts: transport errors and
+// 5xx retry with full-jitter exponential backoff, each retry paid for from
+// the cluster-wide retry budget. Every failed attempt counts against the
+// peer's breaker; the counters (forwards, forwardErrors) count logical calls.
 func (c *Cluster) Forward(ctx context.Context, member, path, rawQuery string, body []byte) (status int, respBody []byte, err error) {
 	c.forwards.Add(1)
 	c.mu.Lock()
@@ -332,46 +450,76 @@ func (c *Cluster) Forward(ctx context.Context, member, path, rawQuery string, bo
 		p.forwards++
 	}
 	c.mu.Unlock()
-
-	fail := func(e error) (int, []byte, error) {
-		c.forwardErrors.Add(1)
-		c.mu.Lock()
-		if p, ok := c.peers[member]; ok {
-			p.forwardErrors++
-		}
-		c.mu.Unlock()
-		c.noteFailure(member, e.Error())
-		return 0, nil, e
-	}
+	c.budget.deposit()
 
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.forwardTimeout)
 		defer cancel()
 	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		st, data, aerr := c.forwardOnce(ctx, member, path, rawQuery, body)
+		if aerr == nil {
+			c.noteSuccess(member)
+			c.observeForwardLatency(time.Since(start))
+			return st, data, nil
+		}
+		if errors.Is(ctx.Err(), context.Canceled) {
+			// The caller gave up — a hedge winner cancelled this attempt, or
+			// the client hung up. Not the peer's fault: no health penalty,
+			// no error counter, no retry.
+			return 0, nil, aerr
+		}
+		lastErr = aerr
+		c.noteFailure(member, aerr.Error())
+		if attempt >= c.retryMax || ctx.Err() != nil {
+			break
+		}
+		if !c.budget.withdraw() {
+			c.budgetExhausted.Add(1)
+			break
+		}
+		c.retries.Add(1)
+		if !sleepCtx(ctx, c.backoff(attempt)) {
+			break
+		}
+	}
+	c.forwardErrors.Add(1)
+	c.mu.Lock()
+	if p, ok := c.peers[member]; ok {
+		p.forwardErrors++
+	}
+	c.mu.Unlock()
+	return 0, nil, lastErr
+}
+
+// forwardOnce is a single forward attempt: POST, read, judge the status.
+func (c *Cluster) forwardOnce(ctx context.Context, member, path, rawQuery string, body []byte) (int, []byte, error) {
 	u := member + path
 	if rawQuery != "" {
 		u += "?" + rawQuery
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
 	if err != nil {
-		return fail(fmt.Errorf("peer: building forward to %s: %w", member, err))
+		return 0, nil, fmt.Errorf("peer: building forward to %s: %w", member, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardHeader, c.self)
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return fail(fmt.Errorf("peer: forward to %s: %w", member, err))
+		return 0, nil, fmt.Errorf("peer: forward to %s: %w", member, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return fail(fmt.Errorf("peer: reading forward response from %s: %w", member, err))
+		return 0, nil, fmt.Errorf("peer: reading forward response from %s: %w", member, err)
 	}
 	if resp.StatusCode >= 500 {
-		return fail(fmt.Errorf("peer: %s answered a forward with status %d", member, resp.StatusCode))
+		return 0, nil, fmt.Errorf("peer: %s answered a forward with status %d", member, resp.StatusCode)
 	}
-	c.noteSuccess(member)
 	return resp.StatusCode, data, nil
 }
 
@@ -391,9 +539,10 @@ func (c *Cluster) NoteReplicaHit() { c.replicaHits.Add(1) }
 type PeerStatus struct {
 	URL              string `json:"url"`
 	Healthy          bool   `json:"healthy"`
+	Breaker          string `json:"breaker"` // closed | open | half-open
 	ConsecutiveFails int    `json:"consecutive_fails"`
 	LastError        string `json:"last_error,omitempty"`
-	Ejections        int64  `json:"ejections"`
+	Ejections        int64  `json:"ejections"` // breaker open transitions
 	Forwards         int64  `json:"forwards"`
 	ForwardErrors    int64  `json:"forward_errors"`
 }
@@ -410,7 +559,18 @@ type Status struct {
 	Fallbacks     int64              `json:"fallbacks"`
 	ForwardedIn   int64              `json:"forwarded_in"`
 	ReplicaHits   int64              `json:"replica_hits"`
-	Peers         []PeerStatus       `json:"peers"`
+
+	Retries              int64   `json:"retries"`
+	RetryBudgetExhausted int64   `json:"retry_budget_exhausted"`
+	RetryBudgetTokens    float64 `json:"retry_budget_tokens"`
+	Hedges               int64   `json:"hedges"`
+	HedgesWon            int64   `json:"hedges_won"`
+	HedgesLost           int64   `json:"hedges_lost"`
+	HedgesLocal          int64   `json:"hedges_local"`
+	HedgeDelayNS         int64   `json:"hedge_delay_ns"` // current adaptive hedge delay
+	ForwardCorrupt       int64   `json:"forward_corrupt"`
+
+	Peers []PeerStatus `json:"peers"`
 }
 
 // Status snapshots the cluster view.
@@ -425,6 +585,16 @@ func (c *Cluster) Status() Status {
 		Fallbacks:     c.fallbacks.Load(),
 		ForwardedIn:   c.forwardedIn.Load(),
 		ReplicaHits:   c.replicaHits.Load(),
+
+		Retries:              c.retries.Load(),
+		RetryBudgetExhausted: c.budgetExhausted.Load(),
+		RetryBudgetTokens:    c.budget.balance(),
+		Hedges:               c.hedges.Load(),
+		HedgesWon:            c.hedgesWon.Load(),
+		HedgesLost:           c.hedgesLost.Load(),
+		HedgesLocal:          c.hedgesLocal.Load(),
+		HedgeDelayNS:         int64(c.hedgeDelay()),
+		ForwardCorrupt:       c.forwardCorrupt.Load(),
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -435,7 +605,8 @@ func (c *Cluster) Status() Status {
 		}
 		st.Peers = append(st.Peers, PeerStatus{
 			URL:              p.url,
-			Healthy:          p.healthy,
+			Healthy:          p.state == breakerClosed,
+			Breaker:          p.state.String(),
 			ConsecutiveFails: p.fails,
 			LastError:        p.lastError,
 			Ejections:        p.ejections,

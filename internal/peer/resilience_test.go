@@ -1,0 +1,315 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine drives one peer's breaker through
+// closed → open → half-open → open → half-open → closed and pins the
+// single-trial semantics of the half-open state.
+func TestBreakerStateMachine(t *testing.T) {
+	c, err := New(Config{
+		Self:            "http://a",
+		Peers:           []string{"http://b"},
+		FailAfter:       2,
+		BreakerCooldown: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const b = "http://b"
+
+	if !c.Allow(b) || !c.Healthy(b) {
+		t.Fatal("fresh peer must be routable")
+	}
+	c.noteFailure(b, "boom")
+	if !c.Healthy(b) {
+		t.Fatal("one failure below FailAfter must not open the breaker")
+	}
+	c.noteFailure(b, "boom")
+	if c.Healthy(b) || c.Allow(b) {
+		t.Fatal("breaker must be open after FailAfter consecutive failures")
+	}
+	if st := c.Status(); st.Peers[0].Breaker != "open" || st.Peers[0].Ejections != 1 {
+		t.Fatalf("status after open: %+v", st.Peers[0])
+	}
+
+	time.Sleep(40 * time.Millisecond)
+	if !c.Allow(b) {
+		t.Fatal("cooldown elapsed: breaker must grant a half-open trial")
+	}
+	if c.Allow(b) {
+		t.Fatal("half-open breaker must grant exactly one trial")
+	}
+	if st := c.Status(); st.Peers[0].Breaker != "half-open" {
+		t.Fatalf("status in half-open: %+v", st.Peers[0])
+	}
+
+	c.noteFailure(b, "still down") // the trial failed
+	if st := c.Status(); st.Peers[0].Breaker != "open" || st.Peers[0].Ejections != 2 {
+		t.Fatalf("failed trial must re-open: %+v", st.Peers[0])
+	}
+	if c.Allow(b) {
+		t.Fatal("re-opened breaker must refuse traffic until a new cooldown")
+	}
+
+	time.Sleep(40 * time.Millisecond)
+	if !c.Allow(b) {
+		t.Fatal("second cooldown elapsed: another trial expected")
+	}
+	c.noteSuccess(b) // the trial succeeded
+	if !c.Healthy(b) || !c.Allow(b) {
+		t.Fatal("successful trial must readmit the peer")
+	}
+	if st := c.Status(); st.Peers[0].Breaker != "closed" || st.Peers[0].ConsecutiveFails != 0 {
+		t.Fatalf("status after readmit: %+v", st.Peers[0])
+	}
+}
+
+// TestBreakerRateOpen pins the failure-rate path: a flapping peer that never
+// fails FailAfter times in a row still opens once half the rolling window is
+// observed at >= the threshold failure rate.
+func TestBreakerRateOpen(t *testing.T) {
+	c, err := New(Config{
+		Self:      "http://a",
+		Peers:     []string{"http://b"},
+		FailAfter: 100, // consecutive path effectively disabled
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const b = "http://b"
+
+	opened := false
+	for i := 0; i < DefaultBreakerWindow && !opened; i++ {
+		c.noteFailure(b, "flap")
+		opened = !c.Healthy(b)
+		if !opened {
+			c.noteSuccess(b)
+		}
+	}
+	if !opened {
+		t.Fatal("50% flapping must open the breaker via the rate window")
+	}
+	st := c.Status()
+	if st.Peers[0].Ejections != 1 {
+		t.Fatalf("want 1 breaker open, got %+v", st.Peers[0])
+	}
+	// Readmit clears the window: the peer starts from a clean slate.
+	c.noteSuccess(b)
+	if !c.Healthy(b) {
+		t.Fatal("success must readmit")
+	}
+	c.noteFailure(b, "one blip")
+	if !c.Healthy(b) {
+		t.Fatal("a single failure after readmit must not re-open (window cleared)")
+	}
+}
+
+// TestForwardRetries pins the backoff-retry path: transient 5xx attempts are
+// retried within one logical Forward and the retry counter advances.
+func TestForwardRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{
+		Self:           "http://self",
+		Peers:          []string{srv.URL},
+		FailAfter:      10, // stay closed through the transient failures
+		RetryMax:       2,
+		RetryBaseDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	status, body, err := c.Forward(context.Background(), srv.URL, "/v1/query", "", []byte(`{}`))
+	if err != nil || status != http.StatusOK || string(body) != `{"ok":true}` {
+		t.Fatalf("forward after retries: status=%d body=%q err=%v", status, body, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("want 3 attempts, server saw %d", got)
+	}
+	st := c.Status()
+	if st.Retries != 2 || st.ForwardErrors != 0 || st.Forwards != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+// TestForwardRetryBudget pins the token bucket: with a budget of one token,
+// a persistently failing forward stops retrying once the bucket is empty.
+func TestForwardRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{
+		Self:           "http://self",
+		Peers:          []string{srv.URL},
+		FailAfter:      100,
+		RetryMax:       5,
+		RetryBudget:    1,
+		RetryBaseDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.Forward(context.Background(), srv.URL, "/v1/query", "", []byte(`{}`)); err == nil {
+		t.Fatal("forward to a dead peer must fail")
+	}
+	// One original attempt plus exactly one budgeted retry.
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("want 2 attempts under a 1-token budget, server saw %d", got)
+	}
+	st := c.Status()
+	if st.Retries != 1 || st.RetryBudgetExhausted != 1 || st.ForwardErrors != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+// hedgeRing finds a hash homed on `home` whose next distinct healthy ring
+// owner is `next`, so a hedged forward deterministically races those two.
+func hedgeRing(t *testing.T, c *Cluster, home, next string) uint64 {
+	t.Helper()
+	for _, v := range c.ring.vnodes {
+		if c.ring.owner(v.hash) != home {
+			continue
+		}
+		if m, ok := c.nextOwner(v.hash, home); ok && m == next {
+			return v.hash
+		}
+	}
+	t.Fatalf("no hash homed on %s hedging to %s", home, next)
+	return 0
+}
+
+// TestForwardHedgedWins pins the hedge race: a slow home loses to the next
+// ring owner, the winner's body is returned, and the cancelled loser takes
+// no health penalty.
+func TestForwardHedgedWins(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(300 * time.Millisecond):
+		}
+		fmt.Fprint(w, `"slow"`)
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `"fast"`)
+	}))
+	defer fast.Close()
+
+	c, err := New(Config{
+		Self:       "http://self",
+		Peers:      []string{slow.URL, fast.URL},
+		HedgeDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h := hedgeRing(t, c, slow.URL, fast.URL)
+
+	status, body, err := c.ForwardHedged(context.Background(), h, slow.URL, "/v1/query", "", []byte(`{}`))
+	if err != nil || status != http.StatusOK || string(body) != `"fast"` {
+		t.Fatalf("hedged forward: status=%d body=%q err=%v", status, body, err)
+	}
+	st := c.Status()
+	if st.Hedges != 1 || st.HedgesWon != 1 || st.HedgesLost != 0 {
+		t.Fatalf("hedge counters: %+v", st)
+	}
+	if st.ForwardErrors != 0 {
+		t.Fatalf("the cancelled loser must not count as a forward error: %+v", st)
+	}
+	if !c.Healthy(slow.URL) {
+		t.Fatal("the cancelled loser must not take a health penalty")
+	}
+}
+
+// TestForwardHedgedLocal pins the no-alternative case: when the only other
+// ring owner is this node itself, the hedge resolves to ErrHedgeLocal so the
+// caller answers with a local solve instead of waiting out a slow home.
+func TestForwardHedgedLocal(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(300 * time.Millisecond):
+		}
+		fmt.Fprint(w, `"slow"`)
+	}))
+	defer slow.Close()
+
+	c, err := New(Config{
+		Self:       "http://self",
+		Peers:      []string{slow.URL},
+		HedgeDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, _, err = c.ForwardHedged(context.Background(), 1, slow.URL, "/v1/query", "", []byte(`{}`))
+	if !errors.Is(err, ErrHedgeLocal) {
+		t.Fatalf("want ErrHedgeLocal, got %v", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("local hedge must beat the slow home, took %v", d)
+	}
+	if st := c.Status(); st.HedgesLocal != 1 {
+		t.Fatalf("hedge counters: %+v", st)
+	}
+}
+
+// TestForwardHedgedFastHome pins the common case: a home answering within the
+// hedge delay never triggers a hedge.
+func TestForwardHedgedFastHome(t *testing.T) {
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `"home"`)
+	}))
+	defer fast.Close()
+
+	c, err := New(Config{
+		Self:       "http://self",
+		Peers:      []string{fast.URL},
+		HedgeDelay: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	status, body, err := c.ForwardHedged(context.Background(), 1, fast.URL, "/v1/query", "", []byte(`{}`))
+	if err != nil || status != http.StatusOK || string(body) != `"home"` {
+		t.Fatalf("hedged forward: status=%d body=%q err=%v", status, body, err)
+	}
+	if st := c.Status(); st.Hedges != 0 {
+		t.Fatalf("no hedge expected: %+v", st)
+	}
+}

@@ -22,6 +22,14 @@ import (
 // locally instead: availability over strict ownership, counted as a
 // fallback. Requests carrying the loop-guard header are always answered
 // locally, bounding any ring disagreement to one hop.
+//
+// The forward path is hardened (PR 7): per-peer circuit breakers gate who is
+// forwarded to at all (Allow, not just Healthy — a cooled-down open breaker
+// admits one trial), single-query forwards are hedged to the next ring owner
+// after an adaptive delay, retries ride a cluster-wide token budget, and a
+// 200 whose body fails to parse is treated as the peer failure it is —
+// counted against the home's breaker and answered by a local solve, never
+// echoed to the client.
 
 // routeQuery decides route-or-solve for a single query and reports true when
 // it wrote the response (replica hit or forwarded verdict). false means the
@@ -48,17 +56,25 @@ func (s *Server) routeQuery(ctx context.Context, w http.ResponseWriter, sv *solv
 		})
 		return true
 	}
-	if !s.cluster.Healthy(home) {
+	if !s.cluster.Allow(home) {
 		s.cluster.NoteFallback()
 		return false
 	}
-	status, respBody, err := s.cluster.Forward(ctx, home, "/v1/query", rawQuery, body)
+	status, respBody, err := s.cluster.ForwardHedged(ctx, h, home, "/v1/query", rawQuery, body)
 	if err != nil {
+		// Includes peer.ErrHedgeLocal: the hedge decided a local solve beats
+		// waiting out a slow home with no healthy alternative.
 		s.cluster.NoteFallback()
 		return false
 	}
-	if status == http.StatusOK {
-		s.storeReplica(sv, q, respBody)
+	if status == http.StatusOK && !s.storeReplica(sv, q, respBody) {
+		// A 200 whose body does not parse as an answer must never reach the
+		// client (it would surface a decode error for a query the cluster can
+		// answer). Count the home's corruption against its breaker and solve
+		// locally.
+		s.cluster.NoteCorrupt(home)
+		s.cluster.NoteFallback()
+		return false
 	}
 	// Echo the home's verdict verbatim — including 4xx, which judged the
 	// envelope itself. The home counted the request in its own stats; this
@@ -79,18 +95,21 @@ type forwardedAnswer struct {
 // storeReplica adopts a forwarded 200 response as a local cache entry. The
 // body is re-parsed into a typed Answer (never trusting the peer's bytes
 // into the cache verbatim: the local entry must carry this cache's canonical
-// scrubbed encoding, not whatever elapsed stamp the wire had). A body that
-// does not parse is simply not cached — the client already got its answer.
-func (s *Server) storeReplica(sv *solve.CachedSolver, q solve.Query, respBody []byte) {
+// scrubbed encoding, not whatever elapsed stamp the wire had). Reports
+// whether the body parsed — false means the 200 is corrupt and the caller
+// must not echo it (the PR 7 regression: storeReplica used to swallow the
+// parse failure while routeQuery echoed the garbage body anyway).
+func (s *Server) storeReplica(sv *solve.CachedSolver, q solve.Query, respBody []byte) bool {
 	var fa forwardedAnswer
 	if err := json.Unmarshal(respBody, &fa); err != nil || fa.Kind == "" || len(fa.Answer) == 0 {
-		return
+		return false
 	}
 	a, err := solve.ParseAnswer(fa.Kind, fa.Answer)
 	if err != nil {
-		return
+		return false
 	}
 	sv.StoreReplica(q, a)
+	return true
 }
 
 // routeBatchItems partitions a batch's parseable items by home node: items
@@ -125,7 +144,7 @@ func (s *Server) routeBatchItems(ctx context.Context, sv *solve.CachedSolver, en
 			}
 			continue
 		}
-		if !s.cluster.Healthy(home) {
+		if !s.cluster.Allow(home) {
 			s.cluster.NoteFallback()
 			local = append(local, i)
 			continue
@@ -186,6 +205,21 @@ func (s *Server) routeBatchItems(ctx context.Context, sv *solve.CachedSolver, en
 			}
 			for j, it := range br.Items {
 				i := idxs[j]
+				if it.Status == http.StatusOK {
+					// Same contract as routeQuery: a 200 item whose answer
+					// does not parse is corrupt — never passed through.
+					// Rescue it locally and charge the home's breaker.
+					a, err := solve.ParseAnswer(it.Kind, it.Answer)
+					if err != nil {
+						s.cluster.NoteCorrupt(home)
+						s.cluster.NoteFallback()
+						mu.Lock()
+						local = append(local, i)
+						mu.Unlock()
+						continue
+					}
+					sv.StoreReplica(queries[i], a)
+				}
 				items[i] = batchItem{
 					Status:    it.Status,
 					Kind:      it.Kind,
@@ -195,11 +229,6 @@ func (s *Server) routeBatchItems(ctx context.Context, sv *solve.CachedSolver, en
 				}
 				if len(it.Answer) > 0 {
 					items[i].Answer = it.Answer
-				}
-				if it.Status == http.StatusOK {
-					if a, err := solve.ParseAnswer(it.Kind, it.Answer); err == nil {
-						sv.StoreReplica(queries[i], a)
-					}
 				}
 			}
 		}(home, idxs)
@@ -217,12 +246,22 @@ type clusterResponse struct {
 	// reach a backend, and routing probes don't count). Summing it across
 	// members gives the fleet-wide solve count — the number the cluster
 	// exists to minimize.
-	LocalSolves int64        `json:"local_solves"`
-	Cluster     *peer.Status `json:"cluster,omitempty"`
+	LocalSolves int64 `json:"local_solves"`
+	// Overload-protection counters, mirrored from /v1/stats so fleet tooling
+	// polling /v1/cluster sees the resilience picture in one request.
+	Rejected int64        `json:"rejected"`
+	Panics   int64        `json:"panics"`
+	Sheds    int64        `json:"sheds"`
+	Cluster  *peer.Status `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
-	resp := clusterResponse{LocalSolves: s.cache.Stats().Misses}
+	resp := clusterResponse{
+		LocalSolves: s.cache.Stats().Misses,
+		Rejected:    s.rejected.Load(),
+		Panics:      s.panics.Load(),
+		Sheds:       s.sheds.Load(),
+	}
 	if s.cluster != nil {
 		resp.Enabled = true
 		st := s.cluster.Status()

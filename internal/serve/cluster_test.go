@@ -35,11 +35,24 @@ func (n *clusterNode) post(t *testing.T, path, body string) (int, map[string]any
 // solves reports the node's backend execution count.
 func (n *clusterNode) solves() int64 { return n.solver.calls.Load() }
 
+// clusterOpt lets a test adjust one node's peer and serve configs (chaos
+// transports, hedge delays, shed mode, ...) before the node starts.
+type clusterOpt func(i int, pc *peer.Config, sc *serve.Config)
+
 // newTestCluster spins up n serve nodes on loopback listeners, each with its
 // own gated counting solver (backend "gated" — stochastic-keyed, so routing
 // uses the full envelope) and a peer view of the others. Probing is fast so
 // health transitions settle within test timescales.
-func newTestCluster(t *testing.T, n int) []*clusterNode {
+func newTestCluster(t *testing.T, n int, opts ...clusterOpt) []*clusterNode {
+	t.Helper()
+	nodes := newTestClusterNoWait(t, n, opts...)
+	waitAllHealthy(t, nodes)
+	return nodes
+}
+
+// newTestClusterNoWait is newTestCluster without the initial health settle —
+// for chaos tests whose injected faults mean the ring never fully settles.
+func newTestClusterNoWait(t *testing.T, n int, opts ...clusterOpt) []*clusterNode {
 	t.Helper()
 	nodes := make([]*clusterNode, n)
 	urls := make([]string, n)
@@ -58,23 +71,28 @@ func newTestCluster(t *testing.T, n int) []*clusterNode {
 				others = append(others, u)
 			}
 		}
-		cl, err := peer.New(peer.Config{
+		pc := peer.Config{
 			Self:          node.url,
 			Peers:         others,
 			ProbeInterval: 10 * time.Millisecond,
 			ProbeTimeout:  time.Second,
 			FailAfter:     2,
-		})
+		}
+		node.solver = &gatedSolver{name: "gated"}
+		sc := serve.Config{
+			Solvers:        map[string]solve.Solver{"gated": node.solver},
+			DefaultBackend: "gated",
+		}
+		for _, opt := range opts {
+			opt(i, &pc, &sc)
+		}
+		cl, err := peer.New(pc)
 		if err != nil {
 			t.Fatal(err)
 		}
 		node.cluster = cl
-		node.solver = &gatedSolver{name: "gated"}
-		srv, err := serve.New(serve.Config{
-			Solvers:        map[string]solve.Solver{"gated": node.solver},
-			DefaultBackend: "gated",
-			Cluster:        cl,
-		})
+		sc.Cluster = cl
+		srv, err := serve.New(sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,18 +100,12 @@ func newTestCluster(t *testing.T, n int) []*clusterNode {
 		go srv.Serve(node.ln)
 	}
 	t.Cleanup(func() {
-		// Concurrent bursts make the shared Transport dial spare keep-alive
-		// conns that never carry a request; the server holds them in StateNew
-		// and Shutdown would wait out its deadline on them. Dropping the
-		// client-side pool first lets every node drain instantly.
-		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
-		for _, node := range nodes {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			node.srv.Shutdown(ctx)
-			cancel()
+		srvs := make([]*serve.Server, len(nodes))
+		for i, node := range nodes {
+			srvs[i] = node.srv
 		}
+		shutdownServers(t, srvs...)
 	})
-	waitAllHealthy(t, nodes)
 	return nodes
 }
 

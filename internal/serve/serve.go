@@ -32,9 +32,14 @@
 // exceeds the per-request deadline is 504; a request whose context ends
 // while it is still queued on the concurrency limiter is 503; a solve cut
 // short by the client disconnecting is 499 (and deliberately not counted
-// in the Errors stat); any other solver failure (a workload the backend
-// cannot express numerically, e.g. non-integral task demand on the exact
-// simulator) is 422. Error bodies are {"error": "..."}.
+// in the Errors stat); a request turned away at admission because its
+// estimated queue wait exceeds its deadline is 429 with a Retry-After hint
+// (counted in Rejected, not Errors — shedding is the overload protection
+// working); a request that panics is answered 500 by the recovery
+// middleware and counted in Panics, never allowed to kill the process; any
+// other solver failure (a workload the backend cannot express numerically,
+// e.g. non-integral task demand on the exact simulator) is 422. Error
+// bodies are {"error": "..."}.
 //
 // Sweeps run on the query-sweep engine, which builds its backends per spec
 // from the standard registry: a spec that does not set its own protocol or
@@ -59,14 +64,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"slices"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"feasim/internal/fault"
 	"feasim/internal/peer"
 	"feasim/internal/sim"
 	"feasim/internal/solve"
@@ -121,24 +130,47 @@ type Config struct {
 	// solver sets — the routing key is cache identity, which assumes one
 	// backend name means one configuration fleet-wide.
 	Cluster *peer.Cluster
+	// ShedAnalytic opts into degraded-mode load shedding: when every limiter
+	// slot is busy, a query addressed to a stochastic backend whose kind the
+	// analytic backend also answers is served by the analytic backend
+	// immediately — marked "degraded": true, counted in Stats.Sheds — instead
+	// of queueing. Off by default: shedding trades fidelity for latency and
+	// the operator must choose that trade.
+	ShedAnalytic bool
+	// Fault, when non-nil, wraps every solver with the chaos injector (the
+	// peer transport is wrapped by the caller via Config.Client on the
+	// cluster side). Nil injects nothing. For smoke tests and chaos drills
+	// only — injected faults are indistinguishable from real ones downstream.
+	Fault *fault.Injector
 }
 
 // Stats is the /v1/stats payload (and the Server.Stats snapshot). Queries
 // counts /v1/query requests; Batches counts /v1/batch requests and
 // BatchItems their parsed envelopes (each of which also counts in PerKind).
 type Stats struct {
-	UptimeNS   int64            `json:"uptime_ns"`
-	InFlight   int64            `json:"in_flight"`
-	Queries    int64            `json:"queries"`
-	Batches    int64            `json:"batches"`
-	BatchItems int64            `json:"batch_items"`
-	Sweeps     int64            `json:"sweeps"`
-	Errors     int64            `json:"errors"`
-	PerKind    map[string]int64 `json:"per_kind"`
-	Cache      solve.CacheStats `json:"cache"`
+	UptimeNS   int64 `json:"uptime_ns"`
+	InFlight   int64 `json:"in_flight"`
+	Waiting    int64 `json:"waiting"` // queued on the limiter right now
+	Queries    int64 `json:"queries"`
+	Batches    int64 `json:"batches"`
+	BatchItems int64 `json:"batch_items"`
+	Sweeps     int64 `json:"sweeps"`
+	Errors     int64 `json:"errors"`
+	// Rejected counts 429 admission rejections (deadline-aware load
+	// shedding); deliberately not part of Errors — rejecting early is the
+	// overload protection working, not the service failing.
+	Rejected int64 `json:"rejected"`
+	// Panics counts recovered request panics (each also a 500 in Errors).
+	Panics int64 `json:"panics"`
+	// Sheds counts queries answered by the analytic backend in degraded mode.
+	Sheds   int64            `json:"sheds"`
+	PerKind map[string]int64 `json:"per_kind"`
+	Cache   solve.CacheStats `json:"cache"`
 	// Cluster carries the answer-tier view (ring, peer health,
 	// forward/fallback counters) when cluster mode is on; omitted otherwise.
 	Cluster *peer.Status `json:"cluster,omitempty"`
+	// Chaos carries the fault injector's counters when one is configured.
+	Chaos *fault.Stats `json:"chaos,omitempty"`
 }
 
 // Server is the HTTP front-end. Construct with New; serve with Serve (or
@@ -154,18 +186,26 @@ type Server struct {
 	sem            chan struct{}
 	sweepWorkers   int
 	cluster        *peer.Cluster // nil: single-node
+	shedAnalytic   bool
+	fault          *fault.Injector // nil: no chaos
 	mux            *http.ServeMux
+	handler        http.Handler // mux wrapped in panic recovery
 	http           *http.Server
 
 	parsed parseCache
 
 	start      time.Time
 	inFlight   atomic.Int64
+	waiting    atomic.Int64 // requests queued on the limiter
+	occupancy  atomic.Int64 // EWMA of slot hold time, ns (admission estimator)
 	queries    atomic.Int64
 	batches    atomic.Int64
 	batchItems atomic.Int64
 	sweeps     atomic.Int64
 	errors     atomic.Int64
+	rejected   atomic.Int64
+	panics     atomic.Int64
+	sheds      atomic.Int64
 	perKind    map[string]*atomic.Int64
 }
 
@@ -268,11 +308,14 @@ func New(cfg Config) (*Server, error) {
 		sem:            make(chan struct{}, maxInFlight),
 		sweepWorkers:   cfg.SweepWorkers,
 		cluster:        cfg.Cluster,
+		shedAnalytic:   cfg.ShedAnalytic,
+		fault:          cfg.Fault,
 		start:          time.Now(),
 		perKind:        make(map[string]*atomic.Int64, len(solve.QueryKinds())),
 	}
 	for name, sv := range inner {
-		s.solvers[name] = solve.NewCachedSolver(sv, s.cache)
+		// Fault.Solver is the identity when no injector is configured.
+		s.solvers[name] = solve.NewCachedSolver(s.fault.Solver(sv), s.cache)
 		s.backends = append(s.backends, name)
 	}
 	sort.Strings(s.backends)
@@ -286,7 +329,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
-	s.http = &http.Server{Handler: s.mux}
+	s.handler = s.recoverPanics(s.mux)
+	s.http = &http.Server{Handler: s.handler}
 	if s.cluster != nil {
 		s.cluster.Start()
 	}
@@ -294,7 +338,28 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Handler returns the service's HTTP handler, for tests and embedding.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// recoverPanics is the outermost layer of the handler chain: a panicking
+// request — an injected chaos panic or a genuine solver bug — costs one 500
+// and a counter bump, never the process. net/http's deliberate
+// ErrAbortHandler is re-raised so connection aborts keep their meaning.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.panics.Add(1)
+			s.writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: recovered request panic: %v", p))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Backends lists the served backend names in sorted order.
 func (s *Server) Backends() []string { return append([]string(nil), s.backends...) }
@@ -319,11 +384,15 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		UptimeNS:   time.Since(s.start).Nanoseconds(),
 		InFlight:   s.inFlight.Load(),
+		Waiting:    s.waiting.Load(),
 		Queries:    s.queries.Load(),
 		Batches:    s.batches.Load(),
 		BatchItems: s.batchItems.Load(),
 		Sweeps:     s.sweeps.Load(),
 		Errors:     s.errors.Load(),
+		Rejected:   s.rejected.Load(),
+		Panics:     s.panics.Load(),
+		Sheds:      s.sheds.Load(),
 		PerKind:    make(map[string]int64, len(s.perKind)),
 		Cache:      s.cache.Stats(),
 	}
@@ -334,41 +403,152 @@ func (s *Server) Stats() Stats {
 		cst := s.cluster.Status()
 		st.Cluster = &cst
 	}
+	if s.fault != nil && s.fault.Spec().Enabled() {
+		fst := s.fault.Stats()
+		st.Chaos = &fst
+	}
 	return st
 }
 
 // admit applies the per-request deadline and the concurrency limiter. When
 // it returns ok, the caller must call release when done.
+//
+// Admission is deadline-aware: when every slot is busy and the estimated
+// queue wait (queue depth × smoothed slot hold time / capacity) already
+// exceeds the request's remaining deadline, the request is rejected up front
+// with 429 and a Retry-After hint instead of queueing to a certain 503/504.
+// Rejecting early under overload is cheaper for both sides: the client can
+// retry elsewhere immediately and the server's queue holds only requests
+// that can still make their deadlines.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, release func(), ok bool) {
 	ctx = r.Context()
 	cancel := context.CancelFunc(func() {})
 	if s.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 	}
+	if deadline, has := ctx.Deadline(); has && len(s.sem) == cap(s.sem) {
+		if est := s.queueWait(); est > 0 && est > time.Until(deadline) {
+			cancel()
+			s.rejectOverload(w, est)
+			return nil, nil, false
+		}
+	}
+	s.waiting.Add(1)
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
+		s.waiting.Add(-1)
 		cancel()
 		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server saturated: %w", ctx.Err()))
 		return nil, nil, false
 	}
+	s.waiting.Add(-1)
 	s.inFlight.Add(1)
+	admitted := time.Now()
 	return ctx, func() {
+		s.noteOccupancy(time.Since(admitted))
 		s.inFlight.Add(-1)
 		<-s.sem
 		cancel()
 	}, true
 }
 
+// noteOccupancy folds one released slot's hold time into the admission
+// estimator's EWMA (alpha 1/8 — a few releases adjust it, one outlier does
+// not swing it).
+func (s *Server) noteOccupancy(d time.Duration) {
+	for {
+		old := s.occupancy.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if s.occupancy.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// queueWait estimates how long a request arriving now would wait for a
+// limiter slot: requests ahead of it (plus itself), drained cap-at-a-time,
+// each holding a slot for the smoothed hold time. Zero when the estimator
+// has no samples yet — admission then falls back to queue-and-timeout.
+func (s *Server) queueWait() time.Duration {
+	avg := s.occupancy.Load()
+	if avg == 0 {
+		return 0
+	}
+	return time.Duration((s.waiting.Load() + 1) * avg / int64(cap(s.sem)))
+}
+
+// rejectOverload writes the 429 admission rejection. Deliberately not routed
+// through writeError: shedding is the overload protection working as
+// designed, so it counts in Rejected, not Errors.
+func (s *Server) rejectOverload(w http.ResponseWriter, est time.Duration) {
+	s.rejected.Add(1)
+	secs := int(math.Ceil(est.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeJSON(w, http.StatusTooManyRequests, errorResponse{
+		Error: fmt.Sprintf("serve: overloaded: estimated queue wait %v exceeds the request deadline", est),
+	})
+}
+
+// shedQuery is the opt-in degraded mode: with every limiter slot busy, a
+// query bound for a stochastic backend is answered by the analytic backend
+// right now — marked "degraded": true — rather than queued behind expensive
+// simulations. Analytic answers cost microseconds, so they run without a
+// limiter slot; that is the point of shedding to them. Returns false when the
+// query cannot be shed (already analytic, or the analytic backend is absent
+// or lacks the kind) — the caller then queues normally.
+func (s *Server) shedQuery(w http.ResponseWriter, r *http.Request, sv *solve.CachedSolver, q solve.Query) bool {
+	an, ok := s.solvers[solve.BackendAnalytic]
+	if !ok || sv.Name() == solve.BackendAnalytic {
+		return false
+	}
+	if !slices.Contains(an.Capabilities(), q.Kind()) {
+		return false
+	}
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	}
+	defer cancel()
+	s.queries.Add(1)
+	s.perKind[q.Kind()].Add(1)
+	s.sheds.Add(1)
+	start := time.Now()
+	a, enc, cached, err := an.AnswerCachedEncoded(ctx, q)
+	if err != nil {
+		s.writeError(w, statusForSolveError(err), err)
+		return true
+	}
+	s.writeJSON(w, http.StatusOK, queryResponse{
+		Kind:      a.Kind(),
+		Backend:   an.Name(),
+		Cached:    cached,
+		Degraded:  true,
+		ElapsedNS: time.Since(start).Nanoseconds(),
+		Answer:    answerPayload(a, enc, cached),
+	})
+	return true
+}
+
 // queryResponse is the /v1/query success payload. Answer is either a typed
 // solve.Answer (cold path) or the cache's pre-encoded json.RawMessage bytes
 // (stochastic-key hits and cluster replicas) — identical on the wire.
 type queryResponse struct {
-	Kind      string `json:"kind"`
-	Backend   string `json:"backend"`
-	Cached    bool   `json:"cached"`
-	ElapsedNS int64  `json:"elapsed_ns"`
-	Answer    any    `json:"answer"`
+	Kind    string `json:"kind"`
+	Backend string `json:"backend"`
+	Cached  bool   `json:"cached"`
+	// Degraded marks an answer served by the analytic backend in place of
+	// the requested one under shed-to-analytic load shedding.
+	Degraded  bool  `json:"degraded,omitempty"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+	Answer    any   `json:"answer"`
 }
 
 // answerPayload picks the wire form of an answer: cached hits whose entry
@@ -412,6 +592,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if s.shedAnalytic && len(s.sem) == cap(s.sem) {
+		if s.shedQuery(w, r, sv, q) {
+			return
+		}
 	}
 	ctx, release, ok := s.admit(w, r)
 	if !ok {
@@ -525,6 +710,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	answerItem := func(i int) {
+		// A panicking item — injected or real — fails alone with a 500,
+		// like any other per-item error; its worker keeps draining.
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.errors.Add(1)
+				items[i] = batchItem{Status: http.StatusInternalServerError, Error: fmt.Sprintf("serve: recovered item panic: %v", p)}
+			}
+		}()
 		start := time.Now()
 		a, enc, cached, err := sv.AnswerCachedEncoded(ctx, queries[i])
 		if err != nil {
@@ -680,6 +874,11 @@ const statusClientClosedRequest = 499
 // statusForSolveError maps solver failures onto the documented taxonomy.
 func statusForSolveError(err error) int {
 	switch {
+	case errors.Is(err, solve.ErrPanicked):
+		// A coalesced waiter whose single-flight leader panicked: the
+		// leader's own request 500s via the recovery middleware; waiters
+		// report the same server fault.
+		return http.StatusInternalServerError
 	case errors.Is(err, solve.ErrUnsupported):
 		return http.StatusNotImplemented
 	case errors.Is(err, context.DeadlineExceeded):

@@ -1,0 +1,32 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"feasim/internal/serve"
+)
+
+// shutdownServers drains the shared client transport's connection pool and
+// then gracefully shuts down every server, in that order. The ordering is
+// the point: concurrent test bursts make the shared http.DefaultTransport
+// dial spare keep-alive connections that never carry a request, the server
+// holds those in StateNew, and http.Server.Shutdown waits out its entire
+// deadline on them. Dropping the client-side pool first lets every node
+// drain instantly. Extracted here because both the cluster suite and the
+// resilience suite hit the same gotcha independently.
+func shutdownServers(t testing.TB, srvs ...*serve.Server) {
+	t.Helper()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	for _, srv := range srvs {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Tolerate servers a test already shut down itself (e.g. a killed
+		// "home" node): double shutdown is harmless here.
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Logf("shutdown: %v", err)
+		}
+		cancel()
+	}
+}

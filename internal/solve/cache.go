@@ -12,6 +12,13 @@ import (
 	"sync"
 )
 
+// ErrPanicked is the error shared with single-flight waiters when the
+// execution they coalesced onto panicked. The panic itself propagates up the
+// leader's stack (the serve layer recovers it into a 500); the waiters get
+// this sentinel instead of a deadlock, and the key is left clean so the next
+// caller re-executes.
+var ErrPanicked = errors.New("solve: answer execution panicked")
+
 // The answer layer sits between callers and backends: a size-bounded LRU of
 // previously computed answers plus single-flight coalescing of concurrent
 // identical queries. It generalizes the sweep engine's analytic dedup cache
@@ -431,7 +438,23 @@ func (c *AnswerCache) do(ctx context.Context, key answerKey, fn func() (Answer, 
 		s.misses++
 		s.mu.Unlock()
 
-		f.ans, f.err = fn()
+		func() {
+			// A panicking fn must not strand the waiters on f.done nor leave
+			// the inflight entry poisoning the key: share ErrPanicked with
+			// the waiters, clear the flight, and let the panic continue to
+			// the caller's recovery policy (the serve layer maps it to a 500).
+			defer func() {
+				if p := recover(); p != nil {
+					f.err = fmt.Errorf("%w: %v", ErrPanicked, p)
+					s.mu.Lock()
+					delete(s.inflight, key)
+					s.mu.Unlock()
+					close(f.done)
+					panic(p)
+				}
+			}()
+			f.ans, f.err = fn()
+		}()
 
 		var stored []byte
 		if f.err == nil && bytesSafe(key) {

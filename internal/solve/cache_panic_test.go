@@ -1,0 +1,107 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// panicOnceSolver panics on its first Answer (after the release gate opens)
+// and answers normally afterwards.
+type panicOnceSolver struct {
+	calls   atomic.Int64
+	release chan struct{}
+}
+
+func (p *panicOnceSolver) Name() string           { return "boom" }
+func (p *panicOnceSolver) Capabilities() []string { return QueryKinds() }
+
+func (p *panicOnceSolver) Answer(ctx context.Context, q Query) (Answer, error) {
+	n := p.calls.Add(1)
+	if p.release != nil {
+		<-p.release
+	}
+	if n == 1 {
+		panic("kaboom")
+	}
+	return ThresholdAnswer{Backend: "boom", MinRatio: 7}, nil
+}
+
+func (p *panicOnceSolver) Solve(ctx context.Context, s Scenario) (Report, error) {
+	a, err := p.Answer(ctx, ReportQuery{Scenario: s})
+	if err != nil {
+		return Report{}, err
+	}
+	return a.(ReportAnswer).Report, nil
+}
+
+// TestCachePanicDoesNotPoisonKey: a panic in the single-flight leader must
+// propagate up the leader's own stack, release coalesced waiters with
+// ErrPanicked instead of deadlocking them, and leave the key clean so the
+// next caller re-executes.
+func TestCachePanicDoesNotPoisonKey(t *testing.T) {
+	ctx := context.Background()
+	inner := &panicOnceSolver{release: make(chan struct{})}
+	cs := NewCachedSolver(inner, nil)
+	q := ThresholdQuery{W: 10, O: 10, Util: 0.1, TargetEff: 0.8, Seed: 9}
+
+	var wg sync.WaitGroup
+	leaderPanic := make(chan any, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { leaderPanic <- recover() }()
+		cs.AnswerCached(ctx, q)
+	}()
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			runtime.Gosched()
+		}
+	}
+	waitFor(func() bool { return inner.calls.Load() == 1 }, "the leader to start")
+
+	const waiters = 3
+	waiterErrs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := cs.AnswerCached(ctx, q)
+			waiterErrs[i] = err
+		}(i)
+	}
+	waitFor(func() bool { return cs.Cache().Stats().Coalesced == waiters }, "the waiters to coalesce")
+
+	close(inner.release) // the leader now panics
+	wg.Wait()
+
+	if p := <-leaderPanic; p == nil {
+		t.Fatal("the leader's panic must propagate, not be swallowed")
+	}
+	for i, err := range waiterErrs {
+		if !errors.Is(err, ErrPanicked) {
+			t.Fatalf("waiter %d: want ErrPanicked, got %v", i, err)
+		}
+	}
+
+	// The key is clean: a fresh call re-executes and succeeds.
+	a, cached, err := cs.AnswerCached(ctx, q)
+	if err != nil || cached {
+		t.Fatalf("post-panic call: cached=%v err=%v", cached, err)
+	}
+	if a.(ThresholdAnswer).MinRatio != 7 {
+		t.Fatalf("post-panic answer %+v", a)
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Fatalf("inner executed %d times, want 2 (panicked once, succeeded once)", got)
+	}
+}

@@ -1,6 +1,7 @@
 package feasim
 
 import (
+	"feasim/internal/fault"
 	"feasim/internal/peer"
 	"feasim/internal/serve"
 )
@@ -68,3 +69,35 @@ const ClusterForwardHeader = peer.ForwardHeader
 // NewServeCluster validates the config and builds the node's cluster view;
 // the health prober starts when the cluster is handed to a query server.
 func NewServeCluster(cfg ServeClusterConfig) (*ServeCluster, error) { return peer.New(cfg) }
+
+// ---- Fault injection (chaos) ----
+//
+// The fault layer injects seeded, deterministic failures — transport faults
+// (latency, refused connections, dropped responses, corrupted or trickled
+// 200 bodies) via ChaosInjector.Transport wrapped around a peer client, and
+// solver faults (latency, errors, panics) via ServeConfig.Fault. Nothing is
+// injected unless a spec enables it; `feasim serve -chaos <spec>` is the CLI
+// front-end. Built for chaos drills and the resilience test suite: the same
+// seed replays the same fault schedule.
+
+// ChaosSpec describes which faults to inject at what probability, plus the
+// RNG seed that makes the schedule reproducible.
+type ChaosSpec = fault.Spec
+
+// ChaosInjector draws seeded faults; wrap transports with Transport and
+// solvers via ServeConfig.Fault. A nil injector injects nothing.
+type ChaosInjector = fault.Injector
+
+// ChaosStats counts injected faults (also surfaced under "chaos" in
+// /v1/stats when injection is enabled).
+type ChaosStats = fault.Stats
+
+// ErrChaosInjected marks failures manufactured by a ChaosInjector.
+var ErrChaosInjected = fault.ErrInjected
+
+// ParseChaosSpec parses the -chaos flag grammar, e.g.
+// "seed=42;latency=0.2:1ms-5ms;error=0.1;drop=0.05;corrupt=0.1;trickle=0.1".
+func ParseChaosSpec(text string) (ChaosSpec, error) { return fault.ParseSpec(text) }
+
+// NewChaosInjector validates the spec and builds an injector.
+func NewChaosInjector(spec ChaosSpec) (*ChaosInjector, error) { return fault.New(spec) }
