@@ -306,7 +306,7 @@ func BenchmarkSweep(b *testing.B) {
 // BenchmarkServedQuery measures the HTTP query service end to end on an
 // empirical (exact-sim) threshold bisection — decode, dispatch, solve,
 // encode — via the canonical benchgrid served-query pair (shared with
-// `feasim bench`, so BENCH_7.json tracks the same workload). The cold path
+// `feasim bench`, so BENCH_8.json tracks the same workload). The cold path
 // varies the seed every iteration so every request misses the cache and
 // runs a fresh warm-started bisection; the hit path repeats one envelope,
 // so after the first request everything is served from the answer LRU. The
@@ -318,7 +318,7 @@ func BenchmarkServedQuery(b *testing.B) {
 }
 
 // BenchmarkServedBatch measures the batched hot path via the canonical
-// benchgrid batch (shared with `feasim bench`, so BENCH_7.json tracks the
+// benchgrid batch (shared with `feasim bench`, so BENCH_8.json tracks the
 // same workload): 64 mixed envelopes per /v1/batch request, all served from
 // the answer LRU after the warm request, reported as envelopes/s. The
 // acceptance bar is per-envelope throughput ≥ 5× served_query_hit's request
@@ -326,6 +326,15 @@ func BenchmarkServedQuery(b *testing.B) {
 // whole batch.
 func BenchmarkServedBatch(b *testing.B) {
 	b.Run(fmt.Sprintf("hit%d", benchgrid.ServedBatchSize), benchgrid.ServedBatchBench())
+}
+
+// BenchmarkTimelineQuasiStatic measures the analytic timeline path on the
+// canonical 3-phase workday (shared with `feasim bench`, so BENCH_8.json's
+// timeline_quasistatic row tracks the same workload): 24 epoch answers per
+// query, each a quasi-static walk whose stationary kernel evaluations share
+// the process-wide binomial-table memo.
+func BenchmarkTimelineQuasiStatic(b *testing.B) {
+	b.Run(fmt.Sprintf("epochs=%d", benchgrid.TimelineEpochCount), benchgrid.TimelineQuasiStaticBench())
 }
 
 // BenchmarkAnswerCacheHit measures the answer cache's hot path over a
@@ -352,7 +361,7 @@ func BenchmarkAnswerCacheHit(b *testing.B) {
 
 // BenchmarkQueryThresholdSweep measures the typed query path on the
 // canonical threshold grid of internal/benchgrid (shared with `feasim
-// bench`, so BENCH_7.json tracks the same workload): 40 analytic threshold
+// bench`, so BENCH_8.json tracks the same workload): 40 analytic threshold
 // bisections per op, reported as full searches per second.
 func BenchmarkQueryThresholdSweep(b *testing.B) {
 	for _, workers := range []int{1, 4} {

@@ -30,3 +30,44 @@ func TestRunSimulation(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWorkday(t *testing.T) {
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	// The workday experiment goes through the timeline query kind; both the
+	// analytic walker and the DES replay answer it.
+	if err := runWorkday(4, "det:100", "det:10", "morning:480:0.15,night:960:0.02", 40, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Unnamed phases parse too.
+	if err := runWorkday(2, "det:50", "det:10", "100:0.1", 20, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Non-deterministic workloads have no timeline form.
+	if err := runWorkday(2, "exp:100", "det:10", "100:0.1", 20, 3); err == nil {
+		t.Error("exp task with -workday should error")
+	}
+	if err := runWorkday(2, "det:100", "exp:10", "100:0.1", 20, 3); err == nil {
+		t.Error("exp owner with -workday should error")
+	}
+	// Malformed phase specs and invalid schedules fail loudly.
+	for _, spec := range []string{"", "x", "a:1:2:3", "nan:0.1", "100:wat", "100:1.5", "-5:0.1"} {
+		if err := runWorkday(2, "det:100", "det:10", spec, 20, 4); err == nil {
+			t.Errorf("workday spec %q should error", spec)
+		}
+	}
+}
+
+func TestParseWorkday(t *testing.T) {
+	phases, err := parseWorkday("morning:480:0.15, 960:0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 || phases[0].Name != "morning" || phases[1].Name != "" ||
+		phases[1].Duration != 960 || phases[1].Util != 0.02 {
+		t.Fatalf("parsed %+v", phases)
+	}
+}

@@ -44,7 +44,7 @@ type benchReport struct {
 // cmdBench runs the benchmark suite and writes the JSON report.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_7.json", "output JSON file")
+	out := fs.String("out", "BENCH_8.json", "output JSON file")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
@@ -127,6 +127,10 @@ func cmdBench(args []string) error {
 			}
 			b.ReportMetric(float64(benchgrid.ThresholdPoints*b.N)/b.Elapsed().Seconds(), "points/s")
 		}},
+		// The timeline query path: the canonical 3-phase workday answered by
+		// the analytic quasi-static walker at 24 epochs (points/s = epoch
+		// answers per second).
+		{"timeline_quasistatic", benchgrid.TimelineQuasiStaticBench()},
 		// The served-query pair: one empirical (exact-sim) threshold
 		// bisection through the full HTTP service. Cold varies the seed so
 		// every request misses the answer cache; hit repeats one envelope,

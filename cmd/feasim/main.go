@@ -5,7 +5,8 @@
 //
 //	query      answer a typed query envelope ({"kind": ...} JSON) with any
 //	           capable backend: report, threshold, partition, distribution,
-//	           scaled; -batch answers a JSON array of envelopes concurrently
+//	           scaled, timeline; -batch answers a JSON array of envelopes
+//	           concurrently
 //	serve      run the query service: the same envelopes over HTTP
 //	           (POST /v1/query, POST /v1/batch, POST /v1/sweep) with answer
 //	           caching and request coalescing in front of the backends;
@@ -108,7 +109,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: feasim <query|serve|cluster|run|sweep|analyze|assess|threshold|scaled|simulate|bench|benchdiff> [flags]
 
 query answers a typed query envelope file — {"kind": "report"|"threshold"|
-"partition"|"distribution"|"scaled", ...} — with any capable backend (-batch
+"partition"|"distribution"|"scaled"|"timeline", ...} — with any capable
+backend (-batch
 answers a JSON array of envelopes concurrently); serve answers the same
 envelopes over HTTP (POST /v1/query, /v1/batch, /v1/sweep) with answer
 caching and request coalescing, and with -self/-peers joins a multi-node

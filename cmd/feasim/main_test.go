@@ -130,7 +130,7 @@ func TestCmdSweep(t *testing.T) {
 //	go run ./cmd/feasim query cmd/feasim/testdata/query_<kind>.json \
 //	    > cmd/feasim/testdata/query_<kind>.golden
 func TestCmdQueryGoldens(t *testing.T) {
-	for _, kind := range []string{"report", "threshold", "partition", "distribution", "scaled"} {
+	for _, kind := range []string{"report", "threshold", "partition", "distribution", "scaled", "timeline"} {
 		t.Run(kind, func(t *testing.T) {
 			in := filepath.Join("testdata", "query_"+kind+".json")
 			out := captureStdout(t, func() error { return cmdQuery([]string{in}) })

@@ -2,7 +2,7 @@ package main
 
 // The query subcommand answers a typed query envelope file — any of the
 // paper's question kinds ("report", "threshold", "partition",
-// "distribution", "scaled") — with any capable backend. With -batch the
+// "distribution", "scaled", "timeline") — with any capable backend. With -batch the
 // file holds a JSON array of envelopes, answered concurrently through a
 // shared answer cache (duplicates solve once), mirroring the HTTP service's
 // POST /v1/batch.
@@ -221,6 +221,24 @@ func printAnswer(a feasim.Answer) {
 		}
 		if t.Samples > 0 {
 			fmt.Printf("  samples                %12d\n", t.Samples)
+		}
+	case feasim.TimelineAnswer:
+		name := t.Scenario.Name
+		if name == "" {
+			name = "scenario"
+		}
+		fmt.Printf("timeline [%s] %s\n", t.Backend, name)
+		fmt.Printf("  cycle length           %12.4g\n", t.CycleLength)
+		fmt.Printf("  mean utilization       %12.4f\n", t.MeanUtil)
+		fmt.Printf("  %-10s %-12s %-8s %-10s %-12s %-10s %s\n",
+			"start", "phase", "util", "mean util", "E[job]", "weff", "feasible")
+		for _, ep := range t.Epochs {
+			feas := "-"
+			if ep.Feasible != nil {
+				feas = fmt.Sprintf("%v", *ep.Feasible)
+			}
+			fmt.Printf("  %-10.4g %-12s %-8.3g %-10.4f %-12.4f %-10.4f %s\n",
+				ep.Start, ep.Phase, ep.Util, ep.MeanUtil, ep.EJob, ep.WeightedEfficiency, feas)
 		}
 	case feasim.ScaledAnswer:
 		fmt.Printf("scaled [%s]\n", t.Backend)

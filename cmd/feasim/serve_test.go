@@ -68,7 +68,7 @@ func TestServeSmoke(t *testing.T) {
 	}()
 	url := "http://" + ln.Addr().String() + "/v1/query"
 
-	for _, kind := range []string{"report", "threshold", "partition", "distribution", "scaled"} {
+	for _, kind := range []string{"report", "threshold", "partition", "distribution", "scaled", "timeline"} {
 		t.Run(kind, func(t *testing.T) {
 			path := filepath.Join("testdata", "query_"+kind+".json")
 

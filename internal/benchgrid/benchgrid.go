@@ -1,8 +1,8 @@
-// Package benchgrid defines the canonical sweep, served-query and cache
-// workloads measured both by the in-repo benchmarks and by `feasim bench`
-// (BENCH_*.json, currently BENCH_7.json). Keeping one definition ensures the
-// tracked performance artifact and the benchmark the README/ROADMAP numbers
-// cite measure the same workloads.
+// Package benchgrid defines the canonical sweep, served-query, timeline and
+// cache workloads measured both by the in-repo benchmarks and by `feasim
+// bench` (BENCH_*.json, currently BENCH_8.json). Keeping one definition
+// ensures the tracked performance artifact and the benchmark the
+// README/ROADMAP numbers cite measure the same workloads.
 package benchgrid
 
 import (
@@ -83,8 +83,53 @@ func ThresholdGrid() solve.QuerySweepSpec {
 	}
 }
 
+// TimelineEpochCount is the epoch resolution of the canonical workday
+// timeline workload.
+const TimelineEpochCount = 24
+
+// TimelineWorkdayQuery is the canonical non-stationary workload: the 3-phase
+// workday (morning ramp, afternoon peak, overnight idle) queried at 24
+// epochs. Each answer runs the quasi-static walker across every epoch, with
+// every stationary kernel evaluation flowing through the process-wide
+// binomial-table memo — so points/s here measures the timeline query path
+// end to end.
+func TimelineWorkdayQuery() solve.TimelineQuery {
+	return solve.TimelineQuery{
+		Scenario: solve.Scenario{
+			Name: "bench-workday", J: 400, W: 4, O: 10, Seed: 1993,
+			Schedule: []solve.PhaseSpec{
+				{Name: "morning", Duration: 480, Util: 0.15},
+				{Name: "afternoon", Duration: 480, Util: 0.3},
+				{Name: "night", Duration: 480, Util: 0.02},
+			},
+		},
+		Epochs: TimelineEpochCount,
+	}
+}
+
+// TimelineQuasiStaticBench measures the analytic timeline path
+// (timeline_quasistatic in BENCH_8.json): epoch answers per second over the
+// canonical workday.
+func TimelineQuasiStaticBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		q := TimelineWorkdayQuery()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a, err := solve.Analytic{}.Answer(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := len(a.(solve.TimelineAnswer).Epochs); got != TimelineEpochCount {
+				b.Fatalf("got %d epochs, want %d", got, TimelineEpochCount)
+			}
+		}
+		b.ReportMetric(float64(TimelineEpochCount*b.N)/b.Elapsed().Seconds(), "points/s")
+	}
+}
+
 // The served-query workload, shared by BenchmarkServedQuery and `feasim
-// bench` (served_query_cold / served_query_hit in BENCH_7.json): one
+// bench` (served_query_cold / served_query_hit in BENCH_8.json): one
 // empirical threshold bisection per HTTP request on the exact-sim backend.
 // The cold side varies the seed per request so every envelope misses the
 // answer cache; the hit side repeats ServedQueryEnvelope(1).
@@ -174,7 +219,7 @@ func ServedBatchBody() string {
 }
 
 // ServedBatchBench measures the batched hot path (served_batch in
-// BENCH_7.json): one warm request populates the answer cache, then every
+// BENCH_8.json): one warm request populates the answer cache, then every
 // iteration answers all ServedBatchSize envelopes in a single /v1/batch
 // round trip from the LRU. The env/s metric is what the acceptance bar
 // compares against the per-request served_query_hit throughput — the
@@ -237,7 +282,7 @@ func (c cannedSolver) Solve(ctx context.Context, s solve.Scenario) (solve.Report
 
 // CacheHitContentionBench measures the AnswerCache hot path — repeated hits
 // over a resident working set of 256 distinct keys — at a given shard count
-// and parallelism (cache_hits_* in BENCH_7.json). shards == 1 is the
+// and parallelism (cache_hits_* in BENCH_8.json). shards == 1 is the
 // pre-sharding single-mutex layout, the baseline the deployed layout
 // (shards == 0, sized to GOMAXPROCS) must not lose to at parallelism 1 — on
 // a single-CPU host the default *is* one shard, by design, so the deployed

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"feasim/internal/solve"
 )
 
 // threeNodeViews builds the same 3-member cluster from each member's
@@ -50,6 +52,47 @@ func TestRingAgreement(t *testing.T) {
 				t.Fatalf("key %#x: view %d local=%v for home %s", key, i, local, home)
 			}
 		}
+	}
+}
+
+// TestRingRoutesTimelineQueries: the end-to-end routing contract for the new
+// query kind — every view agrees on a timeline query's home node, the home
+// follows the schedule (the owner's workday is routing identity, so distinct
+// workdays spread over the fleet), and analytic name/seed siblings of one
+// workday land on one home.
+func TestRingRoutesTimelineQueries(t *testing.T) {
+	views := threeNodeViews(t)
+	workday := func(name string, seed uint64, nightUtil float64) solve.TimelineQuery {
+		return solve.TimelineQuery{Scenario: solve.Scenario{
+			Name: name, J: 400, W: 4, O: 10, Seed: seed,
+			Schedule: []solve.PhaseSpec{
+				{Name: "day", Duration: 600, Util: 0.1},
+				{Name: "night", Duration: 600, Util: nightUtil},
+			},
+		}}
+	}
+	homes := make(map[string]bool)
+	for i := 0; i < 32; i++ {
+		q := workday("wd", 1, 0.01+float64(i)*0.005)
+		key, ok := solve.RouteHash(solve.BackendAnalytic, q)
+		if !ok {
+			t.Fatal("timeline queries must be routable")
+		}
+		home0, _ := views[0].Home(key)
+		homes[home0] = true
+		for v, view := range views {
+			if home, _ := view.Home(key); home != home0 {
+				t.Fatalf("schedule %d: view %d homes %s, view 0 homes %s", i, v, home, home0)
+			}
+		}
+	}
+	if len(homes) < 2 {
+		t.Errorf("32 distinct workdays all homed on one node — schedule not feeding the ring")
+	}
+	k1, _ := solve.RouteHash(solve.BackendAnalytic, workday("a", 1, 0.01))
+	k2, _ := solve.RouteHash(solve.BackendAnalytic, workday("b", 99, 0.01))
+	if k1 != k2 {
+		t.Error("analytic timeline siblings should share a routing key")
 	}
 }
 

@@ -1,9 +1,12 @@
 package solve
 
+import "time"
+
 // Answer is a Solver's reply to a Query. The concrete type matches the query
 // kind: ReportAnswer, ThresholdAnswer, PartitionAnswer, DistributionAnswer,
-// ScaledAnswer. Kind returns the originating query kind so generic consumers
-// (the CLI, the query sweep) can dispatch without a type switch.
+// ScaledAnswer, TimelineAnswer. Kind returns the originating query kind so
+// generic consumers (the CLI, the query sweep) can dispatch without a type
+// switch.
 type Answer interface {
 	Kind() string
 }
@@ -104,3 +107,48 @@ type ScaledAnswer struct {
 
 // Kind implements Answer.
 func (ScaledAnswer) Kind() string { return KindScaled }
+
+// TimelineEpoch is one launch offset of a TimelineAnswer.
+type TimelineEpoch struct {
+	// Start is the launch offset within the cycle.
+	Start float64 `json:"start"`
+	// Phase names the schedule phase active at launch.
+	Phase string `json:"phase,omitempty"`
+	// Util is the owner utilization at launch; MeanUtil the duration-
+	// weighted utilization over the job's span (the value the weighted
+	// metrics divide by).
+	Util     float64 `json:"util"`
+	MeanUtil float64 `json:"mean_util"`
+
+	// EJob is the expected completion time of a job launched here.
+	EJob               float64 `json:"e_job"`
+	Speedup            float64 `json:"speedup"`
+	Efficiency         float64 `json:"efficiency"`
+	WeightedEfficiency float64 `json:"weighted_efficiency"`
+
+	// EJobCI and Samples are filled by the DES backend only.
+	EJobCI  Interval `json:"e_job_ci"`
+	Samples int64    `json:"samples,omitempty"`
+
+	// Feasible is non-nil when the scenario sets TargetEff.
+	Feasible *bool `json:"feasible,omitempty"`
+}
+
+// TimelineAnswer is the answer to a TimelineQuery: the feasibility epoch
+// series over the scenario's workday schedule or recorded trace.
+type TimelineAnswer struct {
+	Backend  string   `json:"backend"`
+	Scenario Scenario `json:"scenario"`
+
+	// CycleLength is the schedule cycle (or trace length); MeanUtil the
+	// duration-weighted utilization over it.
+	CycleLength float64 `json:"cycle_length"`
+	MeanUtil    float64 `json:"mean_util"`
+
+	Epochs []TimelineEpoch `json:"epochs"`
+
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// Kind implements Answer.
+func (TimelineAnswer) Kind() string { return KindTimeline }

@@ -171,9 +171,27 @@ func bisectThreshold(ctx context.Context, backend string, q ThresholdQuery, maxR
 	return answer(hi, boundary)
 }
 
+// analyticPartitionGuess warm-starts the empirical partition bisection from
+// the exact right-sizing solver's answer (the ROADMAP carry-forward mirroring
+// analyticThresholdGuess): the search probes the analytic W and W+1 first and
+// falls back to the cold bracket only when the simulated boundary disagrees.
+// Probe seeds are split by the probed W either way, so any W measures
+// identically on either path. 0 means no guess (the analytic solver refused
+// the point), preserving the cold full search.
+func analyticPartitionGuess(q PartitionQuery) int {
+	plan, err := core.PlanPartition(q.J, q.O, q.Util, q.TargetEff, q.MaxW)
+	if err != nil || plan.W < 1 {
+		return 0
+	}
+	return plan.W
+}
+
 // bisectPartition finds the largest W in [1, maxW] whose simulated weighted
-// efficiency still meets the target for the fixed job q.J.
-func bisectPartition(ctx context.Context, backend string, q PartitionQuery, probe reportFn) (Answer, error) {
+// efficiency still meets the target for the fixed job q.J. With a warmStart
+// guess it confirms the guessed boundary in two probes (guess meets the
+// target, guess+1 misses) and only falls back to the full bracket plus
+// binary search when the empirical boundary disagrees.
+func bisectPartition(ctx context.Context, backend string, q PartitionQuery, warmStart int, probe reportFn) (Answer, error) {
 	maxW := q.MaxW
 	// The aggregate scenario form needs T = J/W >= 1, capping the usable
 	// system size at floor(J) — the same clamp as core.MaxWorkstations.
@@ -203,36 +221,92 @@ func bisectPartition(ctx context.Context, backend string, q PartitionQuery, prob
 		samples += r.Samples
 		return r, nil
 	}
-	one, err := eval(1)
-	if err != nil {
-		return nil, err
+	answer := func(best Report) (Answer, error) {
+		return PartitionAnswer{Backend: backend, W: best.W, Report: best, Probes: probes, Samples: samples}, nil
 	}
-	if one.WeightedEfficiency < q.TargetEff {
-		return nil, fmt.Errorf("solve: %s backend: even one workstation reaches only %.4f weighted efficiency (target %.4f)",
+	infeasibleAtOne := func(one Report) error {
+		return fmt.Errorf("solve: %s backend: even one workstation reaches only %.4f weighted efficiency (target %.4f)",
 			backend, one.WeightedEfficiency, q.TargetEff)
 	}
-	best := one // report at the current lo
-	if maxW > 1 {
+
+	// Binary-phase invariant: weff(lo) >= target with best the report at lo;
+	// weff(hi) < target.
+	var lo, hi int
+	var best Report
+
+	if g := min(warmStart, maxW); g >= 1 {
+		r, err := eval(g)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case r.WeightedEfficiency < q.TargetEff:
+			// Empirical boundary below the analytic guess: bisect [1, g).
+			if g == 1 {
+				return nil, infeasibleAtOne(r)
+			}
+			one, err := eval(1)
+			if err != nil {
+				return nil, err
+			}
+			if one.WeightedEfficiency < q.TargetEff {
+				return nil, infeasibleAtOne(one)
+			}
+			lo, hi, best = 1, g, one
+		case g == maxW:
+			return answer(r)
+		default:
+			above, err := eval(g + 1)
+			if err != nil {
+				return nil, err
+			}
+			if above.WeightedEfficiency < q.TargetEff {
+				return answer(r) // the hot case: two probes confirm
+			}
+			// Empirical boundary above the analytic guess: bisect (g, maxW].
+			if g+1 == maxW {
+				return answer(above)
+			}
+			top, err := eval(maxW)
+			if err != nil {
+				return nil, err
+			}
+			if top.WeightedEfficiency >= q.TargetEff {
+				return answer(top)
+			}
+			lo, hi, best = g+1, maxW, above
+		}
+	} else {
+		one, err := eval(1)
+		if err != nil {
+			return nil, err
+		}
+		if one.WeightedEfficiency < q.TargetEff {
+			return nil, infeasibleAtOne(one)
+		}
+		if maxW == 1 {
+			return answer(one)
+		}
 		top, err := eval(maxW)
 		if err != nil {
 			return nil, err
 		}
 		if top.WeightedEfficiency >= q.TargetEff {
-			return PartitionAnswer{Backend: backend, W: maxW, Report: top, Probes: probes, Samples: samples}, nil
+			return answer(top)
 		}
-		lo, hi := 1, maxW // weff(lo) >= target, weff(hi) < target
-		for lo+1 < hi {
-			mid := (lo + hi) / 2
-			r, err := eval(mid)
-			if err != nil {
-				return nil, err
-			}
-			if r.WeightedEfficiency >= q.TargetEff {
-				lo, best = mid, r
-			} else {
-				hi = mid
-			}
+		lo, hi, best = 1, maxW, one
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		r, err := eval(mid)
+		if err != nil {
+			return nil, err
+		}
+		if r.WeightedEfficiency >= q.TargetEff {
+			lo, best = mid, r
+		} else {
+			hi = mid
 		}
 	}
-	return PartitionAnswer{Backend: backend, W: best.W, Report: best, Probes: probes, Samples: samples}, nil
+	return answer(best)
 }

@@ -93,3 +93,96 @@ func TestThresholdWarmStartRespectsDedicated(t *testing.T) {
 		t.Errorf("dedicated system min ratio %d, want 1", got)
 	}
 }
+
+// TestPartitionWarmStartCutsProbes is the threshold pin's mirror for the
+// right-sizing search (the ROADMAP carry-forward): warm-starting the
+// empirical partition bisection from core.PlanPartition must confirm the
+// boundary in exactly two probes, agree with the cold search, and cut the
+// probe count by at least 3×. The probe is again the analytic report, so the
+// measured curve is deterministic and exactly monotone in W.
+func TestPartitionWarmStartCutsProbes(t *testing.T) {
+	ctx := context.Background()
+	q := PartitionQuery{J: 2000, O: 10, Util: 0.1, TargetEff: 0.8, MaxW: 64, Seed: 5}
+	probe := Analytic{}.report
+
+	ca, err := bisectPartition(ctx, BackendDES, q, 0, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := ca.(PartitionAnswer)
+	if cold.W <= 1 || cold.W >= q.MaxW {
+		t.Fatalf("boundary W=%d sits on the search edge; pick a query with an interior boundary", cold.W)
+	}
+
+	guess := analyticPartitionGuess(q)
+	if guess != cold.W {
+		t.Fatalf("analytic guess %d, cold empirical boundary %d: the deterministic probe should agree", guess, cold.W)
+	}
+	wa, err := bisectPartition(ctx, BackendDES, q, guess, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := wa.(PartitionAnswer)
+
+	if warm.W != cold.W {
+		t.Errorf("warm-started boundary W=%d != cold W=%d", warm.W, cold.W)
+	}
+	if warm.Report.WeightedEfficiency != cold.Report.WeightedEfficiency {
+		t.Errorf("warm boundary weff %v != cold %v", warm.Report.WeightedEfficiency, cold.Report.WeightedEfficiency)
+	}
+	if warm.Probes != 2 {
+		t.Errorf("warm start should confirm the analytic boundary in 2 probes, took %d", warm.Probes)
+	}
+	if cold.Probes < 3*warm.Probes {
+		t.Errorf("probe reduction not realized: cold %d probes vs warm %d", cold.Probes, warm.Probes)
+	}
+}
+
+// TestPartitionWarmStartDisagreement: wrong guesses in either direction must
+// still land on the true boundary of the measured monotone curve.
+func TestPartitionWarmStartDisagreement(t *testing.T) {
+	ctx := context.Background()
+	q := PartitionQuery{J: 2000, O: 10, Util: 0.1, TargetEff: 0.8, MaxW: 64, Seed: 5}
+	probe := Analytic{}.report
+
+	ca, err := bisectPartition(ctx, BackendDES, q, 0, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ca.(PartitionAnswer).W
+
+	for _, guess := range []int{1, want - 3, want + 5, 2 * want, q.MaxW} {
+		if guess < 1 {
+			continue
+		}
+		wa, err := bisectPartition(ctx, BackendDES, q, guess, probe)
+		if err != nil {
+			t.Fatalf("guess %d: %v", guess, err)
+		}
+		if got := wa.(PartitionAnswer).W; got != want {
+			t.Errorf("guess %d: boundary W=%d, want %d", guess, got, want)
+		}
+	}
+}
+
+// TestPartitionWarmStartInfeasible: when even one workstation misses the
+// target (a simulated probe can measure below target where the analytic
+// model cannot), warm and cold paths must fail with the same diagnostic.
+func TestPartitionWarmStartInfeasible(t *testing.T) {
+	ctx := context.Background()
+	q := PartitionQuery{J: 40, O: 10, Util: 0.45, TargetEff: 0.8, MaxW: 4, Seed: 5}
+	probe := func(_ context.Context, s Scenario) (Report, error) {
+		return Report{W: s.W, WeightedEfficiency: 0.5}, nil
+	}
+
+	_, coldErr := bisectPartition(ctx, BackendDES, q, 0, probe)
+	if coldErr == nil {
+		t.Fatal("expected infeasibility")
+	}
+	for _, guess := range []int{1, 2, 4} {
+		_, warmErr := bisectPartition(ctx, BackendDES, q, guess, probe)
+		if warmErr == nil || warmErr.Error() != coldErr.Error() {
+			t.Errorf("guess %d: error %v, want %v", guess, warmErr, coldErr)
+		}
+	}
+}

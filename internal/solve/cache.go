@@ -105,6 +105,11 @@ func rebindAnswer(a Answer, q Query) Answer {
 			t.Scenario = dq.Scenario
 			return t
 		}
+	case TimelineAnswer:
+		if tq, ok := q.(TimelineQuery); ok {
+			t.Scenario = tq.Scenario
+			return t
+		}
 	}
 	return a
 }
@@ -120,6 +125,9 @@ func zeroElapsed(a Answer) Answer {
 		return t
 	case PartitionAnswer:
 		t.Report.Elapsed = 0
+		return t
+	case TimelineAnswer:
+		t.Elapsed = 0
 		return t
 	}
 	return a

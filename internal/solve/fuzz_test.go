@@ -50,6 +50,11 @@ func FuzzQueryUnmarshal(f *testing.F) {
 		`{"kind": "threshold", "w": 1e309}`,
 		`{"kind": "scaled", "t": 1, "o": 1, "util": 0, "ws": []}`,
 		`{"kind": "distribution", "scenario": {"j": 1, "w": 1, "o": 1}, "quantiles": [0.5], "kind": "report"}`,
+		`{"kind": "timeline", "scenario": {"j": 400, "w": 4, "o": 10, "schedule": [{"name": "day", "duration": 600, "util": 0.1}, {"duration": 600, "util": 0.01}]}, "epochs": 4}`,
+		`{"kind": "timeline", "scenario": {"j": 400, "w": 4, "o": 10, "trace": [{"duration": 1e-300, "util": 0.999999}]}, "samples": -1}`,
+		`{"kind": "timeline", "scenario": {"j": 1, "w": 1, "o": 1, "util": 0.1}}`,
+		`{"kind": "timeline", "scenario": {"j": 1, "w": 1, "o": 1, "schedule": [{"duration": -5, "util": 0}], "trace": [{"duration": 0, "util": 2}]}, "start": -1e309, "horizon": 1e309}`,
+		`{"kind": "timeline", "scenario": {"j": 1, "w": 1, "o": 1, "schedule": []}}`,
 	} {
 		f.Add([]byte(s))
 	}
@@ -97,6 +102,10 @@ func FuzzScenarioUnmarshal(f *testing.F) {
 		`{"stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}], "task_demand": "det:100"}`,
 		`{"j": 1, "w": 1, "o": 1, "util": 0.5, "p": 0.5}`,
 		`{"j": 1000, "w": 10, "o": 10, "util": 0.05, "seed": 18446744073709551615}`,
+		`{"j": 400, "w": 4, "o": 10, "schedule": [{"name": "day", "duration": 480, "util": 0.3}, {"name": "night", "duration": 960, "util": 0.02}]}`,
+		`{"j": 400, "w": 4, "o": 10, "trace": [{"duration": 60, "util": 0.5}, {"duration": 600, "util": 0.01}]}`,
+		`{"j": 400, "w": 4, "o": 10, "schedule": [{"duration": 0, "util": 0.1}]}`,
+		`{"j": 400, "w": 4, "o": 10, "util": 0.1, "schedule": [{"duration": 100, "util": 0.1}], "trace": [{"duration": 100, "util": 0.1}]}`,
 	} {
 		f.Add([]byte(s))
 	}

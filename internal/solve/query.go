@@ -24,11 +24,12 @@ const (
 	KindPartition    = "partition"
 	KindDistribution = "distribution"
 	KindScaled       = "scaled"
+	KindTimeline     = "timeline"
 )
 
 // QueryKinds lists every query kind in canonical order.
 func QueryKinds() []string {
-	return []string{KindReport, KindThreshold, KindPartition, KindDistribution, KindScaled}
+	return []string{KindReport, KindThreshold, KindPartition, KindDistribution, KindScaled, KindTimeline}
 }
 
 // ErrUnsupported is the sentinel for a (backend, query kind) pair the backend
@@ -279,6 +280,65 @@ func (q ScaledQuery) Validate() error {
 	return nil
 }
 
+// ---- timeline ----
+
+// TimelineQuery asks how feasibility evolves over a workday: the scenario
+// must carry a schedule (repeating phases) or trace (recorded timeline),
+// and the answer is an epoch series — one efficiency/E[completion] report
+// per launch offset. The analytic backend answers with the quasi-static
+// approximation (each epoch solved by the stationary kernel and spliced
+// across phase boundaries); the DES backend replays each launch offset over
+// phased stations.
+type TimelineQuery struct {
+	Scenario Scenario `json:"scenario"`
+	// Start is the first launch offset within the cycle.
+	Start float64 `json:"start,omitempty"`
+	// Horizon is the span of launch offsets covered; 0 means one full cycle
+	// (schedule) or the recorded length (trace).
+	Horizon float64 `json:"horizon,omitempty"`
+	// Epochs is the number of evenly spaced launch offsets; 0 means one at
+	// Start plus one at every phase boundary within the horizon.
+	Epochs int `json:"epochs,omitempty"`
+	// Samples is the DES backend's replications per epoch; 0 means
+	// DefaultTimelineSamples. The analytic backend ignores it.
+	Samples int `json:"samples,omitempty"`
+}
+
+// DefaultTimelineSamples is the DES replication count per epoch when
+// TimelineQuery.Samples is zero.
+const DefaultTimelineSamples = 200
+
+// Kind implements Query.
+func (TimelineQuery) Kind() string { return KindTimeline }
+
+// Validate implements Query.
+func (q TimelineQuery) Validate() error {
+	if err := q.Scenario.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case !q.Scenario.Phased():
+		return fmt.Errorf("solve: timeline query needs a scenario with a schedule or trace")
+	case q.Start < 0:
+		return fmt.Errorf("solve: timeline query needs start >= 0, got %v", q.Start)
+	case q.Horizon < 0:
+		return fmt.Errorf("solve: timeline query needs horizon >= 0, got %v", q.Horizon)
+	case q.Epochs < 0:
+		return fmt.Errorf("solve: timeline query needs epochs >= 0, got %d", q.Epochs)
+	case q.Samples < 0:
+		return fmt.Errorf("solve: timeline query needs samples >= 0, got %d", q.Samples)
+	}
+	return nil
+}
+
+// samples resolves the DES replication default.
+func (q TimelineQuery) samples() int {
+	if q.Samples > 0 {
+		return q.Samples
+	}
+	return DefaultTimelineSamples
+}
+
 // ---- envelope ----
 
 // queryEnvelope is the wire form: the concrete query's fields plus "kind".
@@ -304,6 +364,10 @@ type scaledEnvelope struct {
 	Kind string `json:"kind"`
 	ScaledQuery
 }
+type timelineEnvelope struct {
+	Kind string `json:"kind"`
+	TimelineQuery
+}
 
 // MarshalQuery serializes a query into its JSON envelope, "kind" first.
 func MarshalQuery(q Query) ([]byte, error) {
@@ -318,6 +382,8 @@ func MarshalQuery(q Query) ([]byte, error) {
 		return json.Marshal(distributionEnvelope{KindDistribution, t})
 	case ScaledQuery:
 		return json.Marshal(scaledEnvelope{KindScaled, t})
+	case TimelineQuery:
+		return json.Marshal(timelineEnvelope{KindTimeline, t})
 	default:
 		return nil, fmt.Errorf("solve: cannot marshal query of type %T", q)
 	}
@@ -357,6 +423,10 @@ func decodeQuery(data []byte) (Query, error) {
 		var env scaledEnvelope
 		err = unmarshalStrict(data, &env)
 		q = env.ScaledQuery
+	case KindTimeline:
+		var env timelineEnvelope
+		err = unmarshalStrict(data, &env)
+		q = env.TimelineQuery
 	case "":
 		return nil, fmt.Errorf(`solve: query envelope needs a "kind" field (want one of %v)`, QueryKinds())
 	default:

@@ -102,6 +102,14 @@ func TestCapabilitiesAndUnsupported(t *testing.T) {
 		KindPartition:    PartitionQuery{J: 200, O: 10, Util: 0.05, TargetEff: 0.5, MaxW: 4, Seed: 1},
 		KindDistribution: DistributionQuery{Scenario: Scenario{Name: "cap", J: 200, W: 4, O: 10, Util: 0.05, Seed: 1}},
 		KindScaled:       ScaledQuery{T: 50, O: 10, Util: 0.05, Ws: []int{1, 2}},
+		KindTimeline: TimelineQuery{
+			Scenario: Scenario{
+				Name: "cap", J: 200, W: 4, O: 10, Seed: 1,
+				Schedule: []PhaseSpec{{Name: "day", Duration: 300, Util: 0.1}, {Name: "night", Duration: 300, Util: 0.01}},
+			},
+			Epochs:  2,
+			Samples: 8,
+		},
 	}
 	for _, sv := range solvers {
 		capable := make(map[string]bool)

@@ -184,6 +184,73 @@ func (q ScaledQuery) dedupKey() (cacheKey, bool) {
 	}, true
 }
 
+func (q TimelineQuery) withAxes(ax axisPoint) (Query, error) {
+	if ax.cv2 >= 0 {
+		return nil, fmt.Errorf("solve: the owner_cv2 axis does not apply to timeline queries")
+	}
+	sc := q.Scenario
+	if ax.w >= 0 {
+		sc.W = ax.w
+	}
+	if ax.ratio >= 0 {
+		sc.J = ax.ratio * sc.O * float64(sc.W)
+	}
+	if ax.util >= 0 {
+		// The util axis rescales every phase so the duration-weighted mean
+		// hits the axis value, preserving the schedule's day/night shape.
+		phases, _ := sc.phases()
+		var weighted, total float64
+		for _, ph := range phases {
+			weighted += ph.Util * ph.Duration
+			total += ph.Duration
+		}
+		if !(weighted > 0) {
+			return nil, fmt.Errorf("solve: the util axis cannot rescale an all-idle timeline")
+		}
+		factor := ax.util * total / weighted
+		scaled := make([]PhaseSpec, len(phases))
+		for i, ph := range phases {
+			ph.Util *= factor
+			if ph.Util >= 1 {
+				return nil, fmt.Errorf("solve: util axis %g pushes phase %q to utilization %g (must stay below 1)", ax.util, ph.Name, ph.Util)
+			}
+			scaled[i] = ph
+		}
+		if len(sc.Schedule) > 0 {
+			sc.Schedule = scaled
+		} else {
+			sc.Trace = scaled
+		}
+	}
+	if sc.Name == "" {
+		sc.Name = fmt.Sprintf("point%04d", ax.index)
+	} else {
+		sc.Name = fmt.Sprintf("%s/point%04d", sc.Name, ax.index)
+	}
+	q.Scenario = sc
+	return q, nil
+}
+
+func (q TimelineQuery) withSeed(seed uint64) Query {
+	q.Scenario = q.Scenario.WithSeed(seed)
+	return q
+}
+
+func (q TimelineQuery) dedupKey() (cacheKey, bool) {
+	sc := q.Scenario
+	if !sc.Phased() || sc.Explicit() || sc.TaskDemand != "" {
+		return cacheKey{}, false
+	}
+	// The quasi-static answer ignores Name, Seed and Samples; everything
+	// else — including every phase of the timeline — is identity. Phases go
+	// through the formatted extra, which also folds them into RouteHash.
+	return cacheKey{
+		kind: KindTimeline,
+		extra: fmt.Sprintf("%g|%d|%g|%g|%g|%g|%d|%v|%v",
+			sc.J, sc.W, sc.O, sc.TargetEff, q.Start, q.Horizon, q.Epochs, sc.Schedule, sc.Trace),
+	}, true
+}
+
 // ---- spec ----
 
 // QuerySweepSpec declares a query grid: a base query plus per-axis value

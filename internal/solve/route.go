@@ -83,6 +83,10 @@ func ParseAnswer(kind string, data []byte) (Answer, error) {
 		var v ScaledAnswer
 		err = json.Unmarshal(data, &v)
 		a = v
+	case KindTimeline:
+		var v TimelineAnswer
+		err = json.Unmarshal(data, &v)
+		a = v
 	default:
 		return nil, fmt.Errorf("solve: unknown answer kind %q (want one of %v)", kind, QueryKinds())
 	}

@@ -40,6 +40,41 @@ func TestRouteHashDeterministic(t *testing.T) {
 	}
 }
 
+// TestRouteHashFoldsSchedule: the owner schedule is part of a timeline
+// query's routing identity — two workdays differing only in a phase's
+// utilization live on different home nodes, while analytic name/seed
+// siblings of the same workday share one.
+func TestRouteHashFoldsSchedule(t *testing.T) {
+	workday := func(nightUtil float64) TimelineQuery {
+		return TimelineQuery{Scenario: Scenario{
+			Name: "a", J: 400, W: 4, O: 10, Seed: 1,
+			Schedule: []PhaseSpec{
+				{Name: "day", Duration: 600, Util: 0.1},
+				{Name: "night", Duration: 600, Util: nightUtil},
+			},
+		}}
+	}
+	h1, ok1 := RouteHash(BackendAnalytic, workday(0.01))
+	h2, ok2 := RouteHash(BackendAnalytic, workday(0.02))
+	if !ok1 || !ok2 {
+		t.Fatal("timeline queries must be routable")
+	}
+	if h1 == h2 {
+		t.Error("a different schedule must change the routing hash")
+	}
+	sib := workday(0.01)
+	sib.Scenario.Name, sib.Scenario.Seed = "b", 99
+	if hs, ok := RouteHash(BackendAnalytic, sib); !ok || hs != h1 {
+		t.Errorf("analytic timeline siblings must share a routing hash: %v/%v vs %v", hs, ok, h1)
+	}
+	// Epoch layout is identity too: the answer is the epoch series.
+	more := workday(0.01)
+	more.Epochs = 24
+	if hm, ok := RouteHash(BackendAnalytic, more); !ok || hm == h1 {
+		t.Error("a different epoch layout must change the routing hash")
+	}
+}
+
 // TestParseAnswerRoundtrip: ParseAnswer inverts the wire encoding for every
 // answer kind, so a forwarded answer can be adopted as a typed cache entry.
 func TestParseAnswerRoundtrip(t *testing.T) {
@@ -49,6 +84,8 @@ func TestParseAnswerRoundtrip(t *testing.T) {
 		KindPartition:    PartitionAnswer{Backend: "analytic", W: 4, Report: Report{EJob: 9}},
 		KindDistribution: DistributionAnswer{Backend: "exact", Quantiles: []QuantileValue{{Q: 0.5, Time: 1}}},
 		KindScaled:       ScaledAnswer{Backend: "analytic"},
+		KindTimeline: TimelineAnswer{Backend: "analytic", CycleLength: 1200, MeanUtil: 0.055,
+			Epochs: []TimelineEpoch{{Start: 0, Phase: "day", Util: 0.1, EJob: 123.4}}},
 	}
 	for kind, a := range answers {
 		data, err := json.Marshal(a)

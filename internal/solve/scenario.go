@@ -96,6 +96,17 @@ type Scenario struct {
 	// unaffected — which is exactly what a variance ablation measures.
 	OwnerCV2 float64 `json:"owner_cv2,omitempty"`
 
+	// Schedule, when non-empty, replaces the stationary owner description
+	// with a repeating owner-utilization timeline (a workday: phases of
+	// Duration at Util, the cluster.Schedule shape in aggregate terms).
+	// Phased scenarios are answerable only by timeline queries; Util and P
+	// must stay zero — the phases define the owner activity.
+	Schedule []PhaseSpec `json:"schedule,omitempty"`
+	// Trace is a recorded, non-repeating availability timeline; after the
+	// last phase its final utilization holds. Mutually exclusive with
+	// Schedule.
+	Trace []PhaseSpec `json:"trace,omitempty"`
+
 	// Stations, when non-empty, replaces the aggregate owner description
 	// with explicit per-station distributions (DES backend only).
 	Stations []StationSpec `json:"stations,omitempty"`
@@ -114,13 +125,76 @@ type Scenario struct {
 	Seed uint64 `json:"seed,omitempty"`
 }
 
+// PhaseSpec is one phase of a scenario's owner-utilization timeline: the
+// owners run at Util for Duration time units.
+type PhaseSpec struct {
+	// Name labels the phase in answers ("day", "night", ...).
+	Name string `json:"name,omitempty"`
+	// Duration is the phase length in time units; must be positive.
+	Duration float64 `json:"duration"`
+	// Util is the owner utilization during the phase, in [0,1).
+	Util float64 `json:"util"`
+}
+
 // Explicit reports whether the scenario uses explicit per-station
 // distributions instead of the aggregate J/W/O/util description.
 func (s Scenario) Explicit() bool { return len(s.Stations) > 0 }
 
+// Phased reports whether the scenario carries a non-stationary owner
+// timeline (schedule or trace).
+func (s Scenario) Phased() bool { return len(s.Schedule) > 0 || len(s.Trace) > 0 }
+
+// phases returns the timeline phases and whether they repeat.
+func (s Scenario) phases() ([]PhaseSpec, bool) {
+	if len(s.Schedule) > 0 {
+		return s.Schedule, true
+	}
+	return s.Trace, false
+}
+
+// validatePhased checks the timeline form: the phases define the owner
+// activity over time, so every stationary owner description (util/p,
+// explicit stations) and non-aggregate workload form is rejected loudly.
+func (s Scenario) validatePhased() error {
+	switch {
+	case len(s.Schedule) > 0 && len(s.Trace) > 0:
+		return fmt.Errorf("solve: scenario %q sets both schedule and trace; pick one timeline form", s.Name)
+	case s.Explicit():
+		return fmt.Errorf("solve: phased scenario %q also declares explicit stations; the schedule defines the owner workload", s.Name)
+	case s.Util != 0 || s.P != 0:
+		return fmt.Errorf("solve: phased scenario %q also sets util/p; the phases define the owner activity", s.Name)
+	case s.TaskDemand != "":
+		return fmt.Errorf("solve: phased scenario %q needs the aggregate j/w form; task_demand is not supported", s.Name)
+	case s.OwnerCV2 != 0:
+		return fmt.Errorf("solve: phased scenario %q sets owner_cv2; phased owners use the paper's deterministic bursts", s.Name)
+	case s.Deadline != 0:
+		return fmt.Errorf("solve: phased scenario %q sets deadline; timeline answers report expected completion only", s.Name)
+	case !(s.J > 0):
+		return fmt.Errorf("solve: phased scenario needs job demand j > 0, got %v", s.J)
+	case s.W < 1:
+		return fmt.Errorf("solve: phased scenario needs w >= 1, got %d", s.W)
+	case !(s.O > 0):
+		return fmt.Errorf("solve: owner burst demand o must be positive, got %v", s.O)
+	}
+	phases, _ := s.phases()
+	for i, ph := range phases {
+		if !(ph.Duration > 0) {
+			return fmt.Errorf("solve: scenario %q phase %d (%s): duration must be positive, got %v", s.Name, i, ph.Name, ph.Duration)
+		}
+		if ph.Util < 0 || ph.Util >= 1 {
+			return fmt.Errorf("solve: scenario %q phase %d (%s): util must be in [0,1), got %v", s.Name, i, ph.Name, ph.Util)
+		}
+	}
+	return nil
+}
+
 // Validate checks the scenario for internal consistency.
 func (s Scenario) Validate() error {
-	if s.Explicit() {
+	if s.Phased() {
+		if err := s.validatePhased(); err != nil {
+			return err
+		}
+	} else if s.Explicit() {
 		// The stations define the owner workload; a scenario that also sets
 		// the aggregate owner fields is contradictory — the values would be
 		// silently ignored, which hides user intent. Reject it loudly.
@@ -174,6 +248,9 @@ func (s Scenario) Validate() error {
 // Params reduces an aggregate scenario to the discrete model's parameters.
 // Explicit-station scenarios are not reducible and return an error.
 func (s Scenario) Params() (core.Params, error) {
+	if s.Phased() {
+		return core.Params{}, fmt.Errorf("solve: scenario %q has a non-stationary owner timeline; only timeline queries answer phased scenarios", s.Name)
+	}
 	if s.Explicit() {
 		return core.Params{}, fmt.Errorf("solve: scenario %q uses explicit stations; the discrete model needs the aggregate J/W/O/util form", s.Name)
 	}

@@ -234,6 +234,8 @@ func (a Analytic) Answer(ctx context.Context, q Query) (Answer, error) {
 		return a.distribution(t)
 	case ScaledQuery:
 		return a.scaled(t)
+	case TimelineQuery:
+		return a.timeline(ctx, t)
 	default:
 		return nil, unsupported(BackendAnalytic, q.Kind())
 	}
@@ -502,7 +504,7 @@ func (DES) Name() string { return BackendDES }
 // Capabilities implements Solver: everything except the scaled curve, which
 // is a pure model artifact.
 func (DES) Capabilities() []string {
-	return []string{KindReport, KindThreshold, KindPartition, KindDistribution}
+	return []string{KindReport, KindThreshold, KindPartition, KindDistribution, KindTimeline}
 }
 
 // Solve implements Solver.
@@ -529,9 +531,11 @@ func (d DES) Answer(ctx context.Context, q Query) (Answer, error) {
 		maxRatio := t.maxRatio(DefaultSimMaxRatio)
 		return bisectThreshold(ctx, BackendDES, t, maxRatio, analyticThresholdGuess(t, maxRatio), d.report)
 	case PartitionQuery:
-		return bisectPartition(ctx, BackendDES, t, d.report)
+		return bisectPartition(ctx, BackendDES, t, analyticPartitionGuess(t), d.report)
 	case DistributionQuery:
 		return d.distribution(ctx, t)
+	case TimelineQuery:
+		return d.timeline(ctx, t)
 	default:
 		return nil, unsupported(BackendDES, q.Kind())
 	}

@@ -124,6 +124,48 @@ func parityQueries() map[string]struct {
 				}
 			},
 		},
+		feasim.KindTimeline: {
+			query: feasim.TimelineQuery{
+				Scenario: feasim.Scenario{
+					Name: "parity", J: 400, W: 4, O: 10, Seed: 1993, TargetEff: 0.5,
+					Schedule: []feasim.PhaseSpec{
+						{Name: "day", Duration: 600, Util: 0.1},
+						{Name: "night", Duration: 600, Util: 0.01},
+					},
+				},
+				Samples: 120,
+			},
+			check: func(t *testing.T, backend string, got, analytic feasim.Answer) {
+				g, a := got.(feasim.TimelineAnswer), analytic.(feasim.TimelineAnswer)
+				if g.Backend != backend {
+					t.Errorf("timeline backend %q", g.Backend)
+				}
+				if g.CycleLength != 1200 {
+					t.Errorf("cycle length %v, want 1200", g.CycleLength)
+				}
+				if len(g.Epochs) != len(a.Epochs) {
+					t.Fatalf("%d epochs vs analytic %d", len(g.Epochs), len(a.Epochs))
+				}
+				for i, ep := range g.Epochs {
+					ref := a.Epochs[i]
+					if ep.Start != ref.Start || ep.Phase != ref.Phase {
+						t.Fatalf("epoch %d launch (%v, %q) vs analytic (%v, %q)", i, ep.Start, ep.Phase, ref.Start, ref.Phase)
+					}
+					if ep.Feasible == nil {
+						t.Errorf("epoch %d: target_eff set but no feasibility verdict", i)
+					}
+					if backend == feasim.BackendAnalytic {
+						continue
+					}
+					if rel := math.Abs(ep.EJob-ref.EJob) / ref.EJob; rel > 0.06 {
+						t.Errorf("epoch %d (%s): E[job] %.3f vs quasi-static %.3f: off %.1f%%", i, ep.Phase, ep.EJob, ref.EJob, rel*100)
+					}
+					if ep.Samples == 0 {
+						t.Errorf("epoch %d: replayed answer should carry a sample count", i)
+					}
+				}
+			},
+		},
 		feasim.KindScaled: {
 			query: feasim.ScaledQuery{T: 100, O: 10, Util: 0.05, Ws: []int{1, 4, 16}},
 			check: func(t *testing.T, backend string, got, analytic feasim.Answer) {
@@ -201,9 +243,9 @@ func TestBackendKindParityMatrix(t *testing.T) {
 // serve taxonomy, this suite) fails loudly.
 func TestCapabilityListsAreExact(t *testing.T) {
 	want := map[string][]string{
-		feasim.BackendAnalytic: {feasim.KindReport, feasim.KindThreshold, feasim.KindPartition, feasim.KindDistribution, feasim.KindScaled},
+		feasim.BackendAnalytic: {feasim.KindReport, feasim.KindThreshold, feasim.KindPartition, feasim.KindDistribution, feasim.KindScaled, feasim.KindTimeline},
 		feasim.BackendExact:    {feasim.KindReport, feasim.KindThreshold, feasim.KindDistribution},
-		feasim.BackendDES:      {feasim.KindReport, feasim.KindThreshold, feasim.KindPartition, feasim.KindDistribution},
+		feasim.BackendDES:      {feasim.KindReport, feasim.KindThreshold, feasim.KindPartition, feasim.KindDistribution, feasim.KindTimeline},
 	}
 	for _, sv := range paritySolvers() {
 		got := sv.Capabilities()

@@ -9,12 +9,14 @@ import "feasim/internal/solve"
 // Solver.Answer. The kinds: "report" (the full Section 3 metrics — PR 1's
 // Solve), "threshold" (the conclusions-table minimum task ratio),
 // "partition" (cluster right-sizing for a fixed job), "distribution"
-// (completion-time quantiles and deadline tails), and "scaled"
-// (memory-bounded scaleup). Solver.Capabilities lists what a backend
+// (completion-time quantiles and deadline tails), "scaled" (memory-bounded
+// scaleup), and "timeline" (feasibility over a workday schedule or recorded
+// trace as an epoch series). Solver.Capabilities lists what a backend
 // answers; unsupported pairs fail with an error matching ErrUnsupported.
 
 // Query is one typed question to a Solver; concrete types are ReportQuery,
-// ThresholdQuery, PartitionQuery, DistributionQuery and ScaledQuery.
+// ThresholdQuery, PartitionQuery, DistributionQuery, ScaledQuery and
+// TimelineQuery.
 type Query = solve.Query
 
 // Answer is a Solver's reply; the concrete type matches the query kind.
@@ -27,6 +29,7 @@ const (
 	KindPartition    = solve.KindPartition
 	KindDistribution = solve.KindDistribution
 	KindScaled       = solve.KindScaled
+	KindTimeline     = solve.KindTimeline
 )
 
 // QueryKinds lists every query kind in canonical order.
@@ -61,6 +64,15 @@ type DistributionQuery = solve.DistributionQuery
 // Analytic only.
 type ScaledQuery = solve.ScaledQuery
 
+// TimelineQuery asks how feasibility evolves over the scenario's workday
+// schedule or recorded trace — the quasi-static approximation from the
+// analytic backend, phased-station replay from the DES backend.
+type TimelineQuery = solve.TimelineQuery
+
+// DefaultTimelineSamples is the DES replication count per timeline epoch
+// when TimelineQuery.Samples is zero.
+const DefaultTimelineSamples = solve.DefaultTimelineSamples
+
 // Answers, one per query kind.
 type (
 	// ReportAnswer wraps the full Report.
@@ -81,6 +93,10 @@ type (
 	DeadlineValue = solve.DeadlineValue
 	// ScaledResultPoint is one system size of a ScaledAnswer curve.
 	ScaledResultPoint = solve.ScaledResultPoint
+	// TimelineAnswer carries the feasibility epoch series over the workday.
+	TimelineAnswer = solve.TimelineAnswer
+	// TimelineEpoch is one launch offset of a TimelineAnswer.
+	TimelineEpoch = solve.TimelineEpoch
 )
 
 // ParseQuery decodes a query from its JSON envelope, rejecting unknown

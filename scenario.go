@@ -15,6 +15,11 @@ import "feasim/internal/solve"
 // weighted-efficiency target.
 type Scenario = solve.Scenario
 
+// PhaseSpec is one phase of a scenario's owner-utilization timeline
+// (Scenario.Schedule / Scenario.Trace): the owners run at Util for Duration
+// time units.
+type PhaseSpec = solve.PhaseSpec
+
 // StationSpec declares one workstation's owner workload by rng.Parse
 // distribution spec strings, for explicit-station scenarios.
 type StationSpec = solve.StationSpec
