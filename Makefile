@@ -1,7 +1,7 @@
 # Development targets. CI runs build/test/race/serve-smoke/cluster-smoke/
-# chaos-smoke blocking and bench/fuzz non-blocking.
+# chaos-smoke/frontier-smoke blocking and bench/fuzz non-blocking.
 
-.PHONY: all build test race vet fmt bench fuzz serve-smoke cluster-smoke chaos-smoke
+.PHONY: all build test race vet fmt bench fuzz serve-smoke cluster-smoke chaos-smoke frontier-smoke
 
 all: build test
 
@@ -21,22 +21,25 @@ fmt:
 	gofmt -l -w .
 
 # bench runs the core performance suite in-process — including the typed
-# query path (threshold bisections/s), the served-query pair (the HTTP
+# query path (threshold bisections/s), the adaptive frontier refinement
+# (cells/s and probes saved vs dense), the served-query pair (the HTTP
 # service cold vs cache-hit), the served batch (64 mixed envelopes per
 # request), the cluster forwarded-hit path (one peer hop on top of a warm
 # home cache) and the answer-cache contention pairs — and records the result
-# as BENCH_8.json (schema feasim-bench/1), the repository's performance
+# as BENCH_9.json (schema feasim-bench/1), the repository's performance
 # trajectory artifact. When the previous artifact is present, benchdiff
 # reports per-benchmark deltas and flags >20% ns/op regressions.
 bench:
-	go run ./cmd/feasim bench -out BENCH_8.json
-	@if [ -f BENCH_7.json ]; then go run ./cmd/feasim benchdiff BENCH_7.json BENCH_8.json; fi
+	go run ./cmd/feasim bench -out BENCH_9.json
+	@if [ -f BENCH_8.json ]; then go run ./cmd/feasim benchdiff BENCH_8.json BENCH_9.json; fi
 
 # fuzz gives each JSON-envelope fuzz target a short budget; CI runs this
 # non-blocking. Failures drop reproducers under testdata/fuzz/.
 fuzz:
 	go test ./internal/solve -run '^$$' -fuzz '^FuzzQueryUnmarshal$$' -fuzztime 30s
 	go test ./internal/solve -run '^$$' -fuzz '^FuzzScenarioUnmarshal$$' -fuzztime 30s
+	go test ./internal/solve -run '^$$' -fuzz '^FuzzQuerySweepUnmarshal$$' -fuzztime 30s
+	go test ./internal/solve -run '^$$' -fuzz '^FuzzFrontierUnmarshal$$' -fuzztime 30s
 
 # serve-smoke starts the HTTP query service, fires one query per kind from
 # the checked-in goldens, and diffs the answers against the CLI `feasim
@@ -59,3 +62,10 @@ cluster-smoke:
 # end-to-end gate.
 chaos-smoke:
 	go test ./cmd/feasim -run '^TestChaosSmoke$$' -count=1 -v
+
+# frontier-smoke streams the checked-in frontier spec through the HTTP
+# service (POST /v1/sweep?mode=frontier) and requires the NDJSON cell stream
+# and terminal stats to match `feasim sweep -frontier -json` line for line —
+# proof the streamed and local adaptive refinements stay in lockstep.
+frontier-smoke:
+	go test ./cmd/feasim -run '^TestFrontierSmoke$$' -count=1 -v

@@ -303,10 +303,19 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFrontier measures the adaptive frontier engine on the canonical
+// benchgrid workload (shared with `feasim bench`, so BENCH_9.json's
+// sweep_frontier row tracks the same refinement): boundary search to
+// resolution 32, reported as cells/s plus dense_per_probe — the probe-count
+// saving over the equivalent dense grid.
+func BenchmarkFrontier(b *testing.B) {
+	b.Run("res=32", benchgrid.FrontierBench())
+}
+
 // BenchmarkServedQuery measures the HTTP query service end to end on an
 // empirical (exact-sim) threshold bisection — decode, dispatch, solve,
 // encode — via the canonical benchgrid served-query pair (shared with
-// `feasim bench`, so BENCH_8.json tracks the same workload). The cold path
+// `feasim bench`, so BENCH_9.json tracks the same workload). The cold path
 // varies the seed every iteration so every request misses the cache and
 // runs a fresh warm-started bisection; the hit path repeats one envelope,
 // so after the first request everything is served from the answer LRU. The
@@ -318,7 +327,7 @@ func BenchmarkServedQuery(b *testing.B) {
 }
 
 // BenchmarkServedBatch measures the batched hot path via the canonical
-// benchgrid batch (shared with `feasim bench`, so BENCH_8.json tracks the
+// benchgrid batch (shared with `feasim bench`, so BENCH_9.json tracks the
 // same workload): 64 mixed envelopes per /v1/batch request, all served from
 // the answer LRU after the warm request, reported as envelopes/s. The
 // acceptance bar is per-envelope throughput ≥ 5× served_query_hit's request
@@ -329,7 +338,7 @@ func BenchmarkServedBatch(b *testing.B) {
 }
 
 // BenchmarkTimelineQuasiStatic measures the analytic timeline path on the
-// canonical 3-phase workday (shared with `feasim bench`, so BENCH_8.json's
+// canonical 3-phase workday (shared with `feasim bench`, so BENCH_9.json's
 // timeline_quasistatic row tracks the same workload): 24 epoch answers per
 // query, each a quasi-static walk whose stationary kernel evaluations share
 // the process-wide binomial-table memo.
@@ -361,7 +370,7 @@ func BenchmarkAnswerCacheHit(b *testing.B) {
 
 // BenchmarkQueryThresholdSweep measures the typed query path on the
 // canonical threshold grid of internal/benchgrid (shared with `feasim
-// bench`, so BENCH_8.json tracks the same workload): 40 analytic threshold
+// bench`, so BENCH_9.json tracks the same workload): 40 analytic threshold
 // bisections per op, reported as full searches per second.
 func BenchmarkQueryThresholdSweep(b *testing.B) {
 	for _, workers := range []int{1, 4} {

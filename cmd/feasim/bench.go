@@ -44,7 +44,7 @@ type benchReport struct {
 // cmdBench runs the benchmark suite and writes the JSON report.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_8.json", "output JSON file")
+	out := fs.String("out", "BENCH_9.json", "output JSON file")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
@@ -107,6 +107,10 @@ func cmdBench(args []string) error {
 		}},
 		{"sweep_analytic_grid", sweepPoints(benchgrid.AnalyticGrid())},
 		{"sweep_fixed_tp", sweepPoints(benchgrid.FixedTPGrid())},
+		// The adaptive frontier path: boundary refinement to resolution 32
+		// on the canonical workload. cells/s is throughput; dense_per_probe
+		// records the probe-count saving over the equivalent dense grid.
+		{"sweep_frontier", benchgrid.FrontierBench()},
 		// The typed query path: a grid of analytic threshold bisections
 		// (points/s = full searches per second, not single solves).
 		{"query_threshold_grid", func(b *testing.B) {

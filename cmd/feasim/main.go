@@ -19,7 +19,9 @@
 //	           overload counters
 //	run        answer a scenario JSON file with any or all solver backends
 //	           (the "report" query kind as a convenience form)
-//	sweep      fan a scenario grid across a parallel worker pool
+//	sweep      fan a scenario grid across a parallel worker pool; -frontier
+//	           runs an adaptive 2-D feasibility-boundary refinement instead,
+//	           probing only where the boundary lives
 //	analyze    evaluate the model at one parameter point
 //	assess     feasibility verdict against a weighted-efficiency target
 //	threshold  minimum task ratio table (superseded by `query` with
@@ -41,6 +43,9 @@
 //	feasim run testdata/scenario.json
 //	feasim run -backend des -warmup 20 -timeout 30s scenario.json
 //	feasim sweep -workers 8 -json sweep.json
+//	feasim sweep -frontier testdata/sweep_frontier.json
+//	curl -sN -XPOST --data-binary @testdata/sweep_frontier.json \
+//	    'http://127.0.0.1:8080/v1/sweep?mode=frontier'
 //	feasim analyze -j 1000 -w 100 -o 10 -util 0.05
 //	feasim assess -j 600 -w 60 -o 10 -util 0.2 -target 0.8
 //	feasim threshold -w 60 -o 10 -target 0.8 -utils 0.05,0.1,0.2
@@ -118,7 +123,9 @@ answer tier (circuit breakers, retries, hedged forwards; -chaos injects
 seeded faults for drills); cluster inspects a running node's ring
 membership, breaker states and routing/overload counters (GET /v1/cluster);
 run and sweep answer scenario files
-(the "report" kind); benchdiff compares two bench reports and flags
+(the "report" kind; sweep -frontier runs an adaptive 2-D feasibility-boundary
+refinement, mirrored over HTTP as POST /v1/sweep?mode=frontier NDJSON);
+benchdiff compares two bench reports and flags
 regressions. Run "feasim <subcommand> -h" for flags.`)
 }
 
@@ -241,15 +248,21 @@ func printReport(r feasim.Report) {
 }
 
 // cmdSweep fans a sweep spec file across the worker pool, streaming one
-// line per grid point as results complete.
+// line per grid point as results complete. With -frontier the file is an
+// adaptive frontier spec instead: recursive boundary refinement, one line
+// per resolved cell.
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "overall deadline for the sweep (0 = none)")
 	asJSON := fs.Bool("json", false, "emit one JSON object per result line")
+	frontier := fs.Bool("frontier", false, "the file is a frontier spec: adaptive 2-D boundary refinement")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("sweep: want exactly one sweep spec JSON file, got %d args", fs.NArg())
+	}
+	if *frontier {
+		return sweepFrontier(fs.Arg(0), *workers, *timeout, *asJSON)
 	}
 	spec, err := feasim.LoadSweep(fs.Arg(0))
 	if err != nil {
@@ -307,6 +320,69 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("sweep finished: %d points solved, %d failed", done, failed)
 	}
 	fmt.Printf("%d points solved\n", done)
+	return nil
+}
+
+// sweepFrontier runs the adaptive-refinement half of cmdSweep: cells stream
+// in level order as they resolve, followed by the probe-count stats line —
+// the adaptive saving over the equivalent dense grid, printed for audit.
+func sweepFrontier(path string, workers int, timeout time.Duration, asJSON bool) error {
+	spec, err := feasim.LoadFrontier(path)
+	if err != nil {
+		return err
+	}
+	if workers > 0 {
+		spec.Workers = workers
+	}
+	ctx, cancel := solveContext(timeout)
+	defer cancel()
+	ch, stats, err := feasim.RunFrontier(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !asJSON {
+		fmt.Printf("%-6s %-10s %-22s %-22s %s\n", "depth", "cell", "x range", "y range", "verdict")
+	}
+	cells := 0
+	for c := range ch {
+		cells++
+		if asJSON {
+			data, err := json.Marshal(c)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			continue
+		}
+		verdict := c.Verdict
+		if c.Error != "" {
+			verdict += ": " + c.Error
+		}
+		fmt.Printf("%-6d %-10s %-22s %-22s %s\n",
+			c.Depth, fmt.Sprintf("%d,%d", c.IX, c.IY),
+			fmt.Sprintf("[%.4g, %.4g]", c.X0, c.X1),
+			fmt.Sprintf("[%.4g, %.4g]", c.Y0, c.Y1), verdict)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("frontier sweep stopped after %d cells: %w", cells, err)
+	}
+	st := stats()
+	if asJSON {
+		data, err := json.Marshal(struct {
+			Done  bool                 `json:"done"`
+			Stats feasim.FrontierStats `json:"stats"`
+		}{true, st})
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Printf("resolution %d: %d cells (%d boundary), %d probes vs %d dense\n",
+			st.Resolution, st.Cells, st.Boundary, st.Evaluations, st.DenseEvaluations)
+	}
+	if st.Failed > 0 {
+		return fmt.Errorf("frontier sweep finished: %d cells failed to classify", st.Failed)
+	}
 	return nil
 }
 

@@ -123,6 +123,53 @@ func TestCmdSweep(t *testing.T) {
 	}
 }
 
+// TestCmdSweepFrontierGolden runs the checked-in frontier spec (analytic,
+// fixed seed — fully deterministic, including the level-order stream) and
+// compares the rendered cell table against the golden file. Regenerate with:
+//
+//	go run ./cmd/feasim sweep -frontier cmd/feasim/testdata/sweep_frontier.json \
+//	    > cmd/feasim/testdata/sweep_frontier.golden
+func TestCmdSweepFrontierGolden(t *testing.T) {
+	in := filepath.Join("testdata", "sweep_frontier.json")
+	out := captureStdout(t, func() error { return cmdSweep([]string{"-frontier", in}) })
+	want, err := os.ReadFile(filepath.Join("testdata", "sweep_frontier.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("frontier golden mismatch:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+func TestCmdSweepFrontier(t *testing.T) {
+	discardStdout(t)
+	in := filepath.Join("testdata", "sweep_frontier.json")
+	if err := cmdSweep([]string{"-frontier", "-json", "-workers", "2", in}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-frontier"}); err == nil {
+		t.Error("missing spec file should error")
+	}
+	// A grid sweep spec is not a frontier spec: the axis declarations are
+	// missing, and the loader must say so instead of running a degenerate
+	// search.
+	grid := writeFile(t, "grid.json", `{"base": {"j": 1000, "w": 10, "o": 10}, "util": [0.05]}`)
+	if err := cmdSweep([]string{"-frontier", grid}); err == nil {
+		t.Error("grid spec under -frontier should error")
+	}
+	// The explicit-station/task_ratio rejection reaches the CLI too.
+	explicit := writeFile(t, "explicit.json", `{
+		"base": {"kind": "report", "scenario": {
+			"stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}],
+			"task_demand": "det:100", "target_eff": 0.8}},
+		"x": {"axis": "util", "min": 0.05, "max": 0.2},
+		"y": {"axis": "task_ratio", "min": 5, "max": 20}}`)
+	err := cmdSweep([]string{"-frontier", explicit})
+	if err == nil || !strings.Contains(err.Error(), "explicit-station") {
+		t.Errorf("explicit-station ratio axis should be rejected loudly, got %v", err)
+	}
+}
+
 // TestCmdQueryGoldens answers every query kind's checked-in envelope with
 // the (deterministic) analytic backend and compares the rendered text
 // against the golden files. Regenerate with:

@@ -1,6 +1,6 @@
 // Package benchgrid defines the canonical sweep, served-query, timeline and
 // cache workloads measured both by the in-repo benchmarks and by `feasim
-// bench` (BENCH_*.json, currently BENCH_8.json). Keeping one definition
+// bench` (BENCH_*.json, currently BENCH_9.json). Keeping one definition
 // ensures the tracked performance artifact and the benchmark the
 // README/ROADMAP numbers cite measure the same workloads.
 package benchgrid
@@ -60,6 +60,51 @@ func FixedTPGrid() solve.SweepSpec {
 	}
 }
 
+// FrontierWorkload is the canonical adaptive-refinement workload
+// (sweep_frontier in BENCH_9.json): the feasibility boundary of the
+// 20-workstation system over util × task ratio, refined from a 4×4 coarse
+// grid down to resolution 32. The interesting ratio is in the stats the
+// bench reports: adaptive probes vs the 33×33 dense lattice.
+func FrontierWorkload() solve.FrontierSpec {
+	return solve.FrontierSpec{
+		Base: solve.ReportQuery{Scenario: solve.Scenario{
+			Name: "bench-frontier", J: 2000, W: 20, O: 10, Util: 0.1, TargetEff: 0.8,
+		}},
+		X:      solve.FrontierAxis{Axis: solve.FrontierAxisUtil, Min: 0.02, Max: 0.2},
+		Y:      solve.FrontierAxis{Axis: solve.FrontierAxisRatio, Min: 1, Max: 40},
+		Coarse: 4,
+		Depth:  3,
+		Seed:   1993,
+	}
+}
+
+// FrontierBench measures the frontier engine end to end on the canonical
+// workload: cells/s throughput plus dense_per_probe, the probe-count saving
+// over the equivalent dense grid (the engine's reason to exist — the
+// tentpole acceptance bar pins it ≥ 10 in the test suite).
+func FrontierBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		spec := FrontierWorkload()
+		ctx := context.Background()
+		cells := 0
+		var stats solve.FrontierStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := solve.CollectFrontier(ctx, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Boundary == 0 || res.Stats.Failed > 0 {
+				b.Fatalf("degenerate frontier run: %+v", res.Stats)
+			}
+			cells += res.Stats.Cells
+			stats = res.Stats
+		}
+		b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
+		b.ReportMetric(float64(stats.DenseEvaluations)/float64(stats.Evaluations), "dense_per_probe")
+	}
+}
+
 // ThresholdPoints is the size of the threshold query grid.
 const ThresholdPoints = 40
 
@@ -108,7 +153,7 @@ func TimelineWorkdayQuery() solve.TimelineQuery {
 }
 
 // TimelineQuasiStaticBench measures the analytic timeline path
-// (timeline_quasistatic in BENCH_8.json): epoch answers per second over the
+// (timeline_quasistatic in BENCH_9.json): epoch answers per second over the
 // canonical workday.
 func TimelineQuasiStaticBench() func(b *testing.B) {
 	return func(b *testing.B) {
@@ -129,7 +174,7 @@ func TimelineQuasiStaticBench() func(b *testing.B) {
 }
 
 // The served-query workload, shared by BenchmarkServedQuery and `feasim
-// bench` (served_query_cold / served_query_hit in BENCH_8.json): one
+// bench` (served_query_cold / served_query_hit in BENCH_9.json): one
 // empirical threshold bisection per HTTP request on the exact-sim backend.
 // The cold side varies the seed per request so every envelope misses the
 // answer cache; the hit side repeats ServedQueryEnvelope(1).
@@ -219,7 +264,7 @@ func ServedBatchBody() string {
 }
 
 // ServedBatchBench measures the batched hot path (served_batch in
-// BENCH_8.json): one warm request populates the answer cache, then every
+// BENCH_9.json): one warm request populates the answer cache, then every
 // iteration answers all ServedBatchSize envelopes in a single /v1/batch
 // round trip from the LRU. The env/s metric is what the acceptance bar
 // compares against the per-request served_query_hit throughput — the
@@ -282,7 +327,7 @@ func (c cannedSolver) Solve(ctx context.Context, s solve.Scenario) (solve.Report
 
 // CacheHitContentionBench measures the AnswerCache hot path — repeated hits
 // over a resident working set of 256 distinct keys — at a given shard count
-// and parallelism (cache_hits_* in BENCH_8.json). shards == 1 is the
+// and parallelism (cache_hits_* in BENCH_9.json). shards == 1 is the
 // pre-sharding single-mutex layout, the baseline the deployed layout
 // (shards == 0, sized to GOMAXPROCS) must not lose to at parallelism 1 — on
 // a single-CPU host the default *is* one shard, by design, so the deployed

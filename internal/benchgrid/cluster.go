@@ -14,7 +14,7 @@ import (
 	"feasim/internal/solve"
 )
 
-// The cluster-forward workload (cluster_forward_hit in BENCH_8.json): a
+// The cluster-forward workload (cluster_forward_hit in BENCH_9.json): a
 // 3-node loopback ring where every measured request lands on a non-home node
 // and is served by forwarding to the home's warm cache — one extra HTTP hop
 // on top of the served_query_hit path, which is exactly the cost the

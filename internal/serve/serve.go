@@ -775,7 +775,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleSweep dispatches on the ?mode= selector: the buffered grid sweep
+// (the original /v1/sweep contract) or the streamed frontier refinement.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "grid":
+		s.handleGridSweep(w, r)
+	case "frontier":
+		s.handleFrontierSweep(w, r)
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown sweep mode %q (want \"grid\" or \"frontier\")", mode))
+	}
+}
+
+func (s *Server) handleGridSweep(w http.ResponseWriter, r *http.Request) {
 	// As in handleQuery: decode before occupying a limiter slot.
 	body, err := readBody(r)
 	if err != nil {
@@ -830,6 +843,117 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// frontierDoneRecord is the terminal NDJSON line of a completed frontier
+// stream.
+type frontierDoneRecord struct {
+	Done  bool                `json:"done"`
+	Stats solve.FrontierStats `json:"stats"`
+}
+
+// frontierErrorRecord is the terminal NDJSON line of a frontier stream cut
+// short after the 200 status line was already committed. Status carries the
+// taxonomy code the run would have returned had it failed before streaming
+// (499 client-gone, 504 deadline), so clients need no out-of-band signal to
+// distinguish a truncated stream from a complete one.
+type frontierErrorRecord struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// handleFrontierSweep streams the adaptive boundary refinement as NDJSON:
+// one line per resolved cell, flushed as each refinement level classifies
+// it, then exactly one terminal record — done+stats on success, error+status
+// on a mid-run cut. Probes run through the server's cached solver set, so
+// repeated refinements (and grid sweeps over the same points) compound in
+// the shared answer LRU.
+func (s *Server) handleFrontierSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := solve.ParseFrontier(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	backend := spec.Backend
+	if backend == "" {
+		backend = solve.BackendAnalytic
+	}
+	sv, ok := s.solvers[backend]
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown backend %q (want one of %v)", backend, s.backends))
+		return
+	}
+	// Same worker clamp as the grid path: one request must not multiply the
+	// MaxInFlight concurrency guarantee.
+	maxWorkers := s.sweepWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if spec.Workers <= 0 || spec.Workers > maxWorkers {
+		spec.Workers = maxWorkers
+	}
+	// The server's solvers already run at the server's protocol/warmup (and
+	// through the fault injector and answer cache). A spec that overrides the
+	// simulation protocol needs its own registry-built backend instead —
+	// those probes bypass the shared cache, like any custom-protocol run.
+	solver := solve.Solver(sv)
+	if spec.Protocol != nil || spec.Warmup != 0 {
+		solver = nil
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.sweeps.Add(1)
+	if spec.Base != nil {
+		s.perKind[spec.Base.Kind()].Add(1)
+	}
+	cells, stats, err := solve.SweepFrontierSolver(ctx, spec, solver)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	streamed := 0
+	for c := range cells {
+		if err := enc.Encode(c); err != nil {
+			// The client is gone; drain the run via ctx cancellation upstream.
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		streamed++
+	}
+	if err := ctx.Err(); err != nil {
+		// The 200 status line is already on the wire; the taxonomy code
+		// rides in the terminal record instead. 499 is the client's own
+		// hang-up, not a service error — mirror writeError's counting.
+		status := statusForSolveError(err)
+		if status != statusClientClosedRequest {
+			s.errors.Add(1)
+		}
+		enc.Encode(frontierErrorRecord{
+			Error:  fmt.Sprintf("frontier sweep stopped after %d cells: %v", streamed, err),
+			Status: status,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return
+	}
+	if err := enc.Encode(frontierDoneRecord{Done: true, Stats: stats()}); err == nil && flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,704 @@
+package solve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+
+	"feasim/internal/rng"
+	"feasim/internal/sim"
+)
+
+// Frontier mode answers the capacity planner's real question — "where is the
+// feasibility boundary?" — without filling a dense grid. It is the paper's
+// single-axis threshold bisection (Section 4) generalized to two scenario
+// dimensions: start from a coarse cell grid over an axis pair, classify each
+// cell by the feasibility verdict at its four corners, and subdivide only the
+// cells the boundary crosses, down to a requested resolution. Cells interior
+// to either region resolve at the coarsest level that proves them uniform, so
+// the probe budget concentrates where the answer lives.
+//
+// Every corner probe goes through the same per-point query path as a dense
+// sweep — the same axis application, the same deterministic seed split (the
+// seed is a pure function of the corner's finest-grid coordinate, not of
+// visit order or refinement level), and the same analytic dedup cache — so a
+// frontier run answers exactly the sub-grid of the equivalent dense sweep
+// that it touches, and repeated refinement levels hit the memo instead of
+// re-solving shared corners.
+
+// Frontier axis names (the QuerySweepSpec JSON field names, so a sweep spec
+// and a frontier spec describe axes in the same vocabulary).
+const (
+	FrontierAxisW        = "w"
+	FrontierAxisUtil     = "util"
+	FrontierAxisRatio    = "task_ratio"
+	FrontierAxisOwnerCV2 = "owner_cv2"
+)
+
+// Defaults applied when FrontierSpec leaves the tuning fields zero.
+const (
+	// DefaultFrontierCoarse is the initial cell count per axis.
+	DefaultFrontierCoarse = 4
+	// DefaultFrontierDepth is the number of refinement halvings below the
+	// coarse grid.
+	DefaultFrontierDepth = 3
+	// maxFrontierResolution bounds the finest cells-per-axis count
+	// (coarse << depth) so a hostile spec cannot demand an unbounded node
+	// lattice.
+	maxFrontierResolution = 4096
+)
+
+// FrontierAxis is one dimension of the frontier search: a sweep axis name
+// plus the closed value range to search over.
+type FrontierAxis struct {
+	// Axis names the swept dimension: "w", "util", "task_ratio" or
+	// "owner_cv2" (whichever apply to the base query's kind).
+	Axis string `json:"axis"`
+	// Min and Max bound the searched range (inclusive).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// value maps finest-grid coordinate i of res cells onto the axis range.
+func (a FrontierAxis) value(i, res int) float64 {
+	return a.Min + (a.Max-a.Min)*float64(i)/float64(res)
+}
+
+// validate checks one axis declaration.
+func (a FrontierAxis) validate(label string) error {
+	switch {
+	case a.Axis != FrontierAxisW && a.Axis != FrontierAxisUtil &&
+		a.Axis != FrontierAxisRatio && a.Axis != FrontierAxisOwnerCV2:
+		return fmt.Errorf("solve: frontier %s axis %q unknown (want %q, %q, %q or %q)",
+			label, a.Axis, FrontierAxisW, FrontierAxisUtil, FrontierAxisRatio, FrontierAxisOwnerCV2)
+	case math.IsNaN(a.Min) || math.IsInf(a.Min, 0) || math.IsNaN(a.Max) || math.IsInf(a.Max, 0):
+		return fmt.Errorf("solve: frontier %s axis %q needs finite bounds, got [%v, %v]", label, a.Axis, a.Min, a.Max)
+	case !(a.Min < a.Max):
+		return fmt.Errorf("solve: frontier %s axis %q needs min < max, got [%v, %v]", label, a.Axis, a.Min, a.Max)
+	case a.Axis == FrontierAxisUtil && (a.Min < 0 || a.Max >= 1):
+		return fmt.Errorf("solve: frontier %s axis util must stay inside [0,1), got [%v, %v]", label, a.Min, a.Max)
+	case a.Axis == FrontierAxisW && a.Min < 1:
+		return fmt.Errorf("solve: frontier %s axis w needs min >= 1, got %v", label, a.Min)
+	case a.Axis == FrontierAxisRatio && !(a.Min > 0):
+		return fmt.Errorf("solve: frontier %s axis task_ratio needs min > 0, got %v", label, a.Min)
+	case a.Axis == FrontierAxisOwnerCV2 && a.Min < 0:
+		return fmt.Errorf("solve: frontier %s axis owner_cv2 needs min >= 0, got %v", label, a.Min)
+	}
+	return nil
+}
+
+// apply writes the axis value into the axis point.
+func (a FrontierAxis) apply(ap *axisPoint, v float64) {
+	switch a.Axis {
+	case FrontierAxisW:
+		// The workstation axis is integral; nodes round to the nearest count.
+		ap.w = int(math.Round(v))
+	case FrontierAxisUtil:
+		ap.util = v
+	case FrontierAxisRatio:
+		ap.ratio = v
+	case FrontierAxisOwnerCV2:
+		ap.cv2 = v
+	}
+}
+
+// FrontierSpec declares a frontier search: a base query carrying a
+// feasibility verdict (a report or timeline query with target_eff set), two
+// distinct scenario axes, and the refinement budget. The finest resolution is
+// coarse·2^depth cells per axis; the equivalent dense sweep would evaluate
+// (coarse·2^depth + 1)² grid points.
+type FrontierSpec struct {
+	// Base is the query probed at every evaluated corner. Its kind must
+	// produce a feasibility verdict: a report query (scenario target_eff set)
+	// or a timeline query (feasible iff every epoch meets the target).
+	Base Query
+
+	// X and Y are the two searched axes; they must name distinct dimensions.
+	X FrontierAxis
+	Y FrontierAxis
+
+	// Coarse is the initial cell count per axis; 0 means
+	// DefaultFrontierCoarse.
+	Coarse int
+	// Depth is the number of refinement halvings; 0 means
+	// DefaultFrontierDepth, negative means none (classify the coarse grid
+	// only — the dense-equivalent case when Coarse is the full resolution).
+	Depth int
+
+	// Backend names the solver classifying the corners; empty means analytic.
+	Backend string
+
+	// Workers bounds the per-level probe pool; 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the root of the deterministic per-corner seed split.
+	Seed uint64
+	// Protocol overrides the simulation backends' output-analysis protocol.
+	Protocol *sim.Protocol
+	// Warmup overrides the DES backend's warmup job count.
+	Warmup int
+}
+
+// frontierJSON is the wire form of FrontierSpec.
+type frontierJSON struct {
+	Base     json.RawMessage `json:"base"`
+	X        FrontierAxis    `json:"x"`
+	Y        FrontierAxis    `json:"y"`
+	Coarse   int             `json:"coarse,omitempty"`
+	Depth    int             `json:"depth,omitempty"`
+	Backend  string          `json:"backend,omitempty"`
+	Workers  int             `json:"workers,omitempty"`
+	Seed     uint64          `json:"seed,omitempty"`
+	Protocol *sim.Protocol   `json:"protocol,omitempty"`
+	Warmup   int             `json:"warmup,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler, nesting the base query envelope.
+func (sp FrontierSpec) MarshalJSON() ([]byte, error) {
+	var base json.RawMessage
+	if sp.Base != nil {
+		b, err := MarshalQuery(sp.Base)
+		if err != nil {
+			return nil, err
+		}
+		base = b
+	}
+	return json.Marshal(frontierJSON{
+		Base: base, X: sp.X, Y: sp.Y, Coarse: sp.Coarse, Depth: sp.Depth,
+		Backend: sp.Backend, Workers: sp.Workers, Seed: sp.Seed,
+		Protocol: sp.Protocol, Warmup: sp.Warmup,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler with strict field checking.
+func (sp *FrontierSpec) UnmarshalJSON(data []byte) error {
+	var raw frontierJSON
+	if err := unmarshalStrict(data, &raw); err != nil {
+		return err
+	}
+	var base Query
+	if len(raw.Base) > 0 {
+		q, err := decodeQuery(raw.Base)
+		if err != nil {
+			return err
+		}
+		base = q
+	}
+	*sp = FrontierSpec{
+		Base: base, X: raw.X, Y: raw.Y, Coarse: raw.Coarse, Depth: raw.Depth,
+		Backend: raw.Backend, Workers: raw.Workers, Seed: raw.Seed,
+		Protocol: raw.Protocol, Warmup: raw.Warmup,
+	}
+	return nil
+}
+
+// backend resolves the backend name.
+func (sp FrontierSpec) backend() string {
+	if sp.Backend == "" {
+		return BackendAnalytic
+	}
+	return sp.Backend
+}
+
+// coarse resolves the initial cell count.
+func (sp FrontierSpec) coarse() int {
+	if sp.Coarse <= 0 {
+		return DefaultFrontierCoarse
+	}
+	return sp.Coarse
+}
+
+// depth resolves the refinement depth.
+func (sp FrontierSpec) depth() int {
+	if sp.Depth < 0 {
+		return 0
+	}
+	if sp.Depth == 0 {
+		return DefaultFrontierDepth
+	}
+	return sp.Depth
+}
+
+// Resolution is the finest cells-per-axis count (coarse · 2^depth): the
+// resolution the boundary is located to, and the cell count per axis of the
+// equivalent dense sweep.
+func (sp FrontierSpec) Resolution() int { return sp.coarse() << sp.depth() }
+
+// Validate checks the spec: a feasibility-bearing base query, two distinct
+// well-formed axes that apply to the base kind, a known backend, and a
+// bounded resolution. Axis applicability is probed structurally at the
+// (min, min) corner — a per-value domain failure there (e.g. a timeline
+// rescale overflowing a phase) is a legal per-cell outcome, not a spec error.
+func (sp FrontierSpec) Validate() error {
+	if sp.Base == nil {
+		return fmt.Errorf("solve: frontier spec needs a base query")
+	}
+	switch sp.Base.Kind() {
+	case KindReport, KindTimeline:
+	default:
+		return fmt.Errorf("solve: frontier mode needs a feasibility verdict per cell; %q queries carry none (use a report or timeline query with target_eff)", sp.Base.Kind())
+	}
+	if err := sp.X.validate("x"); err != nil {
+		return err
+	}
+	if err := sp.Y.validate("y"); err != nil {
+		return err
+	}
+	if sp.X.Axis == sp.Y.Axis {
+		return fmt.Errorf("solve: frontier axes must differ, both are %q", sp.X.Axis)
+	}
+	if sp.Coarse > maxFrontierResolution {
+		return fmt.Errorf("solve: frontier coarse %d exceeds %d cells per axis", sp.Coarse, maxFrontierResolution)
+	}
+	if sp.Depth > 20 || sp.Resolution() > maxFrontierResolution || sp.Resolution() <= 0 {
+		return fmt.Errorf("solve: frontier resolution %d·2^%d exceeds %d cells per axis", sp.coarse(), sp.depth(), maxFrontierResolution)
+	}
+	if _, err := NewSolver(sp.backend(), Options{}); err != nil {
+		return err
+	}
+	// Structural probe: an axis that does not apply to the base kind (or a
+	// task_ratio axis on an explicit-station scenario) must fail the whole
+	// spec loudly, exactly as the dense sweep's grid expansion would.
+	ax := axisPoint{w: -1, util: -1, ratio: -1, cv2: -1}
+	sp.X.apply(&ax, sp.X.Min)
+	sp.Y.apply(&ax, sp.Y.Min)
+	if _, err := sp.Base.withAxes(ax); err != nil && !errors.As(err, new(*PointDomainError)) {
+		return err
+	}
+	if err := frontierTarget(sp.Base); err != nil {
+		return err
+	}
+	return nil
+}
+
+// frontierTarget checks that the base query will produce a feasibility
+// verdict (a positive target efficiency on the underlying scenario).
+func frontierTarget(q Query) error {
+	switch t := q.(type) {
+	case ReportQuery:
+		if !(t.Scenario.TargetEff > 0) {
+			return fmt.Errorf("solve: frontier mode needs scenario target_eff > 0 for the feasible/infeasible verdict")
+		}
+	case TimelineQuery:
+		if !(t.Scenario.TargetEff > 0) {
+			return fmt.Errorf("solve: frontier mode needs scenario target_eff > 0 for the feasible/infeasible verdict")
+		}
+	}
+	return nil
+}
+
+// Frontier cell verdicts.
+const (
+	// FrontierFeasible marks a cell whose four corners all meet the target:
+	// the whole cell is classified feasible without probing its interior.
+	FrontierFeasible = "feasible"
+	// FrontierInfeasible marks a cell whose four corners all miss the target.
+	FrontierInfeasible = "infeasible"
+	// FrontierBoundary marks a finest-resolution cell the boundary still
+	// crosses — the frontier the planner asked for.
+	FrontierBoundary = "boundary"
+	// FrontierError marks a cell whose corner probe failed with a per-point
+	// domain error (the 422 taxonomy class); the error rides in the cell.
+	FrontierError = "error"
+)
+
+// FrontierCell is one resolved cell of a frontier run: its axis-space bounds,
+// its finest-grid placement, and the verdict. Cells stream in resolution
+// order — every cell of one refinement level before any of the next.
+type FrontierCell struct {
+	// Depth is the refinement level the cell resolved at (0 = coarse grid).
+	Depth int `json:"depth"`
+	// X0..Y1 bound the cell in axis units.
+	X0 float64 `json:"x0"`
+	X1 float64 `json:"x1"`
+	Y0 float64 `json:"y0"`
+	Y1 float64 `json:"y1"`
+	// IX, IY locate the cell's origin on the finest grid; Span is its side
+	// length in finest-grid cells (1 at full resolution).
+	IX   int `json:"ix"`
+	IY   int `json:"iy"`
+	Span int `json:"span"`
+	// Verdict is the cell classification (feasible, infeasible, boundary,
+	// error).
+	Verdict string `json:"verdict"`
+	// Err is non-nil for error cells; Error mirrors it for JSON output.
+	Err   error  `json:"-"`
+	Error string `json:"error,omitempty"`
+}
+
+// FrontierStats summarizes a completed frontier run.
+type FrontierStats struct {
+	// Resolution is the finest cells-per-axis count.
+	Resolution int `json:"resolution"`
+	// Cells counts resolved cells; Boundary and Failed the boundary and
+	// error subsets.
+	Cells    int `json:"cells"`
+	Boundary int `json:"boundary"`
+	Failed   int `json:"failed"`
+	// Evaluations counts corner probes sent to the solver — the number a
+	// dense sweep multiplies by. CacheHits is the subset served by the
+	// analytic dedup cache without a backend execution.
+	Evaluations int `json:"evaluations"`
+	CacheHits   int `json:"cache_hits"`
+	// DenseEvaluations is the probe count of the equivalent dense sweep:
+	// (resolution+1)².
+	DenseEvaluations int `json:"dense_evaluations"`
+}
+
+// FrontierResult is a collected frontier run.
+type FrontierResult struct {
+	Cells []FrontierCell `json:"cells"`
+	Stats FrontierStats  `json:"stats"`
+}
+
+// frontierNode is one evaluated corner of the refinement lattice.
+type frontierNode struct {
+	feasible bool
+	err      error
+}
+
+// frontierCellRef is one unresolved cell in the refinement queue.
+type frontierCellRef struct {
+	ix, iy, span int
+}
+
+// frontierRun holds the engine state shared across refinement levels.
+type frontierRun struct {
+	spec   FrontierSpec
+	res    int
+	solver Solver
+	cache  *AnswerCache
+	seed   *rng.Stream
+
+	mu    sync.Mutex
+	nodes map[[2]int]frontierNode
+	stats FrontierStats
+}
+
+// nodeQuery builds the per-point query for a finest-grid corner, identical to
+// the dense sweep's expansion of the same point: axes applied through
+// withAxes, the seed split from the root stream by the corner's linear grid
+// index. A PointDomainError becomes the node's error; any other axis error is
+// structural and aborts the run.
+func (fr *frontierRun) nodeQuery(ix, iy int) (Query, error) {
+	idx := ix*(fr.res+1) + iy
+	ax := axisPoint{index: idx, w: -1, util: -1, ratio: -1, cv2: -1}
+	fr.spec.X.apply(&ax, fr.spec.X.value(ix, fr.res))
+	fr.spec.Y.apply(&ax, fr.spec.Y.value(iy, fr.res))
+	q, err := fr.spec.Base.withAxes(ax)
+	if err != nil {
+		return nil, err
+	}
+	return q.withSeed(fr.seed.Split(uint64(idx)).Uint64()), nil
+}
+
+// evalNode classifies one corner, recording the result in the node memo.
+func (fr *frontierRun) evalNode(ctx context.Context, ix, iy int) frontierNode {
+	q, err := fr.nodeQuery(ix, iy)
+	if err != nil {
+		return frontierNode{err: err}
+	}
+	if err := q.Validate(); err != nil {
+		return frontierNode{err: &PointDomainError{Err: err}}
+	}
+	fr.mu.Lock()
+	fr.stats.Evaluations++
+	fr.mu.Unlock()
+	res := solveQueryPoint(ctx, fr.solver, fr.cache, QueryPoint{
+		Index: ix*(fr.res+1) + iy, Backend: fr.spec.backend(), Query: q,
+	})
+	if res.Cached {
+		fr.mu.Lock()
+		fr.stats.CacheHits++
+		fr.mu.Unlock()
+	}
+	if res.Err != nil {
+		return frontierNode{err: res.Err}
+	}
+	feasible, err := frontierVerdict(res.Answer)
+	if err != nil {
+		return frontierNode{err: err}
+	}
+	return frontierNode{feasible: feasible}
+}
+
+// frontierVerdict extracts the feasibility verdict from an answer.
+func frontierVerdict(a Answer) (bool, error) {
+	switch t := a.(type) {
+	case ReportAnswer:
+		if t.Report.Feasible == nil {
+			return false, fmt.Errorf("solve: frontier probe returned no feasibility verdict; set scenario target_eff")
+		}
+		return *t.Report.Feasible, nil
+	case TimelineAnswer:
+		if len(t.Epochs) == 0 {
+			return false, fmt.Errorf("solve: frontier probe returned an empty timeline")
+		}
+		for _, ep := range t.Epochs {
+			if ep.Feasible == nil {
+				return false, fmt.Errorf("solve: frontier probe returned no feasibility verdict; set scenario target_eff")
+			}
+			if !*ep.Feasible {
+				// A workday is feasible only when every launch epoch meets
+				// the target.
+				return false, nil
+			}
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("solve: frontier mode cannot classify %q answers", a.Kind())
+	}
+}
+
+// SweepFrontier runs the adaptive frontier refinement and streams resolved
+// cells over the returned channel, every cell of one refinement level before
+// any of the next. The channel closes once the search completes or ctx is
+// cancelled; the stats callback is valid after the channel closes. Backends
+// are built from the standard registry per the spec.
+func SweepFrontier(ctx context.Context, spec FrontierSpec) (<-chan FrontierCell, func() FrontierStats, error) {
+	return SweepFrontierSolver(ctx, spec, nil)
+}
+
+// SweepFrontierSolver is SweepFrontier with an injected solver for the spec's
+// backend (nil builds one from the registry) — the hook the HTTP service uses
+// to route frontier probes through its own cached, fault-wrapped solver set,
+// so repeated refinements compound with the server's answer cache.
+func SweepFrontierSolver(ctx context.Context, spec FrontierSpec, solver Solver) (<-chan FrontierCell, func() FrontierStats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if solver == nil {
+		var pr sim.Protocol
+		if spec.Protocol != nil {
+			pr = *spec.Protocol
+		}
+		s, err := NewSolver(spec.backend(), Options{Protocol: pr, Warmup: spec.Warmup})
+		if err != nil {
+			return nil, nil, err
+		}
+		solver = s
+	}
+	res := spec.Resolution()
+	fr := &frontierRun{
+		spec:   spec,
+		res:    res,
+		solver: solver,
+		cache:  NewAnswerCache(max((res+1)*(res+1)/4, DefaultAnswerCacheCapacity)),
+		seed:   rng.NewStream(spec.Seed),
+		nodes:  make(map[[2]int]frontierNode),
+	}
+	fr.stats.Resolution = res
+	fr.stats.DenseEvaluations = (res + 1) * (res + 1)
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make(chan FrontierCell, workers)
+	go func() {
+		defer close(out)
+		fr.run(ctx, workers, out)
+	}()
+	return out, func() FrontierStats {
+		fr.mu.Lock()
+		defer fr.mu.Unlock()
+		return fr.stats
+	}, nil
+}
+
+// run drives the refinement loop: evaluate the level's unseen corners on a
+// worker pool, classify its cells in deterministic order, stream resolved
+// cells, queue the straddling cells' children for the next level.
+func (fr *frontierRun) run(ctx context.Context, workers int, out chan<- FrontierCell) {
+	span0 := fr.res / fr.spec.coarse()
+	var queue []frontierCellRef
+	for ix := 0; ix < fr.res; ix += span0 {
+		for iy := 0; iy < fr.res; iy += span0 {
+			queue = append(queue, frontierCellRef{ix: ix, iy: iy, span: span0})
+		}
+	}
+	for depth := 0; len(queue) > 0; depth++ {
+		if !fr.evalLevel(ctx, workers, queue) {
+			return // ctx cancelled; the caller reads ctx.Err()
+		}
+		var next []frontierCellRef
+		for _, c := range queue {
+			cell, subdivide := fr.classify(depth, c)
+			if subdivide {
+				half := c.span / 2
+				next = append(next,
+					frontierCellRef{ix: c.ix, iy: c.iy, span: half},
+					frontierCellRef{ix: c.ix + half, iy: c.iy, span: half},
+					frontierCellRef{ix: c.ix, iy: c.iy + half, span: half},
+					frontierCellRef{ix: c.ix + half, iy: c.iy + half, span: half},
+				)
+				continue
+			}
+			fr.mu.Lock()
+			fr.stats.Cells++
+			switch cell.Verdict {
+			case FrontierBoundary:
+				fr.stats.Boundary++
+			case FrontierError:
+				fr.stats.Failed++
+			}
+			fr.mu.Unlock()
+			select {
+			case out <- cell:
+			case <-ctx.Done():
+				return
+			}
+		}
+		queue = next
+	}
+}
+
+// evalLevel evaluates every not-yet-memoized corner of the queued cells on a
+// bounded worker pool. Returns false when ctx ended mid-level.
+func (fr *frontierRun) evalLevel(ctx context.Context, workers int, queue []frontierCellRef) bool {
+	var todo [][2]int
+	seen := make(map[[2]int]bool)
+	for _, c := range queue {
+		for _, n := range c.corners() {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			if _, ok := fr.nodes[n]; !ok {
+				todo = append(todo, n)
+			}
+		}
+	}
+	if len(todo) == 0 {
+		return ctx.Err() == nil
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	in := make(chan [2]int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range in {
+				node := fr.evalNode(ctx, n[0], n[1])
+				fr.mu.Lock()
+				fr.nodes[n] = node
+				fr.mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, n := range todo {
+		select {
+		case in <- n:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(in)
+	wg.Wait()
+	return ctx.Err() == nil
+}
+
+// corners lists the cell's four corner coordinates.
+func (c frontierCellRef) corners() [4][2]int {
+	return [4][2]int{
+		{c.ix, c.iy},
+		{c.ix + c.span, c.iy},
+		{c.ix, c.iy + c.span},
+		{c.ix + c.span, c.iy + c.span},
+	}
+}
+
+// classify resolves one cell from its corner verdicts, or asks for
+// subdivision when the boundary crosses it and resolution remains.
+func (fr *frontierRun) classify(depth int, c frontierCellRef) (FrontierCell, bool) {
+	cell := FrontierCell{
+		Depth: depth,
+		X0:    fr.spec.X.value(c.ix, fr.res),
+		X1:    fr.spec.X.value(c.ix+c.span, fr.res),
+		Y0:    fr.spec.Y.value(c.iy, fr.res),
+		Y1:    fr.spec.Y.value(c.iy+c.span, fr.res),
+		IX:    c.ix, IY: c.iy, Span: c.span,
+	}
+	feasible, infeasible := 0, 0
+	var nodeErr error
+	for _, n := range c.corners() {
+		node := fr.nodes[n]
+		switch {
+		case node.err != nil:
+			if nodeErr == nil {
+				nodeErr = node.err
+			}
+		case node.feasible:
+			feasible++
+		default:
+			infeasible++
+		}
+	}
+	switch {
+	case nodeErr != nil:
+		// A corner outside the model's domain (util rescale overflow, an
+		// unanswerable point) resolves the cell as an error — the per-cell
+		// 422, never an aborted run.
+		cell.Verdict = FrontierError
+		cell.Err = nodeErr
+		cell.Error = nodeErr.Error()
+	case feasible == 4:
+		cell.Verdict = FrontierFeasible
+	case infeasible == 4:
+		cell.Verdict = FrontierInfeasible
+	case c.span == 1:
+		cell.Verdict = FrontierBoundary
+	default:
+		return FrontierCell{}, true
+	}
+	return cell, false
+}
+
+// CollectFrontier drains a frontier run into cells (in stream order) plus the
+// run stats. It returns ctx.Err() when the refinement was cut short, along
+// with whatever cells resolved before the cut.
+func CollectFrontier(ctx context.Context, spec FrontierSpec) (FrontierResult, error) {
+	ch, stats, err := SweepFrontier(ctx, spec)
+	if err != nil {
+		return FrontierResult{}, err
+	}
+	var cells []FrontierCell
+	for c := range ch {
+		cells = append(cells, c)
+	}
+	res := FrontierResult{Cells: cells, Stats: stats()}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// ParseFrontier decodes a frontier spec from JSON, rejecting unknown fields
+// and validating the search declaration.
+func ParseFrontier(data []byte) (FrontierSpec, error) {
+	var sp FrontierSpec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return FrontierSpec{}, fmt.Errorf("solve: bad frontier spec: %w", err)
+	}
+	if err := sp.Validate(); err != nil {
+		return FrontierSpec{}, err
+	}
+	return sp, nil
+}
+
+// LoadFrontier reads and decodes a frontier spec JSON file.
+func LoadFrontier(path string) (FrontierSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return FrontierSpec{}, err
+	}
+	return ParseFrontier(data)
+}

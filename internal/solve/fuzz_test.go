@@ -93,6 +93,86 @@ func FuzzQueryUnmarshal(f *testing.F) {
 	})
 }
 
+func FuzzQuerySweepUnmarshal(f *testing.F) {
+	corpusSeeds(f, filepath.Join("..", "..", "cmd", "feasim", "testdata", "query_*.json"))
+	for _, s := range []string{
+		``,
+		`{}`,
+		`{"base": {"kind": "threshold", "w": 20, "o": 10, "target_eff": 0.8}, "util": [0.05, 0.1]}`,
+		// The hostile timeline case of the util-axis bugfix: 0.8 rescales the
+		// day phase past saturation — a per-point domain error, never an
+		// expansion abort (and never a panic).
+		`{"base": {"kind": "timeline", "scenario": {"j": 400, "w": 4, "o": 10, "schedule": [{"name": "day", "duration": 480, "util": 0.2}, {"name": "night", "duration": 960, "util": 0.05}]}, "epochs": 2}, "util": [0.1, 0.8]}`,
+		// The task_ratio axis over an explicit-station scenario must be
+		// rejected, not expanded into J = 0 grids.
+		`{"base": {"kind": "report", "scenario": {"stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}], "task_demand": "det:100"}}, "task_ratio": [5, 10], "backends": ["des"]}`,
+		`{"base": {"kind": "report", "scenario": {"j": 1, "w": 1, "o": 1, "util": 0.1}}, "w": [0], "util": [-1], "task_ratio": [1e309]}`,
+		`{"base": {"kind": "scaled", "t": 100, "o": 10, "util": 0.1, "ws": [1]}, "backends": ["bogus"]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sp QuerySweepSpec
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return // rejected inputs just must not panic
+		}
+		// Expansion is the cross product of the axis lists; bound it before
+		// walking a hostile grid (the decode path above is the fuzz surface,
+		// expansion just must not panic on accepted shapes).
+		n := max(len(sp.W), 1) * max(len(sp.Util), 1) * max(len(sp.TaskRatio), 1) *
+			max(len(sp.OwnerCV2), 1) * max(len(sp.Backends), 1)
+		if n > 4096 {
+			return
+		}
+		pts, err := sp.Points()
+		if err != nil {
+			return
+		}
+		for _, p := range pts {
+			// Every expanded point — including per-point domain errors — must
+			// keep the wire shape encodable.
+			if _, err := p.MarshalJSON(); err != nil {
+				t.Fatalf("expanded point %d failed to marshal: %v\ninput: %q", p.Index, err, data)
+			}
+			if p.Err == nil {
+				if err := p.Query.Validate(); err != nil {
+					t.Fatalf("expansion accepted an invalid point %d: %v\ninput: %q", p.Index, err, data)
+				}
+			}
+		}
+	})
+}
+
+func FuzzFrontierUnmarshal(f *testing.F) {
+	for _, s := range []string{
+		``,
+		`{}`,
+		`{"base": {"kind": "report", "scenario": {"j": 2000, "w": 20, "o": 10, "util": 0.1, "target_eff": 0.8}}, "x": {"axis": "util", "min": 0.02, "max": 0.2}, "y": {"axis": "task_ratio", "min": 1, "max": 40}}`,
+		`{"base": {"kind": "timeline", "scenario": {"j": 400, "w": 4, "o": 10, "target_eff": 0.5, "schedule": [{"duration": 480, "util": 0.2}, {"duration": 960, "util": 0.05}]}, "epochs": 2}, "x": {"axis": "util", "min": 0.05, "max": 0.6}, "y": {"axis": "w", "min": 2, "max": 10}, "coarse": 2, "depth": 1}`,
+		`{"base": {"kind": "threshold", "w": 20, "o": 10, "target_eff": 0.8}, "x": {"axis": "util", "min": 0, "max": 0.5}, "y": {"axis": "util", "min": 0, "max": 0.5}}`,
+		`{"x": {"axis": "w", "min": 1e309, "max": -1e309}, "y": {"axis": "util", "min": 0.5, "max": 0.1}, "coarse": -1, "depth": 99}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseFrontier(data)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("accepted frontier spec failed to marshal: %v\ninput: %q", err, data)
+		}
+		sp2, err := ParseFrontier(enc)
+		if err != nil {
+			t.Fatalf("canonical frontier spec failed to re-parse: %v\nencoded: %s", err, enc)
+		}
+		if !reflect.DeepEqual(sp, sp2) {
+			t.Fatalf("frontier spec not a fixed point:\n %+v\n %+v", sp, sp2)
+		}
+	})
+}
+
 func FuzzScenarioUnmarshal(f *testing.F) {
 	corpusSeeds(f, filepath.Join("..", "..", "testdata", "scenario.json"))
 	for _, s := range []string{

@@ -3,6 +3,7 @@ package solve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -30,9 +31,21 @@ type axisPoint struct {
 	cv2   float64
 }
 
+// PointDomainError marks a per-point failure of the model's domain — an axis
+// value that produces a point no backend could answer (e.g. a utilization
+// rescale pushing a phase to saturation). The grid expansion records it on
+// the point instead of aborting the sweep, and the HTTP error taxonomy maps
+// it to the unprocessable class (422), not a server fault.
+type PointDomainError struct {
+	Err error
+}
+
+func (e *PointDomainError) Error() string { return e.Err.Error() }
+func (e *PointDomainError) Unwrap() error { return e.Err }
+
 // applyScenarioAxes is the shared axis interpretation for scenario-carrying
 // query kinds (report, distribution) — identical to PR 1's grid expansion.
-func applyScenarioAxes(sc Scenario, ax axisPoint) Scenario {
+func applyScenarioAxes(sc Scenario, ax axisPoint) (Scenario, error) {
 	if ax.w >= 0 {
 		sc.W = ax.w
 	}
@@ -41,17 +54,18 @@ func applyScenarioAxes(sc Scenario, ax axisPoint) Scenario {
 		sc.P = 0
 	}
 	if ax.ratio >= 0 {
+		if sc.Explicit() {
+			// Explicit-station scenarios carry no aggregate owner demand
+			// (sc.O == 0), so ratio·O·W would silently expand to J = 0 grids.
+			return sc, fmt.Errorf("solve: the task_ratio axis does not apply to explicit-station scenarios (owner demand is per station, not aggregate)")
+		}
 		sc.J = ax.ratio * sc.O * float64(sc.W)
 	}
 	if ax.cv2 >= 0 {
 		sc.OwnerCV2 = ax.cv2
 	}
-	if sc.Name == "" {
-		sc.Name = fmt.Sprintf("point%04d", ax.index)
-	} else {
-		sc.Name = fmt.Sprintf("%s/point%04d", sc.Name, ax.index)
-	}
-	return sc
+	sc.Name = pointName(sc.Name, ax.index)
+	return sc, nil
 }
 
 // cacheKey deduplicates analytic grid points across query kinds: the kind
@@ -68,7 +82,11 @@ type cacheKey struct {
 // ---- axis / seed / dedup hooks per query kind ----
 
 func (q ReportQuery) withAxes(ax axisPoint) (Query, error) {
-	q.Scenario = applyScenarioAxes(q.Scenario, ax)
+	sc, err := applyScenarioAxes(q.Scenario, ax)
+	if err != nil {
+		return nil, err
+	}
+	q.Scenario = sc
 	return q, nil
 }
 
@@ -83,7 +101,11 @@ func (q ReportQuery) dedupKey() (cacheKey, bool) {
 }
 
 func (q DistributionQuery) withAxes(ax axisPoint) (Query, error) {
-	q.Scenario = applyScenarioAxes(q.Scenario, ax)
+	sc, err := applyScenarioAxes(q.Scenario, ax)
+	if err != nil {
+		return nil, err
+	}
+	q.Scenario = sc
 	return q, nil
 }
 
@@ -212,7 +234,13 @@ func (q TimelineQuery) withAxes(ax axisPoint) (Query, error) {
 		for i, ph := range phases {
 			ph.Util *= factor
 			if ph.Util >= 1 {
-				return nil, fmt.Errorf("solve: util axis %g pushes phase %q to utilization %g (must stay below 1)", ax.util, ph.Name, ph.Util)
+				// The rescale overflowed a peak phase: this one grid point is
+				// outside the model's domain, but its neighbours may not be.
+				// Name the point, keep the original (marshalable) day shape,
+				// and report a per-point domain error so the sweep carries on.
+				sc.Name = pointName(sc.Name, ax.index)
+				q.Scenario = sc
+				return q, &PointDomainError{Err: fmt.Errorf("solve: util axis %g pushes phase %q to utilization %g (must stay below 1)", ax.util, ph.Name, ph.Util)}
 			}
 			scaled[i] = ph
 		}
@@ -222,13 +250,17 @@ func (q TimelineQuery) withAxes(ax axisPoint) (Query, error) {
 			sc.Trace = scaled
 		}
 	}
-	if sc.Name == "" {
-		sc.Name = fmt.Sprintf("point%04d", ax.index)
-	} else {
-		sc.Name = fmt.Sprintf("%s/point%04d", sc.Name, ax.index)
-	}
+	sc.Name = pointName(sc.Name, ax.index)
 	q.Scenario = sc
 	return q, nil
+}
+
+// pointName appends the grid-order point suffix to a scenario name.
+func pointName(name string, index int) string {
+	if name == "" {
+		return fmt.Sprintf("point%04d", index)
+	}
+	return fmt.Sprintf("%s/point%04d", name, index)
 }
 
 func (q TimelineQuery) withSeed(seed uint64) Query {
@@ -357,6 +389,11 @@ type QueryPoint struct {
 	Index   int    `json:"index"`
 	Backend string `json:"backend"`
 	Query   Query  `json:"query"`
+	// Err is a per-point domain error recorded at expansion time (an axis
+	// value outside the model's domain, e.g. a timeline utilization rescale
+	// overflowing a peak phase). The point is never solved; its QueryResult
+	// carries the error. Not part of the wire shape — results report errors.
+	Err error `json:"-"`
 }
 
 // MarshalJSON wraps the query in its kind envelope.
@@ -423,6 +460,13 @@ func (sp QuerySweepSpec) Points() ([]QueryPoint, error) {
 						i := len(pts)
 						q, err := sp.Base.withAxes(axisPoint{index: i, w: w, util: util, ratio: ratio, cv2: cv2})
 						if err != nil {
+							var domain *PointDomainError
+							if errors.As(err, &domain) && q != nil {
+								// A domain failure is this point's answer, not
+								// the grid's: record it and keep expanding.
+								pts = append(pts, QueryPoint{Index: i, Backend: backend, Query: q, Err: err})
+								continue
+							}
 							return nil, err
 						}
 						q = q.withSeed(root.Split(uint64(i)).Uint64())
@@ -525,9 +569,14 @@ func sweepChannel[T any](ctx context.Context, spec QuerySweepSpec, convert func(
 }
 
 // solveQueryPoint answers one grid point, consulting the analytic cache
-// first.
+// first. Points carrying an expansion-time domain error are never solved.
 func solveQueryPoint(ctx context.Context, solver Solver, cache *AnswerCache, p QueryPoint) QueryResult {
 	res := QueryResult{Point: p}
+	if p.Err != nil {
+		res.Err = p.Err
+		res.Error = p.Err.Error()
+		return res
+	}
 	key, cacheable := answerKey{}, false
 	if p.Backend == BackendAnalytic {
 		key, cacheable = answerCacheKey(BackendAnalytic, p.Query)

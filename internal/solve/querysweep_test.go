@@ -1,0 +1,121 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSweepRatioAxisExplicitStationsRejected: explicit-station scenarios
+// carry no aggregate owner demand (sc.O == 0), so the task_ratio axis used
+// to expand silently to J = 0 grids. It must now fail expansion loudly.
+func TestSweepRatioAxisExplicitStationsRejected(t *testing.T) {
+	explicit := Scenario{
+		Stations: []StationSpec{
+			{OwnerThink: "exp:190", OwnerDemand: "det:10", Count: 2},
+			{OwnerThink: "exp:90", OwnerDemand: "det:10", Count: 2},
+		},
+		TaskDemand: "det:100",
+	}
+	for name, base := range map[string]Query{
+		"report":       ReportQuery{Scenario: explicit},
+		"distribution": DistributionQuery{Scenario: explicit},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := (QuerySweepSpec{
+				Base:      base,
+				TaskRatio: []float64{5, 10},
+				Backends:  []string{BackendDES},
+			}).Points()
+			if err == nil {
+				t.Fatal("task_ratio axis over an explicit-station scenario should fail expansion")
+			}
+			if !strings.Contains(err.Error(), "explicit-station") {
+				t.Fatalf("error should name the explicit-station conflict, got: %v", err)
+			}
+		})
+	}
+
+	// The same axis on an aggregate scenario still expands (control).
+	pts, err := (QuerySweepSpec{
+		Base:      ReportQuery{Scenario: Scenario{W: 10, O: 10, Util: 0.1}},
+		TaskRatio: []float64{5, 10},
+	}).Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{5 * 10 * 10, 10 * 10 * 10} {
+		if j := pts[i].Query.(ReportQuery).Scenario.J; j != want {
+			t.Errorf("point %d: J = %v, want ratio·O·W = %v", i, j, want)
+		}
+	}
+}
+
+// TestTimelineUtilAxisOverflowIsPerPoint: a util axis value that rescales a
+// peak phase past saturation used to abort the whole sweep. It must now be a
+// per-point domain error: the grid expands, the hostile point reports a
+// PointDomainError, and every other point still answers.
+func TestTimelineUtilAxisOverflowIsPerPoint(t *testing.T) {
+	base := TimelineQuery{Scenario: Scenario{
+		J: 400, W: 4, O: 10,
+		Schedule: []PhaseSpec{
+			{Name: "day", Duration: 480, Util: 0.2},
+			{Name: "night", Duration: 960, Util: 0.05},
+		},
+	}, Epochs: 2}
+	// Mean util 0.1; day phase saturates when the axis asks for ≥ 0.5
+	// (factor 5 · 0.2 = 1.0).
+	spec := QuerySweepSpec{Base: base, Util: []float64{0.1, 0.3, 0.8}, Seed: 9}
+	pts, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("expansion dropped points: got %d, want 3", len(pts))
+	}
+	var domain *PointDomainError
+	if pts[2].Err == nil || !errors.As(pts[2].Err, &domain) {
+		t.Fatalf("overflowing point should carry a PointDomainError, got %v", pts[2].Err)
+	}
+	if pts[0].Err != nil || pts[1].Err != nil {
+		t.Fatalf("in-domain points should carry no error: %v, %v", pts[0].Err, pts[1].Err)
+	}
+	// The hostile point still marshals (the wire shape of /v1/sweep points).
+	if _, err := pts[2].MarshalJSON(); err != nil {
+		t.Fatalf("domain-error point must stay marshalable: %v", err)
+	}
+
+	res, err := CollectQueries(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	for _, r := range res[:2] {
+		if r.Err != nil {
+			t.Fatalf("point %d: %v", r.Point.Index, r.Err)
+		}
+		if len(r.Answer.(TimelineAnswer).Epochs) != 2 {
+			t.Fatalf("point %d: wrong epoch count", r.Point.Index)
+		}
+	}
+	if res[2].Err == nil || !errors.As(res[2].Err, &domain) {
+		t.Fatalf("result 2 should report the domain error, got %v", res[2].Err)
+	}
+	if !strings.Contains(res[2].Error, "must stay below 1") {
+		t.Fatalf("result 2 error text %q lost the saturation message", res[2].Error)
+	}
+	if res[2].Answer != nil {
+		t.Fatal("domain-error point must not carry an answer")
+	}
+
+	// An all-idle timeline stays a structural (whole-sweep) failure: there is
+	// no meaningful rescale of a zero-utilization day, at any axis value.
+	idle := base
+	idle.Scenario.Schedule = []PhaseSpec{{Name: "idle", Duration: 480, Util: 0}}
+	if _, err := (QuerySweepSpec{Base: idle, Util: []float64{0.1}}).Points(); err == nil {
+		t.Fatal("all-idle timeline should still fail the whole expansion")
+	}
+}

@@ -72,3 +72,63 @@ func ParseQuerySweep(data []byte) (QuerySweepSpec, error) { return solve.ParseQu
 
 // LoadQuerySweep reads and decodes a query sweep spec JSON file.
 func LoadQuerySweep(path string) (QuerySweepSpec, error) { return solve.LoadQuerySweep(path) }
+
+// FrontierSpec declares an adaptive frontier search: a base query carrying a
+// feasibility verdict, two scenario axes (JSON: "x"/"y" with an axis name and
+// range), and a refinement budget (coarse cells halved depth times). It is
+// the paper's single-axis feasibility threshold generalized to a 2-D
+// boundary, probed only where the boundary lives.
+type FrontierSpec = solve.FrontierSpec
+
+// FrontierAxis is one searched dimension: an axis name ("w", "util",
+// "task_ratio" or "owner_cv2") plus its closed value range.
+type FrontierAxis = solve.FrontierAxis
+
+// FrontierCell is one resolved cell of a frontier run: bounds, finest-grid
+// placement, and the verdict (feasible, infeasible, boundary, error).
+type FrontierCell = solve.FrontierCell
+
+// FrontierStats summarizes a frontier run, including the probe count the
+// equivalent dense grid would have paid.
+type FrontierStats = solve.FrontierStats
+
+// FrontierResult is a collected frontier run: cells in stream order plus
+// stats.
+type FrontierResult = solve.FrontierResult
+
+// Frontier cell verdicts and axis names.
+const (
+	FrontierFeasible   = solve.FrontierFeasible
+	FrontierInfeasible = solve.FrontierInfeasible
+	FrontierBoundary   = solve.FrontierBoundary
+	FrontierError      = solve.FrontierError
+
+	FrontierAxisW        = solve.FrontierAxisW
+	FrontierAxisUtil     = solve.FrontierAxisUtil
+	FrontierAxisRatio    = solve.FrontierAxisRatio
+	FrontierAxisOwnerCV2 = solve.FrontierAxisOwnerCV2
+)
+
+// RunFrontier starts the adaptive refinement and streams resolved cells in
+// level order — every cell of one refinement level before any of the next.
+// Corner probes reuse the sweep engine's per-point path: deterministic
+// coordinate-derived seeds and the analytic dedup cache, so refinement
+// levels hit the memo instead of re-solving shared corners. The stats
+// callback is valid once the channel closes.
+func RunFrontier(ctx context.Context, spec FrontierSpec) (<-chan FrontierCell, func() FrontierStats, error) {
+	return solve.SweepFrontier(ctx, spec)
+}
+
+// CollectFrontier drains RunFrontier into the cell list plus run stats. When
+// ctx is cancelled mid-run it returns the resolved prefix along with
+// ctx.Err().
+func CollectFrontier(ctx context.Context, spec FrontierSpec) (FrontierResult, error) {
+	return solve.CollectFrontier(ctx, spec)
+}
+
+// ParseFrontier decodes a FrontierSpec from JSON, rejecting unknown fields
+// and invalid search declarations.
+func ParseFrontier(data []byte) (FrontierSpec, error) { return solve.ParseFrontier(data) }
+
+// LoadFrontier reads and decodes a frontier spec JSON file.
+func LoadFrontier(path string) (FrontierSpec, error) { return solve.LoadFrontier(path) }
