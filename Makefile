@@ -26,12 +26,12 @@ fmt:
 # service cold vs cache-hit), the served batch (64 mixed envelopes per
 # request), the cluster forwarded-hit path (one peer hop on top of a warm
 # home cache) and the answer-cache contention pairs — and records the result
-# as BENCH_9.json (schema feasim-bench/1), the repository's performance
+# as BENCH_10.json (schema feasim-bench/1), the repository's performance
 # trajectory artifact. When the previous artifact is present, benchdiff
 # reports per-benchmark deltas and flags >20% ns/op regressions.
 bench:
-	go run ./cmd/feasim bench -out BENCH_9.json
-	@if [ -f BENCH_8.json ]; then go run ./cmd/feasim benchdiff BENCH_8.json BENCH_9.json; fi
+	go run ./cmd/feasim bench -out BENCH_10.json
+	@if [ -f BENCH_9.json ]; then go run ./cmd/feasim benchdiff BENCH_9.json BENCH_10.json; fi
 
 # fuzz gives each JSON-envelope fuzz target a short budget; CI runs this
 # non-blocking. Failures drop reproducers under testdata/fuzz/.

@@ -44,7 +44,7 @@ type benchReport struct {
 // cmdBench runs the benchmark suite and writes the JSON report.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_9.json", "output JSON file")
+	out := fs.String("out", "BENCH_10.json", "output JSON file")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
@@ -103,6 +103,23 @@ func cmdBench(args []string) error {
 			// bounded cache pays under a stream of distinct keys.
 			for i := 0; i < b.N; i++ {
 				core.Tables(100000, 0.01+float64(i)*1e-12)
+			}
+		}},
+		{"poisson_binomial_tables", func(b *testing.B) {
+			// The heterogeneous-fleet kernel on the miss path: a fresh
+			// 4-class, 6400-trial mix every iteration (the jitter never
+			// repeats a key), measuring the group DP build + memo insert —
+			// the generalized analogue of binomial_table_build.
+			for i := 0; i < b.N; i++ {
+				jitter := float64(i) * 1e-12
+				if _, err := core.PoissonBinomial([]core.PBGroup{
+					{P: 0.02 + jitter, Count: 1600},
+					{P: 0.05 + jitter, Count: 1600},
+					{P: 0.08 + jitter, Count: 1600},
+					{P: 0.12 + jitter, Count: 1600},
+				}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 		{"sweep_analytic_grid", sweepPoints(benchgrid.AnalyticGrid())},

@@ -177,7 +177,10 @@ func TestCmdSweepFrontier(t *testing.T) {
 //	go run ./cmd/feasim query cmd/feasim/testdata/query_<kind>.json \
 //	    > cmd/feasim/testdata/query_<kind>.golden
 func TestCmdQueryGoldens(t *testing.T) {
-	for _, kind := range []string{"report", "threshold", "partition", "distribution", "scaled", "timeline"} {
+	// "fleet" and "fleet_threshold" are heterogeneous spellings of the
+	// report and threshold kinds: per-station availability/speed instead of
+	// the aggregate util.
+	for _, kind := range []string{"report", "threshold", "partition", "distribution", "scaled", "timeline", "fleet", "fleet_threshold"} {
 		t.Run(kind, func(t *testing.T) {
 			in := filepath.Join("testdata", "query_"+kind+".json")
 			out := captureStdout(t, func() error { return cmdQuery([]string{in}) })

@@ -169,6 +169,90 @@ func PlanPartition(j, o, util, target float64, maxW int) (PartitionPlan, error) 
 	return core.PlanPartition(j, o, util, target, maxW)
 }
 
+// ---- Heterogeneous fleets (per-station availability/speed) ----
+
+// FleetStation is one group of identical stations in a heterogeneous fleet:
+// Count stations with owner request probability P, executing task work at
+// Speed times the reference rate (0 means 1).
+type FleetStation = core.FleetStation
+
+// Fleet is the heterogeneous feasibility question: job demand J split one
+// task per station, shared owner burst demand O, per-group availability and
+// speed.
+type Fleet = core.Fleet
+
+// FleetResult is the heterogeneous model output, mirroring Result.
+type FleetResult = core.FleetResult
+
+// FleetVerdict is the heterogeneous feasibility verdict, mirroring
+// FeasibilityVerdict.
+type FleetVerdict = core.FleetVerdict
+
+// FleetThresholdQuery is the heterogeneous minimum-task-ratio solver.
+type FleetThresholdQuery = core.FleetThresholdQuery
+
+// FleetScaledPoint is one system size of a heterogeneous scaled sweep.
+type FleetScaledPoint = core.FleetScaledPoint
+
+// PBGroup is one (probability, trial count) group of a Poisson-binomial
+// sum.
+type PBGroup = core.PBGroup
+
+// PoissonBinomialTables is the distribution of a sum of independent
+// binomials with distinct probabilities — the generalized kernel behind
+// heterogeneous fleets. Homogeneous inputs collapse to the shared
+// binomial tables bit-for-bit.
+type PoissonBinomialTables = core.PoissonBinomialTables
+
+// PoissonBinomial builds (or reuses, via the process-wide memo) the tables
+// for the Poisson-binomial sum over the given groups.
+func PoissonBinomial(groups []PBGroup) (*PoissonBinomialTables, error) {
+	return core.PoissonBinomial(groups)
+}
+
+// PoissonBinomialCacheStats reports the process-wide Poisson-binomial memo
+// hit/miss counters.
+func PoissonBinomialCacheStats() (hits, misses uint64) {
+	return core.PoissonBinomialCacheStats()
+}
+
+// AnalyzeFleet evaluates the heterogeneous model; a fleet that collapses to
+// one reference-speed group reproduces Analyze bit-for-bit.
+func AnalyzeFleet(f Fleet) (FleetResult, error) { return core.AnalyzeFleet(f) }
+
+// AssessFleet combines AnalyzeFleet with the fleet threshold solver.
+func AssessFleet(f Fleet, targetWeightedEff float64) (FleetVerdict, error) {
+	return core.AssessFleet(f, targetWeightedEff)
+}
+
+// FleetJobTimeDistribution returns the exact heterogeneous job
+// completion-time distribution.
+func FleetJobTimeDistribution(f Fleet) (TimeDistribution, error) {
+	return core.FleetJobTimeDistribution(f)
+}
+
+// FleetDeadlineProb returns P(fleet job completes within deadline).
+func FleetDeadlineProb(f Fleet, deadline float64) (float64, error) {
+	return core.FleetDeadlineProb(f, deadline)
+}
+
+// TileFleet expands a station template cyclically to exactly w stations.
+func TileFleet(template []FleetStation, w int) ([]FleetStation, error) {
+	return core.TileFleet(template, w)
+}
+
+// MaxFleetWorkstations right-sizes a heterogeneous mix: the largest tiled
+// fleet meeting the target weighted efficiency.
+func MaxFleetWorkstations(j, o float64, template []FleetStation, target float64, maxW int) (int, error) {
+	return core.MaxFleetWorkstations(j, o, template, target, maxW)
+}
+
+// ScaledFleetSweep is the memory-bounded scaleup curve over a heterogeneous
+// mix (J = t·W, template tiled to each size).
+func ScaledFleetSweep(t, o float64, template []FleetStation, ws []int) ([]FleetScaledPoint, error) {
+	return core.ScaledFleetSweep(t, o, template, ws)
+}
+
 // ---- Simulation (Section 2.2 and its future-work extensions) ----
 
 // ExactSimulator is the discrete-time simulator matching the analysis.

@@ -1,0 +1,657 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Heterogeneous fleets: the paper's model with per-station owner request
+// probability and execution speed. Station i runs its task share at speed
+// s_i (effective demand t_i = T/s_i, T = J/W the reference task demand) and
+// its owner interrupts each unit of progress with probability p_i, so the
+// per-task burst count is Bin(round(t_i), p_i) and the job completion time
+// is
+//
+//	M = max_i ( t_i + O·X_i ),   X_i ~ Bin(n_i, p_i) independent.
+//
+// P(M ≤ x) = Π_g F_g(⌊(x−t_g)/O⌋)^c_g over the speed/availability groups,
+// evaluated on the shared BinomialTables windows via the log1p(−tail)
+// product (the same precision trick as ExpectedMax); the fleet's total
+// burst count Σ_i X_i is served by the PoissonBinomialTables kernel. A
+// fleet that collapses to one group at reference speed delegates to
+// Analyze, reproducing the homogeneous path bit-for-bit.
+
+// FleetStation describes one group of identical stations in a
+// heterogeneous fleet: Count stations whose owners request with
+// probability P per unit of task progress, executing task work at Speed
+// times the reference rate (0 means 1).
+type FleetStation struct {
+	P     float64
+	Speed float64
+	Count int
+}
+
+// speed returns the effective speed, defaulting 0 to the reference rate.
+func (s FleetStation) speed() float64 {
+	if s.Speed == 0 {
+		return 1
+	}
+	return s.Speed
+}
+
+// Fleet is a heterogeneous feasibility question: total job demand J split
+// evenly across the stations (one task each), owner burst demand O shared
+// fleet-wide, availability and speed per station group.
+type Fleet struct {
+	J        float64
+	O        float64
+	Stations []FleetStation
+}
+
+// W is the total station (= task) count.
+func (f Fleet) W() int {
+	n := 0
+	for _, s := range f.Stations {
+		n += s.Count
+	}
+	return n
+}
+
+// TaskDemand is the reference per-task demand T = J/W.
+func (f Fleet) TaskDemand() float64 { return f.J / float64(f.W()) }
+
+// Validate checks fleet parameter ranges, mirroring Params.Validate per
+// station group.
+func (f Fleet) Validate() error {
+	switch {
+	case !(f.J > 0) || math.IsInf(f.J, 0):
+		return fmt.Errorf("core: fleet job demand J must be positive and finite, got %v", f.J)
+	case f.O < 0 || math.IsNaN(f.O) || math.IsInf(f.O, 0):
+		return fmt.Errorf("core: fleet owner demand O must be >= 0 and finite, got %v", f.O)
+	case len(f.Stations) == 0:
+		return fmt.Errorf("core: fleet needs at least one station group")
+	}
+	t := f.TaskDemand()
+	for i, s := range f.Stations {
+		switch {
+		case s.Count < 1:
+			return fmt.Errorf("core: fleet station group %d count must be >= 1, got %d", i, s.Count)
+		case s.P < 0 || s.P > 1 || math.IsNaN(s.P):
+			return fmt.Errorf("core: fleet station group %d probability must be in [0,1], got %v", i, s.P)
+		case !(s.speed() > 0) || math.IsInf(s.Speed, 0) || math.IsNaN(s.Speed):
+			return fmt.Errorf("core: fleet station group %d speed must be positive and finite, got %v", i, s.Speed)
+		case s.P > 0 && t/s.speed() < 1:
+			return fmt.Errorf("core: fleet station group %d effective task demand %v is below one time unit",
+				i, t/s.speed())
+		}
+	}
+	return nil
+}
+
+// Canonical returns the station multiset sorted by (p, speed) with equal
+// groups merged and speeds normalized — the form the fleet identity
+// signature and the kernels key on.
+func (f Fleet) Canonical() []FleetStation {
+	out := make([]FleetStation, 0, len(f.Stations))
+	for _, s := range f.Stations {
+		out = append(out, FleetStation{P: s.P, Speed: s.speed(), Count: s.Count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P < out[j].P
+		}
+		return out[i].Speed < out[j].Speed
+	})
+	merged := out[:1]
+	for _, s := range out[1:] {
+		if last := &merged[len(merged)-1]; last.P == s.P && last.Speed == s.Speed {
+			last.Count += s.Count
+		} else {
+			merged = append(merged, s)
+		}
+	}
+	return merged
+}
+
+// Homogeneous reports whether the fleet collapses to the homogeneous model
+// — one canonical group at reference speed — and returns the equivalent
+// Params.
+func (f Fleet) Homogeneous() (Params, bool) {
+	canon := f.Canonical()
+	if len(canon) != 1 || canon[0].Speed != 1 {
+		return Params{}, false
+	}
+	return Params{J: f.J, W: canon[0].Count, O: f.O, P: canon[0].P}, true
+}
+
+// Utilization is the station-weighted mean owner utilization
+// Σ c_g·u_g / W with u_g = O/(O + 1/p_g) (equation (8) per group).
+func (f Fleet) Utilization() float64 {
+	if f.O == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range f.Stations {
+		if s.P > 0 {
+			sum += float64(s.Count) * f.O / (f.O + 1/s.P)
+		}
+	}
+	return sum / float64(f.W())
+}
+
+// BurstTables returns the Poisson-binomial tables of the fleet's total
+// per-job burst count Σ_i Bin(n_i, p_i), the generalized kernel behind
+// EBurstsPerTsk. The boolean is false for a fleet with no interruptible
+// trials (the count is identically zero).
+func (f Fleet) BurstTables() (*PoissonBinomialTables, bool, error) {
+	if err := f.Validate(); err != nil {
+		return nil, false, err
+	}
+	t := f.TaskDemand()
+	var groups []PBGroup
+	for _, s := range f.Canonical() {
+		n := int(math.Round(t / s.Speed))
+		if s.P > 0 && n > 0 {
+			groups = append(groups, PBGroup{P: s.P, Count: s.Count * n})
+		}
+	}
+	if len(groups) == 0 {
+		return nil, false, nil
+	}
+	pb, err := PoissonBinomial(groups)
+	if err != nil {
+		return nil, false, err
+	}
+	return pb, true, nil
+}
+
+// FleetResult is the model output for one heterogeneous parameter point,
+// mirroring Result.
+type FleetResult struct {
+	Fleet
+	W     int
+	T     float64 // reference task demand J/W
+	U     float64 // station-weighted owner utilization
+	ETask float64 // station-weighted expected task completion time
+	EJob  float64 // E[max over stations of task completion times]
+	// EMaxBursts is E[max burst count] when every station runs at the
+	// reference speed (the counts share one lattice); 0 otherwise.
+	EMaxBursts    float64
+	EBurstsPerTsk float64 // fleet-mean bursts per task, from the Poisson-binomial kernel
+	Metrics
+}
+
+// fleetGroup is one canonical group resolved against the job: effective
+// demand, trial count and the shared binomial window.
+type fleetGroup struct {
+	FleetStation
+	t  float64
+	n  int
+	tb *BinomialTables
+}
+
+func resolveFleetGroups(f Fleet) []fleetGroup {
+	t := f.TaskDemand()
+	canon := f.Canonical()
+	out := make([]fleetGroup, 0, len(canon))
+	for _, s := range canon {
+		g := fleetGroup{FleetStation: s, t: t / s.Speed}
+		g.n = int(math.Round(g.t))
+		g.tb = Tables(g.n, s.P)
+		out = append(out, g)
+	}
+	return out
+}
+
+// AnalyzeFleet evaluates the heterogeneous model at f. A fleet whose
+// canonical form is a single reference-speed group routes through Analyze,
+// reproducing the homogeneous answer bit-for-bit.
+func AnalyzeFleet(f Fleet) (FleetResult, error) {
+	if err := f.Validate(); err != nil {
+		return FleetResult{}, err
+	}
+	if p, ok := f.Homogeneous(); ok {
+		r, err := Analyze(p)
+		if err != nil {
+			return FleetResult{}, err
+		}
+		return FleetResult{
+			Fleet:         f,
+			W:             p.W,
+			T:             r.T,
+			U:             r.U,
+			ETask:         r.ETask,
+			EJob:          r.EJob,
+			EMaxBursts:    r.EMaxBursts,
+			EBurstsPerTsk: r.EBurstsPerTsk,
+			Metrics:       r.Metrics,
+		}, nil
+	}
+
+	w := f.W()
+	res := FleetResult{Fleet: f, W: w, T: f.TaskDemand(), U: f.Utilization()}
+	groups := resolveFleetGroups(f)
+
+	var etask float64
+	sameOffset := true
+	for _, g := range groups {
+		etask += float64(g.Count) * (g.t + f.O*float64(g.n)*g.P)
+		if g.t != groups[0].t {
+			sameOffset = false
+		}
+	}
+	res.ETask = etask / float64(w)
+
+	if pb, ok, err := f.BurstTables(); err != nil {
+		return FleetResult{}, err
+	} else if ok {
+		res.EBurstsPerTsk = pb.Mean() / float64(w)
+	}
+
+	times, probs := fleetJobPMF(groups, f.O)
+	for i, p := range probs {
+		res.EJob += times[i] * p
+	}
+	if sameOffset && f.O > 0 {
+		res.EMaxBursts = (res.EJob - groups[0].t) / f.O
+	}
+	res.Metrics = metricsFor(Params{J: f.J, W: w, O: f.O}, res.U, res.EJob)
+	return res, nil
+}
+
+// fleetJobPMF builds the exact job completion-time distribution over the
+// merged lattice of group support points x = t_g + k·O,
+//
+//	P(M ≤ x) = Π_g F_g(k_g(x))^c_g = exp( Σ_g c_g·log1p(−tail_g(k_g(x))) ),
+//
+// differenced across the sorted support. Groups whose window the point has
+// not reached force the product to zero; the log1p(−tail) form keeps full
+// relative precision where the per-group cdf is near one — exactly the
+// regime a fleet-wide max amplifies.
+func fleetJobPMF(groups []fleetGroup, o float64) (times, probs []float64) {
+	if o == 0 {
+		deterministic := 0.0
+		for _, g := range groups {
+			if g.t > deterministic {
+				deterministic = g.t
+			}
+		}
+		return []float64{deterministic}, []float64{1}
+	}
+	var pts []float64
+	for _, g := range groups {
+		for k := g.tb.Lo; k <= g.tb.Hi; k++ {
+			pts = append(pts, g.t+float64(k)*o)
+		}
+	}
+	sort.Float64s(pts)
+	dedup := pts[:1]
+	for _, x := range pts[1:] {
+		if x != dedup[len(dedup)-1] {
+			dedup = append(dedup, x)
+		}
+	}
+
+	times = make([]float64, 0, len(dedup))
+	probs = make([]float64, 0, len(dedup))
+	prev := 0.0
+	for _, x := range dedup {
+		logG := 0.0
+		zero := false
+		for _, g := range groups {
+			k := int(math.Floor((x-g.t)/o + 1e-9))
+			if k < g.tb.Lo {
+				zero = true
+				break
+			}
+			if k >= g.tb.Hi {
+				continue // tail is 0: this group's factor is 1
+			}
+			tau := g.tb.tail[k-g.tb.Lo]
+			if tau >= 1 {
+				zero = true
+				break
+			}
+			logG += float64(g.Count) * math.Log1p(-tau)
+		}
+		cum := 0.0
+		if !zero {
+			cum = math.Exp(logG)
+		}
+		p := cum - prev
+		prev = cum
+		if p <= 0 {
+			continue
+		}
+		times = append(times, x)
+		probs = append(probs, p)
+	}
+	if len(times) == 0 {
+		// Every point differenced to zero mass (degenerate windows); fall
+		// back to the largest support point as a point mass.
+		return []float64{dedup[len(dedup)-1]}, []float64{1}
+	}
+	// Fold the truncated upper-tail remainder into the last kept point so
+	// the distribution stays normalized, as burstCountToTimes does.
+	if rem := 1 - prev; rem > 0 {
+		probs[len(probs)-1] += rem
+	}
+	return times, probs
+}
+
+// FleetJobTimeDistribution returns the exact distribution of the fleet job
+// completion time — the heterogeneous JobTimeDistribution.
+func FleetJobTimeDistribution(f Fleet) (TimeDistribution, error) {
+	if err := f.Validate(); err != nil {
+		return TimeDistribution{}, err
+	}
+	if p, ok := f.Homogeneous(); ok {
+		return JobTimeDistribution(p)
+	}
+	times, probs := fleetJobPMF(resolveFleetGroups(f), f.O)
+	return TimeDistribution{Times: times, Probs: probs}, nil
+}
+
+// FleetDeadlineProb returns P(fleet job completes within the deadline).
+func FleetDeadlineProb(f Fleet, deadline float64) (float64, error) {
+	d, err := FleetJobTimeDistribution(f)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - d.TailProb(deadline), nil
+}
+
+// TileFleet expands a station template cyclically to exactly w stations —
+// the convention the threshold/partition/scaled searches use to grow or
+// shrink a heterogeneous fleet while preserving its mix. The result is
+// canonical (sorted, merged).
+func TileFleet(template []FleetStation, w int) ([]FleetStation, error) {
+	if len(template) == 0 {
+		return nil, fmt.Errorf("core: fleet template needs at least one station group")
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("core: fleet tiling needs w >= 1, got %d", w)
+	}
+	var flat []FleetStation
+	for _, s := range template {
+		if s.Count < 1 {
+			return nil, fmt.Errorf("core: fleet template group count must be >= 1, got %d", s.Count)
+		}
+		for i := 0; i < s.Count; i++ {
+			flat = append(flat, FleetStation{P: s.P, Speed: s.speed(), Count: 1})
+		}
+	}
+	out := make([]FleetStation, 0, w)
+	for i := 0; i < w; i++ {
+		out = append(out, flat[i%len(flat)])
+	}
+	return Fleet{J: 1, O: 0, Stations: out}.Canonical(), nil
+}
+
+// FleetThresholdQuery is ThresholdQuery over a heterogeneous fleet: the
+// station mix is fixed, the task ratio (J = ratio·O·W) is searched.
+type FleetThresholdQuery struct {
+	Stations          []FleetStation
+	O                 float64
+	TargetWeightedEff float64
+}
+
+// Validate checks the query parameters.
+func (q FleetThresholdQuery) Validate() error {
+	switch {
+	case len(q.Stations) == 0:
+		return fmt.Errorf("core: fleet threshold query needs at least one station group")
+	case !(q.O > 0):
+		return fmt.Errorf("core: fleet threshold query needs O > 0, got %v", q.O)
+	case !(q.TargetWeightedEff > 0) || q.TargetWeightedEff > 1:
+		return fmt.Errorf("core: target weighted efficiency must be in (0,1], got %v", q.TargetWeightedEff)
+	}
+	return nil
+}
+
+func (q FleetThresholdQuery) dedicated() bool {
+	for _, s := range q.Stations {
+		if s.P > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (q FleetThresholdQuery) weightedEffAtRatio(r float64) (float64, error) {
+	w := 0
+	for _, s := range q.Stations {
+		w += s.Count
+	}
+	res, err := AnalyzeFleet(Fleet{J: r * q.O * float64(w), O: q.O, Stations: q.Stations})
+	if err != nil {
+		return 0, err
+	}
+	return res.WeightedEfficiency, nil
+}
+
+// MinTaskRatio returns the smallest integer task ratio achieving the
+// target weighted efficiency, by the same exponential-then-binary search
+// as the homogeneous ThresholdQuery (weighted efficiency is monotone
+// nondecreasing in the ratio for a fixed mix).
+func (q FleetThresholdQuery) MinTaskRatio(maxRatio int) (int, error) {
+	ratio, _, err := q.minTaskRatioEff(maxRatio)
+	return ratio, err
+}
+
+func (q FleetThresholdQuery) minTaskRatioEff(maxRatio int) (int, float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if maxRatio < 1 {
+		return 0, 0, fmt.Errorf("core: maxRatio must be >= 1, got %d", maxRatio)
+	}
+	if q.dedicated() {
+		// All-p=0 fleet: no owner ever interrupts, so E[job] = t/s_min and
+		// the weighted efficiency J/(W·E[job]) = s_min at every ratio. The
+		// reference-speed fleet reproduces the homogeneous (1, 1) answer.
+		eff := math.Inf(1)
+		for _, s := range q.Stations {
+			if sp := s.speed(); sp < eff {
+				eff = sp
+			}
+		}
+		if eff < q.TargetWeightedEff {
+			return 0, 0, fmt.Errorf("core: target weighted efficiency %.3f unreachable at any ratio: the dedicated fleet's slowest station caps it at %.4f",
+				q.TargetWeightedEff, eff)
+		}
+		return 1, eff, nil
+	}
+	hi := 1
+	hiEff := 0.0
+	for {
+		eff, err := q.weightedEffAtRatio(float64(hi))
+		if err != nil {
+			return 0, 0, err
+		}
+		if eff >= q.TargetWeightedEff {
+			hiEff = eff
+			break
+		}
+		if hi >= maxRatio {
+			return 0, 0, fmt.Errorf("core: target weighted efficiency %.3f unreachable within task ratio %d (best %.4f)",
+				q.TargetWeightedEff, maxRatio, eff)
+		}
+		hi *= 2
+		if hi > maxRatio {
+			hi = maxRatio
+		}
+	}
+	lo := hi / 2
+	if hi == 1 {
+		return 1, hiEff, nil
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		eff, err := q.weightedEffAtRatio(float64(mid))
+		if err != nil {
+			return 0, 0, err
+		}
+		if eff >= q.TargetWeightedEff {
+			hi, hiEff = mid, eff
+		} else {
+			lo = mid
+		}
+	}
+	return hi, hiEff, nil
+}
+
+// FleetVerdict is FeasibilityVerdict over a heterogeneous fleet.
+type FleetVerdict struct {
+	FleetResult
+	Target   float64
+	Feasible bool
+	MinRatio int
+	// MinJobDemand is the smallest J meeting the target at this mix;
+	// +Inf when unreachable.
+	MinJobDemand float64
+}
+
+// AssessFleet runs the fleet model and its threshold solver together,
+// mirroring Assess.
+func AssessFleet(f Fleet, target float64) (FleetVerdict, error) {
+	res, err := AnalyzeFleet(f)
+	if err != nil {
+		return FleetVerdict{}, err
+	}
+	v := FleetVerdict{FleetResult: res, Target: target, Feasible: res.WeightedEfficiency >= target}
+	if f.O > 0 && res.U > 0 {
+		q := FleetThresholdQuery{Stations: f.Stations, O: f.O, TargetWeightedEff: target}
+		ratio, err := q.MinTaskRatio(1 << 20)
+		if err != nil {
+			v.MinJobDemand = math.Inf(1)
+			return v, nil
+		}
+		v.MinRatio = ratio
+		v.MinJobDemand = RequiredJobDemand(ratio, f.O, res.W)
+	} else {
+		v.MinRatio = 1
+		v.MinJobDemand = f.O * float64(res.W)
+	}
+	return v, nil
+}
+
+// MaxFleetWorkstations is MaxWorkstations over a heterogeneous mix: the
+// largest W in [1, maxW] whose tiled fleet meets the target weighted
+// efficiency for a job of demand j. The template is tiled cyclically to
+// each probed size (TileFleet), so the mix is preserved as the fleet grows.
+func MaxFleetWorkstations(j, o float64, template []FleetStation, target float64, maxW int) (int, error) {
+	if maxW < 1 {
+		return 0, fmt.Errorf("core: maxW must be >= 1, got %d", maxW)
+	}
+	if !(target > 0) || target > 1 {
+		return 0, fmt.Errorf("core: target weighted efficiency must be in (0,1], got %v", target)
+	}
+	// The discrete model needs every interruptible station's effective
+	// demand j/(w·s) >= 1, which caps the usable size at floor(j/s_max)
+	// over stations with p > 0.
+	maxSpeed := 0.0
+	for _, s := range template {
+		if s.P > 0 && s.speed() > maxSpeed {
+			maxSpeed = s.speed()
+		}
+	}
+	if maxSpeed > 0 && float64(maxW) > j/maxSpeed {
+		maxW = int(j / maxSpeed)
+		if maxW < 1 {
+			return 0, fmt.Errorf("core: job demand %v is below one effective time unit at the fleet's fastest station", j)
+		}
+	}
+	memo := make(map[int]float64)
+	eff := func(w int) (float64, error) {
+		if e, ok := memo[w]; ok {
+			return e, nil
+		}
+		stations, err := TileFleet(template, w)
+		if err != nil {
+			return 0, err
+		}
+		r, err := AnalyzeFleet(Fleet{J: j, O: o, Stations: stations})
+		if err != nil {
+			return 0, err
+		}
+		memo[w] = r.WeightedEfficiency
+		return r.WeightedEfficiency, nil
+	}
+	one, err := eff(1)
+	if err != nil {
+		return 0, err
+	}
+	if one < target {
+		return 0, fmt.Errorf("core: even one workstation reaches only %.4f weighted efficiency (target %.4f)", one, target)
+	}
+	lo, hi := 1, maxW
+	top, err := eff(maxW)
+	if err != nil {
+		return 0, err
+	}
+	if top >= target {
+		return maxW, nil
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		e, err := eff(mid)
+		if err != nil {
+			return 0, err
+		}
+		if e >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// FleetScaledPoint is the fleet model output at one system size of a
+// scaled sweep.
+type FleetScaledPoint struct {
+	W                   int
+	Result              FleetResult
+	IncreaseVsDedicated float64
+	IncreaseVsSingle    float64
+}
+
+// ScaledFleetSweep is ScaledSweep over a heterogeneous mix: the reference
+// per-task demand t is held fixed (J = t·W) while the template is tiled to
+// each system size.
+func ScaledFleetSweep(t, o float64, template []FleetStation, ws []int) ([]FleetScaledPoint, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("core: scaled sweep needs at least one system size")
+	}
+	at := func(w int) (FleetResult, error) {
+		stations, err := TileFleet(template, w)
+		if err != nil {
+			return FleetResult{}, err
+		}
+		return AnalyzeFleet(Fleet{J: t * float64(w), O: o, Stations: stations})
+	}
+	base, err := at(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FleetScaledPoint, 0, len(ws))
+	for _, w := range ws {
+		r := base
+		if w != 1 {
+			var err error
+			r, err = at(w)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, FleetScaledPoint{
+			W:                   w,
+			Result:              r,
+			IncreaseVsDedicated: r.EJob/t - 1,
+			IncreaseVsSingle:    r.EJob/base.EJob - 1,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAnalyzeFleetHomogeneousCollapse pins the degenerate-fleet guarantee:
+// all p_i equal at reference speed reproduces the homogeneous analytic
+// answer bit-exactly, even when the stations arrive as split groups.
+func TestAnalyzeFleetHomogeneousCollapse(t *testing.T) {
+	p := Params{J: 400, W: 4, O: 10, P: 0.02}
+	want, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stations := range [][]FleetStation{
+		{{P: 0.02, Count: 4}},
+		{{P: 0.02, Count: 1}, {P: 0.02, Count: 3}},
+		{{P: 0.02, Speed: 1, Count: 2}, {P: 0.02, Count: 2}},
+	} {
+		got, err := AnalyzeFleet(Fleet{J: 400, O: 10, Stations: stations})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.EJob != want.EJob || got.ETask != want.ETask || got.U != want.U ||
+			got.EMaxBursts != want.EMaxBursts || got.EBurstsPerTsk != want.EBurstsPerTsk ||
+			got.WeightedEfficiency != want.WeightedEfficiency {
+			t.Fatalf("stations %v: fleet answer %+v not bit-exact vs homogeneous %+v", stations, got, want)
+		}
+	}
+}
+
+// TestAnalyzeFleetBruteForce cross-checks the breakpoint-sweep E[job]
+// against a dense brute-force evaluation of P(max ≤ x) on a small mixed
+// fleet.
+func TestAnalyzeFleetBruteForce(t *testing.T) {
+	f := Fleet{J: 120, O: 5, Stations: []FleetStation{
+		{P: 0.05, Count: 2},
+		{P: 0.20, Count: 1},
+		{P: 0.10, Speed: 2, Count: 1},
+	}}
+	res, err := AnalyzeFleet(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute force: enumerate every lattice point of every group's full
+	// support and difference the exact product of full-support cdfs.
+	tRef := f.TaskDemand()
+	type grp struct {
+		t   float64
+		n   int
+		c   int
+		bin Binomial
+	}
+	var groups []grp
+	for _, s := range f.Canonical() {
+		eff := tRef / s.Speed
+		n := int(math.Round(eff))
+		groups = append(groups, grp{t: eff, n: n, c: s.Count, bin: Binomial{N: n, P: s.P}})
+	}
+	var pts []float64
+	for _, g := range groups {
+		for k := 0; k <= g.n; k++ {
+			pts = append(pts, g.t+float64(k)*f.O)
+		}
+	}
+	cdfAt := func(g grp, x float64) float64 {
+		k := int(math.Floor((x - g.t) / f.O * (1 + 1e-12)))
+		if k < 0 {
+			return 0
+		}
+		if k > g.n {
+			k = g.n
+		}
+		var c float64
+		for i := 0; i <= k; i++ {
+			c += g.bin.PMF(i)
+		}
+		if c > 1 {
+			c = 1
+		}
+		return c
+	}
+	var want, prev float64
+	seen := map[float64]bool{}
+	var sorted []float64
+	for _, x := range pts {
+		if !seen[x] {
+			seen[x] = true
+			sorted = append(sorted, x)
+		}
+	}
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	for _, x := range sorted {
+		g := 1.0
+		for _, gr := range groups {
+			g *= math.Pow(cdfAt(gr, x), float64(gr.c))
+		}
+		want += x * (g - prev)
+		prev = g
+	}
+	if rel := math.Abs(res.EJob-want) / want; rel > 1e-9 {
+		t.Fatalf("EJob = %v, brute force %v (rel %g)", res.EJob, want, rel)
+	}
+}
+
+// TestFleetSpeedEquivalence: a uniformly-sped fleet is the homogeneous
+// model at the scaled task demand.
+func TestFleetSpeedEquivalence(t *testing.T) {
+	res, err := AnalyzeFleet(Fleet{J: 800, O: 10, Stations: []FleetStation{{P: 0.05, Speed: 2, Count: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t_i = (800/4)/2 = 100: same per-task law as the homogeneous fleet
+	// with J = 400.
+	want, err := Analyze(Params{J: 400, W: 4, O: 10, P: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.EJob-want.EJob) / want.EJob; rel > 1e-9 {
+		t.Fatalf("speed-2 fleet EJob = %v, homogeneous scaled EJob = %v (rel %g)", res.EJob, want.EJob, rel)
+	}
+	if math.Abs(res.ETask-want.ETask) > 1e-9 {
+		t.Fatalf("speed-2 fleet ETask = %v, want %v", res.ETask, want.ETask)
+	}
+}
+
+func TestFleetJobTimeDistribution(t *testing.T) {
+	f := Fleet{J: 400, O: 10, Stations: []FleetStation{
+		{P: 0.03, Count: 2},
+		{P: 0.08, Count: 2},
+	}}
+	d, err := FleetJobTimeDistribution(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeFleet(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(d.Mean() - res.EJob); diff > 1e-9 {
+		t.Fatalf("distribution mean %v != EJob %v", d.Mean(), res.EJob)
+	}
+	// The heterogeneous max is stochastically above each group's own max:
+	// its mean exceeds the homogeneous job time of the better group alone.
+	better, err := Analyze(Params{J: 400, W: 4, O: 10, P: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EJob < better.EJob {
+		t.Fatalf("mixed-fleet EJob %v below all-best homogeneous %v", res.EJob, better.EJob)
+	}
+}
+
+func TestFleetUtilization(t *testing.T) {
+	f := Fleet{J: 400, O: 10, Stations: []FleetStation{
+		{P: 0.05, Count: 1},
+		{P: 0, Count: 1},
+	}}
+	u1 := 10.0 / (10 + 1/0.05)
+	if got := f.Utilization(); math.Abs(got-u1/2) > 1e-15 {
+		t.Fatalf("fleet utilization %v, want %v", got, u1/2)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	for _, f := range []Fleet{
+		{J: 0, O: 10, Stations: []FleetStation{{P: 0.1, Count: 1}}},
+		{J: 100, O: -1, Stations: []FleetStation{{P: 0.1, Count: 1}}},
+		{J: 100, O: 10},
+		{J: 100, O: 10, Stations: []FleetStation{{P: 1.5, Count: 1}}},
+		{J: 100, O: 10, Stations: []FleetStation{{P: 0.1, Count: 0}}},
+		{J: 100, O: 10, Stations: []FleetStation{{P: 0.1, Speed: -2, Count: 1}}},
+		// Effective demand below one unit at speed 200.
+		{J: 100, O: 10, Stations: []FleetStation{{P: 0.1, Speed: 200, Count: 1}}},
+	} {
+		if err := f.Validate(); err == nil {
+			t.Fatalf("fleet %+v must be rejected", f)
+		}
+	}
+}
+
+func TestTileFleet(t *testing.T) {
+	tpl := []FleetStation{{P: 0.1, Count: 2}, {P: 0.3, Count: 1}}
+	got, err := TileFleet(tpl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle p: .1 .1 .3 .1 .1 .3 .1 → five at 0.1, two at 0.3.
+	counts := map[float64]int{}
+	total := 0
+	for _, s := range got {
+		counts[s.P] += s.Count
+		total += s.Count
+	}
+	if total != 7 || counts[0.1] != 5 || counts[0.3] != 2 {
+		t.Fatalf("tiled fleet %+v, want 5×0.1 + 2×0.3", got)
+	}
+	if _, err := TileFleet(nil, 3); err == nil {
+		t.Fatal("empty template must be rejected")
+	}
+}
+
+// TestFleetThresholdCollapse: the fleet threshold search on a homogeneous
+// mix returns the homogeneous threshold.
+func TestFleetThresholdCollapse(t *testing.T) {
+	o, util := 10.0, 0.05
+	p := util / (o * (1 - util))
+	hq := ThresholdQuery{W: 10, O: o, Util: util, TargetWeightedEff: 0.8}
+	want, err := hq.MinTaskRatio(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := FleetThresholdQuery{Stations: []FleetStation{{P: p, Count: 10}}, O: o, TargetWeightedEff: 0.8}
+	got, err := fq.MinTaskRatio(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fleet threshold %d, homogeneous %d", got, want)
+	}
+}
+
+// TestFleetThresholdMinimality: the mixed-fleet threshold is no easier
+// than the all-best homogeneous fleet's, and the returned ratio is the
+// true boundary (feasible at ratio, infeasible one below). Note the mixed
+// fleet can need a *higher* ratio than even its worst homogeneous cousin:
+// the job pays the worst group's max while weighted efficiency only
+// credits the fleet-average utilization.
+func TestFleetThresholdMinimality(t *testing.T) {
+	o := 10.0
+	lowP, highP := 0.003, 0.02
+	mixed := FleetThresholdQuery{
+		Stations:          []FleetStation{{P: lowP, Count: 5}, {P: highP, Count: 5}},
+		O:                 o,
+		TargetWeightedEff: 0.8,
+	}
+	mixedRatio, err := mixed.MinTaskRatio(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := FleetThresholdQuery{Stations: []FleetStation{{P: lowP, Count: 10}}, O: o, TargetWeightedEff: 0.8}
+	bestRatio, err := best.MinTaskRatio(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixedRatio < bestRatio {
+		t.Fatalf("mixed ratio %d below all-best homogeneous ratio %d", mixedRatio, bestRatio)
+	}
+	at, err := mixed.weightedEffAtRatio(float64(mixedRatio))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at < 0.8 {
+		t.Fatalf("weff(%d) = %v misses the target", mixedRatio, at)
+	}
+	if mixedRatio > 1 {
+		below, err := mixed.weightedEffAtRatio(float64(mixedRatio - 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if below >= 0.8 {
+			t.Fatalf("weff(%d) = %v already meets the target; ratio %d is not minimal", mixedRatio-1, below, mixedRatio)
+		}
+	}
+}
+
+func TestMaxFleetWorkstationsCollapse(t *testing.T) {
+	o, util := 10.0, 0.05
+	p := util / (o * (1 - util))
+	want, err := MaxWorkstations(4000, o, util, 0.8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MaxFleetWorkstations(4000, o, []FleetStation{{P: p, Count: 1}}, 0.8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fleet partition %d, homogeneous %d", got, want)
+	}
+}
+
+func TestScaledFleetSweepCollapse(t *testing.T) {
+	o, util := 10.0, 0.05
+	p := util / (o * (1 - util))
+	ws := []int{1, 4, 16}
+	want, err := ScaledSweep(100, o, util, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ScaledFleetSweep(100, o, []FleetStation{{P: p, Count: 1}}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ws {
+		if math.Abs(got[i].Result.EJob-want[i].Result.EJob) > 1e-12 {
+			t.Fatalf("W=%d: fleet scaled EJob %v, homogeneous %v", ws[i], got[i].Result.EJob, want[i].Result.EJob)
+		}
+		if math.Abs(got[i].IncreaseVsDedicated-want[i].IncreaseVsDedicated) > 1e-12 {
+			t.Fatalf("W=%d: increase-vs-dedicated mismatch", ws[i])
+		}
+	}
+}
+
+func TestAssessFleet(t *testing.T) {
+	f := Fleet{J: 4000, O: 10, Stations: []FleetStation{
+		{P: 0.003, Count: 5},
+		{P: 0.02, Count: 5},
+	}}
+	v, err := AssessFleet(f, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MinRatio < 1 || math.IsInf(v.MinJobDemand, 1) {
+		t.Fatalf("verdict %+v: threshold must be reachable", v)
+	}
+	// Feasible iff the achieved weighted efficiency clears the target —
+	// consistent with the threshold's own verdict at this ratio.
+	atMin, err := AnalyzeFleet(Fleet{J: v.MinJobDemand, O: 10, Stations: f.Stations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atMin.WeightedEfficiency < 0.8 {
+		t.Fatalf("fleet at MinJobDemand %v reaches only %v", v.MinJobDemand, atMin.WeightedEfficiency)
+	}
+}
+
+// TestFleetBurstTables: the Poisson-binomial kernel's fleet view — total
+// per-job burst count — matches the closed-form mean and drives
+// EBurstsPerTsk.
+func TestFleetBurstTables(t *testing.T) {
+	f := Fleet{J: 400, O: 10, Stations: []FleetStation{
+		{P: 0.03, Count: 2},
+		{P: 0.08, Count: 2},
+	}}
+	pb, ok, err := f.BurstTables()
+	if err != nil || !ok {
+		t.Fatalf("BurstTables: ok=%v err=%v", ok, err)
+	}
+	// n = 100 per station: mean = 2·100·0.03 + 2·100·0.08 = 22.
+	if math.Abs(pb.Mean()-22) > 1e-12 {
+		t.Fatalf("fleet burst mean %v, want 22", pb.Mean())
+	}
+	res, err := AnalyzeFleet(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.EBurstsPerTsk-22.0/4) > 1e-12 {
+		t.Fatalf("EBurstsPerTsk %v, want %v", res.EBurstsPerTsk, 22.0/4)
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// pbReferencePMF computes the exact Poisson-binomial pmf by the dense
+// per-trial DP in high-precision arithmetic — a deliberately different
+// algorithm (no grouping, no windows, no float64 rounding) from the
+// production group-convolution path.
+func pbReferencePMF(groups []PBGroup, prec uint) []*big.Float {
+	n := 0
+	for _, g := range groups {
+		n += g.Count
+	}
+	pmf := make([]*big.Float, n+1)
+	pmf[0] = big.NewFloat(1).SetPrec(prec)
+	for i := 1; i <= n; i++ {
+		pmf[i] = big.NewFloat(0).SetPrec(prec)
+	}
+	one := big.NewFloat(1).SetPrec(prec)
+	filled := 0
+	for _, g := range groups {
+		p := big.NewFloat(g.P).SetPrec(prec)
+		q := new(big.Float).SetPrec(prec).Sub(one, p)
+		for trial := 0; trial < g.Count; trial++ {
+			for k := filled + 1; k >= 1; k-- {
+				a := new(big.Float).SetPrec(prec).Mul(pmf[k], q)
+				b := new(big.Float).SetPrec(prec).Mul(pmf[k-1], p)
+				pmf[k] = a.Add(a, b)
+			}
+			pmf[0].Mul(pmf[0], q)
+			filled++
+		}
+	}
+	return pmf
+}
+
+// TestPoissonBinomialReference is the acceptance bar: the exact DP agrees
+// with the high-precision per-trial reference to 1e-9 at N = 1024.
+func TestPoissonBinomialReference(t *testing.T) {
+	groups := []PBGroup{
+		{P: 0.01, Count: 256},
+		{P: 0.05, Count: 256},
+		{P: 0.12, Count: 256},
+		{P: 0.30, Count: 128},
+		{P: 0.75, Count: 128},
+	}
+	pb, err := PoissonBinomial(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.N != 1024 {
+		t.Fatalf("N = %d, want 1024", pb.N)
+	}
+	if pb.Approx {
+		t.Fatal("N = 1024 must take the exact convolution path")
+	}
+	ref := pbReferencePMF(groups, 128)
+	var maxDiff float64
+	for k := 0; k <= pb.N; k++ {
+		want, _ := ref[k].Float64()
+		if d := math.Abs(pb.PMF(k) - want); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-9 {
+		t.Fatalf("max |pmf - reference| = %g, want <= 1e-9", maxDiff)
+	}
+	t.Logf("max |pmf - reference| = %g over support 0..%d (window [%d,%d])", maxDiff, pb.N, pb.Lo, pb.Hi)
+
+	// Moments match the closed forms exactly.
+	var mu, s2 float64
+	for _, g := range groups {
+		mu += float64(g.Count) * g.P
+		s2 += float64(g.Count) * g.P * (1 - g.P)
+	}
+	if pb.Mean() != mu || pb.Variance() != s2 {
+		t.Fatalf("moments (%v, %v) != closed forms (%v, %v)", pb.Mean(), pb.Variance(), mu, s2)
+	}
+}
+
+// TestPoissonBinomialHomogeneousCollapse: a single-group input must share
+// the BinomialTables memo bit-for-bit — the same backing slices, not a
+// recomputation.
+func TestPoissonBinomialHomogeneousCollapse(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{
+		{100, 0.05}, {1, 0.5}, {5000, 0.001}, {200000, 0.01},
+	} {
+		pb, err := PoissonBinomial([]PBGroup{{P: tc.p, Count: tc.n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt := Tables(tc.n, tc.p)
+		if pb.Lo != bt.Lo || pb.Hi != bt.Hi {
+			t.Fatalf("(%d, %v): window [%d,%d] != tables [%d,%d]", tc.n, tc.p, pb.Lo, pb.Hi, bt.Lo, bt.Hi)
+		}
+		if &pb.pmf[0] != &bt.pmf[0] || &pb.cdf[0] != &bt.cdf[0] || &pb.tail[0] != &bt.tail[0] {
+			t.Fatalf("(%d, %v): collapse must alias the Tables slices, not copy or rebuild", tc.n, tc.p)
+		}
+		if pb.Approx {
+			t.Fatalf("(%d, %v): homogeneous collapse must never approximate", tc.n, tc.p)
+		}
+	}
+	// Split homogeneous groups merge and still collapse.
+	pb, err := PoissonBinomial([]PBGroup{{P: 0.05, Count: 60}, {P: 0.05, Count: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt := Tables(100, 0.05); &pb.pmf[0] != &bt.pmf[0] {
+		t.Fatal("split equal-p groups must merge to the homogeneous collapse")
+	}
+}
+
+func TestPoissonBinomialSmallExact(t *testing.T) {
+	// Two Bernoullis p=0.5 plus one p=0.25:
+	// pmf(0)=0.25·0.75, pmf(3)=0.25·0.25, etc.
+	pb, err := PoissonBinomial([]PBGroup{{P: 0.5, Count: 2}, {P: 0.25, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{
+		0.25 * 0.75,
+		0.5*0.75 + 0.25*0.25,
+		0.25*0.75 + 0.5*0.25,
+		0.25 * 0.25,
+	}
+	for k, w := range want {
+		if d := math.Abs(pb.PMF(k) - w); d > 1e-15 {
+			t.Fatalf("pmf(%d) = %v, want %v", k, pb.PMF(k), w)
+		}
+	}
+	if got := pb.CDF(3); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("CDF(3) = %v, want 1", got)
+	}
+	if got := pb.Tail(1); math.Abs(got-(want[2]+want[3])) > 1e-15 {
+		t.Fatalf("Tail(1) = %v, want %v", got, want[2]+want[3])
+	}
+}
+
+func TestPoissonBinomialCanonicalOrderInvariance(t *testing.T) {
+	a, err := PoissonBinomial([]PBGroup{{P: 0.1, Count: 30}, {P: 0.3, Count: 10}, {P: 0.1, Count: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PoissonBinomial([]PBGroup{{P: 0.3, Count: 10}, {P: 0.1, Count: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("equal multisets must share one memoized table")
+	}
+}
+
+func TestPoissonBinomialMemoSharing(t *testing.T) {
+	groups := []PBGroup{{P: 0.017, Count: 13}, {P: 0.093, Count: 7}}
+	a, err := PoissonBinomial(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := PoissonBinomialCacheStats()
+	b, err := PoissonBinomial(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := PoissonBinomialCacheStats()
+	if a != b {
+		t.Fatal("repeat build must return the shared table")
+	}
+	if h1 != h0+1 {
+		t.Fatalf("repeat build must hit the memo (hits %d -> %d)", h0, h1)
+	}
+}
+
+func TestPoissonBinomialApprox(t *testing.T) {
+	groups := []PBGroup{{P: 0.04, Count: 40000}, {P: 0.11, Count: 40000}}
+	pb, err := PoissonBinomial(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pb.Approx {
+		t.Fatalf("N = %d must take the refined-normal path", pb.N)
+	}
+	// Window mass is renormalized to exactly one.
+	var mass, mean float64
+	for i, v := range pb.PMFWindow() {
+		mass += v
+		mean += float64(pb.Lo+i) * v
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Fatalf("approximate pmf mass = %v", mass)
+	}
+	if rel := math.Abs(mean-pb.Mean()) / pb.Mean(); rel > 1e-3 {
+		t.Fatalf("approximate mean %v vs exact %v (rel %g)", mean, pb.Mean(), rel)
+	}
+	// The refined-normal cdf stays a cdf.
+	prev := 0.0
+	for k := pb.Lo; k <= pb.Hi; k++ {
+		c := pb.CDF(k)
+		if c < prev-1e-15 || c > 1 {
+			t.Fatalf("cdf not monotone at %d: %v after %v", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestPoissonBinomialValidation(t *testing.T) {
+	for _, groups := range [][]PBGroup{
+		nil,
+		{},
+		{{P: 0.5, Count: 0}},
+		{{P: 0.5, Count: -3}},
+		{{P: -0.1, Count: 5}},
+		{{P: 1.5, Count: 5}},
+		{{P: math.NaN(), Count: 5}},
+	} {
+		if _, err := PoissonBinomial(groups); err == nil {
+			t.Fatalf("groups %v must be rejected", groups)
+		}
+	}
+}

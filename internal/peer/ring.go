@@ -30,6 +30,23 @@ type ring struct {
 	vnodes []vnode // sorted by hash
 }
 
+// mix64 is the splitmix64 finalizer. FNV-1a over member URLs that share a
+// long common prefix (every vnode label is "<url>#<i>") leaves the high
+// bits — the ones the sort orders on — strongly correlated, clumping a
+// member's virtual nodes into long contiguous arcs: ownership imbalance
+// far beyond the few-percent target, and arcs so long a vnode often has no
+// *other*-member successor for the hedge to race. The finalizer
+// decorrelates the bits; it is deterministic, so every node still builds
+// the identical ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 func buildRing(members []string, virtualNodes int) (ring, error) {
 	if virtualNodes <= 0 {
 		virtualNodes = DefaultVirtualNodes
@@ -39,7 +56,7 @@ func buildRing(members []string, virtualNodes int) (ring, error) {
 		for i := 0; i < virtualNodes; i++ {
 			h := fnv.New64a()
 			fmt.Fprintf(h, "%s#%d", m, i)
-			r.vnodes = append(r.vnodes, vnode{hash: h.Sum64(), owner: m})
+			r.vnodes = append(r.vnodes, vnode{hash: mix64(h.Sum64()), owner: m})
 		}
 	}
 	sort.Slice(r.vnodes, func(i, j int) bool {

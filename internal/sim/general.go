@@ -20,6 +20,18 @@ const (
 type StationConfig struct {
 	OwnerThink  rng.Dist // wall-clock think time between owner bursts
 	OwnerDemand rng.Dist // owner burst service demand
+	// Speed scales task execution: a sampled task demand d takes d/Speed
+	// units of CPU on this station. Owner bursts are wall-clock and are
+	// not scaled. Zero means the reference rate 1.
+	Speed float64
+}
+
+// speed returns the effective task-execution rate, defaulting 0 to 1.
+func (c StationConfig) speed() float64 {
+	if c.Speed == 0 {
+		return 1
+	}
+	return c.Speed
 }
 
 // Utilization returns the station's long-run owner utilization
@@ -74,6 +86,9 @@ func (c GeneralConfig) Validate() error {
 	for i, s := range c.Stations {
 		if s.OwnerThink == nil || s.OwnerDemand == nil {
 			return fmt.Errorf("sim: station %d missing owner distributions", i)
+		}
+		if s.Speed < 0 {
+			return fmt.Errorf("sim: station %d speed must be >= 0, got %v", i, s.Speed)
 		}
 	}
 	return nil
@@ -179,7 +194,9 @@ func (g *General) Start() *GeneralRun {
 			var sumTask, maxTask float64
 			for t := 0; t < w; t++ {
 				t := t
-				demand := g.cfg.TaskDemand.Sample(taskStream)
+				// Per-station speed scales the sampled demand into
+				// effective CPU time; owner bursts stay wall-clock.
+				demand := g.cfg.TaskDemand.Sample(taskStream) / g.cfg.Stations[t].speed()
 				r.eng.Spawn(fmt.Sprintf("task%d", t), func(tp *des.Proc) {
 					start := tp.Now()
 					r.servers[t].Use(tp, demand, PrioTask)

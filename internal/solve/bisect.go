@@ -35,12 +35,44 @@ type reportFn func(ctx context.Context, s Scenario) (Report, error)
 // probes. 0 means no guess (the analytic solver could not place the
 // boundary within maxRatio), preserving the cold full search.
 func analyticThresholdGuess(q ThresholdQuery, maxRatio int) int {
+	if len(q.Stations) > 0 {
+		stations, err := tiledFleetStations(q.Stations, q.O, q.W)
+		if err != nil {
+			return 0
+		}
+		fq := core.FleetThresholdQuery{Stations: stations, O: q.O, TargetWeightedEff: q.TargetEff}
+		g, err := fq.MinTaskRatio(maxRatio)
+		if err != nil || g < 1 {
+			return 0
+		}
+		return g
+	}
 	cq := core.ThresholdQuery{W: q.W, O: q.O, Util: q.Util, TargetWeightedEff: q.TargetEff}
 	g, err := cq.MinTaskRatio(maxRatio)
 	if err != nil || g < 1 {
 		return 0
 	}
 	return g
+}
+
+// tiledFleetStations resolves and tiles a query's station template to
+// exactly w stations in core form.
+func tiledFleetStations(specs []StationSpec, o float64, w int) ([]core.FleetStation, error) {
+	template, err := fleetTemplate(specs, o)
+	if err != nil {
+		return nil, err
+	}
+	return core.TileFleet(template, w)
+}
+
+// tiledStationSpecs is tiledFleetStations lifted back to scenario specs, for
+// building heterogeneous probe scenarios.
+func tiledStationSpecs(specs []StationSpec, o float64, w int) ([]StationSpec, error) {
+	tiled, err := tiledFleetStations(specs, o, w)
+	if err != nil {
+		return nil, err
+	}
+	return stationSpecs(tiled), nil
 }
 
 // bisectThreshold finds the smallest integer task ratio in [1, maxRatio]
@@ -50,8 +82,10 @@ func analyticThresholdGuess(q ThresholdQuery, maxRatio int) int {
 // search when the empirical boundary disagrees; without one it runs the cold
 // exponential-then-binary search.
 func bisectThreshold(ctx context.Context, backend string, q ThresholdQuery, maxRatio, warmStart int, probe reportFn) (Answer, error) {
-	if q.Util == 0 {
-		// Dedicated system: weighted efficiency is 1 at any ratio.
+	if q.Util == 0 && len(q.Stations) == 0 {
+		// Dedicated system: weighted efficiency is 1 at any ratio. (A station
+		// template always searches — even an all-p=0 fleet with speeds below
+		// the reference rate caps weighted efficiency below 1.)
 		return ThresholdAnswer{
 			Backend:      backend,
 			MinRatio:     1,
@@ -59,16 +93,24 @@ func bisectThreshold(ctx context.Context, backend string, q ThresholdQuery, maxR
 			AchievedWeff: 1,
 		}, nil
 	}
+	var tiled []StationSpec
+	if len(q.Stations) > 0 {
+		var err error
+		if tiled, err = tiledStationSpecs(q.Stations, q.O, q.W); err != nil {
+			return nil, err
+		}
+	}
 	root := rng.NewStream(q.Seed)
 	probes, samples := 0, int64(0)
 	eval := func(ratio int) (Report, error) {
 		sc := Scenario{
-			Name: fmt.Sprintf("threshold/r%d", ratio),
-			J:    float64(ratio) * q.O * float64(q.W),
-			W:    q.W,
-			O:    q.O,
-			Util: q.Util,
-			Seed: root.Split(uint64(ratio)).Uint64(),
+			Name:     fmt.Sprintf("threshold/r%d", ratio),
+			J:        float64(ratio) * q.O * float64(q.W),
+			W:        q.W,
+			O:        q.O,
+			Util:     q.Util,
+			Stations: tiled,
+			Seed:     root.Split(uint64(ratio)).Uint64(),
 		}
 		r, err := probe(ctx, sc)
 		if err != nil {
@@ -179,6 +221,17 @@ func bisectThreshold(ctx context.Context, backend string, q ThresholdQuery, maxR
 // identically on either path. 0 means no guess (the analytic solver refused
 // the point), preserving the cold full search.
 func analyticPartitionGuess(q PartitionQuery) int {
+	if len(q.Stations) > 0 {
+		template, err := fleetTemplate(q.Stations, q.O)
+		if err != nil {
+			return 0
+		}
+		w, err := core.MaxFleetWorkstations(q.J, q.O, template, q.TargetEff, q.MaxW)
+		if err != nil || w < 1 {
+			return 0
+		}
+		return w
+	}
 	plan, err := core.PlanPartition(q.J, q.O, q.Util, q.TargetEff, q.MaxW)
 	if err != nil || plan.W < 1 {
 		return 0
@@ -201,6 +254,31 @@ func bisectPartition(ctx context.Context, backend string, q PartitionQuery, warm
 			return nil, fmt.Errorf("solve: job demand %v is below one time unit", q.J)
 		}
 	}
+	if len(q.Stations) > 0 {
+		// Heterogeneous template: the model needs every interruptible
+		// station's effective demand J/(w·speed) >= 1, the same clamp as
+		// core.MaxFleetWorkstations.
+		maxSpeed := 0.0
+		for _, ss := range q.Stations {
+			p, err := ss.resolveP(q.O)
+			if err != nil {
+				return nil, err
+			}
+			speed := ss.Speed
+			if speed == 0 {
+				speed = 1
+			}
+			if p > 0 && speed > maxSpeed {
+				maxSpeed = speed
+			}
+		}
+		if maxSpeed > 0 && float64(maxW) > q.J/maxSpeed {
+			maxW = int(q.J / maxSpeed)
+			if maxW < 1 {
+				return nil, fmt.Errorf("solve: job demand %v is below one effective time unit at the template's fastest station", q.J)
+			}
+		}
+	}
 	root := rng.NewStream(q.Seed)
 	probes, samples := 0, int64(0)
 	eval := func(w int) (Report, error) {
@@ -212,6 +290,13 @@ func bisectPartition(ctx context.Context, backend string, q PartitionQuery, warm
 			Util:      q.Util,
 			TargetEff: q.TargetEff,
 			Seed:      root.Split(uint64(w)).Uint64(),
+		}
+		if len(q.Stations) > 0 {
+			tiled, err := tiledStationSpecs(q.Stations, q.O, w)
+			if err != nil {
+				return Report{}, err
+			}
+			sc.Stations = tiled
 		}
 		r, err := probe(ctx, sc)
 		if err != nil {

@@ -38,6 +38,7 @@ const (
 	FrontierAxisUtil     = "util"
 	FrontierAxisRatio    = "task_ratio"
 	FrontierAxisOwnerCV2 = "owner_cv2"
+	FrontierAxisSpread   = "spread"
 )
 
 // Defaults applied when FrontierSpec leaves the tuning fields zero.
@@ -73,9 +74,10 @@ func (a FrontierAxis) value(i, res int) float64 {
 func (a FrontierAxis) validate(label string) error {
 	switch {
 	case a.Axis != FrontierAxisW && a.Axis != FrontierAxisUtil &&
-		a.Axis != FrontierAxisRatio && a.Axis != FrontierAxisOwnerCV2:
-		return fmt.Errorf("solve: frontier %s axis %q unknown (want %q, %q, %q or %q)",
-			label, a.Axis, FrontierAxisW, FrontierAxisUtil, FrontierAxisRatio, FrontierAxisOwnerCV2)
+		a.Axis != FrontierAxisRatio && a.Axis != FrontierAxisOwnerCV2 &&
+		a.Axis != FrontierAxisSpread:
+		return fmt.Errorf("solve: frontier %s axis %q unknown (want %q, %q, %q, %q or %q)",
+			label, a.Axis, FrontierAxisW, FrontierAxisUtil, FrontierAxisRatio, FrontierAxisOwnerCV2, FrontierAxisSpread)
 	case math.IsNaN(a.Min) || math.IsInf(a.Min, 0) || math.IsNaN(a.Max) || math.IsInf(a.Max, 0):
 		return fmt.Errorf("solve: frontier %s axis %q needs finite bounds, got [%v, %v]", label, a.Axis, a.Min, a.Max)
 	case !(a.Min < a.Max):
@@ -88,6 +90,8 @@ func (a FrontierAxis) validate(label string) error {
 		return fmt.Errorf("solve: frontier %s axis task_ratio needs min > 0, got %v", label, a.Min)
 	case a.Axis == FrontierAxisOwnerCV2 && a.Min < 0:
 		return fmt.Errorf("solve: frontier %s axis owner_cv2 needs min >= 0, got %v", label, a.Min)
+	case a.Axis == FrontierAxisSpread && a.Min < 0:
+		return fmt.Errorf("solve: frontier %s axis spread needs min >= 0, got %v", label, a.Min)
 	}
 	return nil
 }
@@ -104,6 +108,8 @@ func (a FrontierAxis) apply(ap *axisPoint, v float64) {
 		ap.ratio = v
 	case FrontierAxisOwnerCV2:
 		ap.cv2 = v
+	case FrontierAxisSpread:
+		ap.spread = v
 	}
 }
 
@@ -263,7 +269,7 @@ func (sp FrontierSpec) Validate() error {
 	// Structural probe: an axis that does not apply to the base kind (or a
 	// task_ratio axis on an explicit-station scenario) must fail the whole
 	// spec loudly, exactly as the dense sweep's grid expansion would.
-	ax := axisPoint{w: -1, util: -1, ratio: -1, cv2: -1}
+	ax := axisPoint{w: -1, util: -1, ratio: -1, cv2: -1, spread: -1}
 	sp.X.apply(&ax, sp.X.Min)
 	sp.Y.apply(&ax, sp.Y.Min)
 	if _, err := sp.Base.withAxes(ax); err != nil && !errors.As(err, new(*PointDomainError)) {
@@ -386,7 +392,7 @@ type frontierRun struct {
 // structural and aborts the run.
 func (fr *frontierRun) nodeQuery(ix, iy int) (Query, error) {
 	idx := ix*(fr.res+1) + iy
-	ax := axisPoint{index: idx, w: -1, util: -1, ratio: -1, cv2: -1}
+	ax := axisPoint{index: idx, w: -1, util: -1, ratio: -1, cv2: -1, spread: -1}
 	fr.spec.X.apply(&ax, fr.spec.X.value(ix, fr.res))
 	fr.spec.Y.apply(&ax, fr.spec.Y.value(iy, fr.res))
 	q, err := fr.spec.Base.withAxes(ax)

@@ -55,6 +55,18 @@ func FuzzQueryUnmarshal(f *testing.F) {
 		`{"kind": "timeline", "scenario": {"j": 1, "w": 1, "o": 1, "util": 0.1}}`,
 		`{"kind": "timeline", "scenario": {"j": 1, "w": 1, "o": 1, "schedule": [{"duration": -5, "util": 0}], "trace": [{"duration": 0, "util": 2}]}, "start": -1e309, "horizon": 1e309}`,
 		`{"kind": "timeline", "scenario": {"j": 1, "w": 1, "o": 1, "schedule": []}}`,
+		// Heterogeneous fleets: model-form scenarios and station templates,
+		// valid and hostile (p out of range, template with aggregate util,
+		// distribution form where the model form is required).
+		`{"kind": "report", "scenario": {"j": 400, "o": 10, "stations": [{"p": 0.03, "count": 2}, {"p": 0.08, "count": 2}]}}`,
+		`{"kind": "threshold", "w": 4, "o": 10, "target_eff": 0.7, "stations": [{"p": 0.03, "count": 2}, {"p": 0.08, "speed": 2, "count": 2}]}`,
+		`{"kind": "threshold", "w": 4, "o": 10, "util": 0.05, "target_eff": 0.7, "stations": [{"p": 0.03}]}`,
+		`{"kind": "threshold", "w": 4, "o": 10, "target_eff": 0.7, "stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}]}`,
+		`{"kind": "partition", "j": 400, "o": 10, "target_eff": 0.5, "max_w": 8, "stations": [{"p": 0.03, "count": 1}, {"p": 0.08, "speed": 2}]}`,
+		`{"kind": "partition", "j": 400, "o": 10, "target_eff": 0.5, "max_w": 8, "stations": [{"p": 1.5, "count": 2}]}`,
+		`{"kind": "scaled", "t": 100, "o": 10, "ws": [1, 4], "stations": [{"util": 0.1, "count": 3}, {"p": 0.9999}]}`,
+		`{"kind": "scaled", "t": 100, "o": 10, "ws": [1], "stations": [{"p": 0.1, "count": -3}]}`,
+		`{"kind": "distribution", "scenario": {"j": 400, "o": 10, "stations": [{"util": 0.05, "count": 2}, {"util": 0.1, "speed": 1e309, "count": 2}]}, "quantiles": [0.5]}`,
 	} {
 		f.Add([]byte(s))
 	}
@@ -108,6 +120,12 @@ func FuzzQuerySweepUnmarshal(f *testing.F) {
 		`{"base": {"kind": "report", "scenario": {"stations": [{"owner_think": "exp:90", "owner_demand": "det:10"}], "task_demand": "det:100"}}, "task_ratio": [5, 10], "backends": ["des"]}`,
 		`{"base": {"kind": "report", "scenario": {"j": 1, "w": 1, "o": 1, "util": 0.1}}, "w": [0], "util": [-1], "task_ratio": [1e309]}`,
 		`{"base": {"kind": "scaled", "t": 100, "o": 10, "util": 0.1, "ws": [1]}, "backends": ["bogus"]}`,
+		// Spread axis: a hostile value (3) pushes a station below p = 0 at one
+		// grid point — a per-point domain error that must stay marshalable.
+		`{"base": {"kind": "report", "scenario": {"j": 2000, "w": 20, "o": 10, "target_eff": 0.8, "stations": [{"p": 0.005, "count": 10}, {"p": 0.018, "count": 10}]}}, "spread": [0, 1, 3]}`,
+		// A spread axis over a homogeneous base is a whole-grid rejection.
+		`{"base": {"kind": "report", "scenario": {"j": 1, "w": 1, "o": 1, "util": 0.1}}, "spread": [0.5]}`,
+		`{"base": {"kind": "threshold", "w": 4, "o": 10, "target_eff": 0.7, "stations": [{"p": 0.03, "count": 2}, {"p": 0.08, "count": 2}]}, "spread": [0, 1.5]}`,
 	} {
 		f.Add([]byte(s))
 	}
@@ -120,7 +138,7 @@ func FuzzQuerySweepUnmarshal(f *testing.F) {
 		// walking a hostile grid (the decode path above is the fuzz surface,
 		// expansion just must not panic on accepted shapes).
 		n := max(len(sp.W), 1) * max(len(sp.Util), 1) * max(len(sp.TaskRatio), 1) *
-			max(len(sp.OwnerCV2), 1) * max(len(sp.Backends), 1)
+			max(len(sp.OwnerCV2), 1) * max(len(sp.Spread), 1) * max(len(sp.Backends), 1)
 		if n > 4096 {
 			return
 		}
@@ -151,6 +169,8 @@ func FuzzFrontierUnmarshal(f *testing.F) {
 		`{"base": {"kind": "timeline", "scenario": {"j": 400, "w": 4, "o": 10, "target_eff": 0.5, "schedule": [{"duration": 480, "util": 0.2}, {"duration": 960, "util": 0.05}]}, "epochs": 2}, "x": {"axis": "util", "min": 0.05, "max": 0.6}, "y": {"axis": "w", "min": 2, "max": 10}, "coarse": 2, "depth": 1}`,
 		`{"base": {"kind": "threshold", "w": 20, "o": 10, "target_eff": 0.8}, "x": {"axis": "util", "min": 0, "max": 0.5}, "y": {"axis": "util", "min": 0, "max": 0.5}}`,
 		`{"x": {"axis": "w", "min": 1e309, "max": -1e309}, "y": {"axis": "util", "min": 0.5, "max": 0.1}, "coarse": -1, "depth": 99}`,
+		`{"base": {"kind": "report", "scenario": {"j": 2000, "w": 20, "o": 10, "target_eff": 0.8, "stations": [{"p": 0.005, "count": 10}, {"p": 0.018, "count": 10}]}}, "x": {"axis": "spread", "min": 0, "max": 1.6}, "y": {"axis": "task_ratio", "min": 1, "max": 40}, "coarse": 2, "depth": 2}`,
+		`{"base": {"kind": "report", "scenario": {"j": 2000, "w": 20, "o": 10, "target_eff": 0.8, "stations": [{"p": 0.005, "count": 10}]}}, "x": {"axis": "spread", "min": -1, "max": 1}, "y": {"axis": "w", "min": 2, "max": 10}}`,
 	} {
 		f.Add([]byte(s))
 	}
@@ -186,6 +206,23 @@ func FuzzScenarioUnmarshal(f *testing.F) {
 		`{"j": 400, "w": 4, "o": 10, "trace": [{"duration": 60, "util": 0.5}, {"duration": 600, "util": 0.01}]}`,
 		`{"j": 400, "w": 4, "o": 10, "schedule": [{"duration": 0, "util": 0.1}]}`,
 		`{"j": 400, "w": 4, "o": 10, "util": 0.1, "schedule": [{"duration": 100, "util": 0.1}], "trace": [{"duration": 100, "util": 0.1}]}`,
+		// Heterogeneous model-form fleets, valid and hostile: out-of-range
+		// and conflicting availabilities, negative counts and speeds, a W
+		// that disagrees with the station total, and a mix of the model and
+		// distribution station forms.
+		`{"j": 400, "o": 10, "stations": [{"p": 0.03, "count": 2}, {"p": 0.08, "count": 2}]}`,
+		`{"j": 400, "o": 10, "stations": [{"util": 0.05, "count": 2}, {"util": 0.1, "speed": 2, "count": 2}]}`,
+		`{"j": 400, "o": 10, "stations": [{"p": 1, "count": 4}]}`,
+		`{"j": 400, "o": 10, "stations": [{"p": 1.5, "count": 4}]}`,
+		`{"j": 400, "o": 10, "stations": [{"p": -0.25, "count": 4}]}`,
+		`{"j": 400, "o": 10, "stations": [{"p": 0.1, "count": -3}]}`,
+		`{"j": 400, "o": 10, "stations": [{"p": 0.1, "util": 0.2, "count": 4}]}`,
+		`{"j": 400, "o": 10, "stations": [{"p": 0.1, "speed": -2, "count": 4}]}`,
+		`{"j": 400, "o": 10, "stations": [{"p": 0.1, "speed": 1e309, "count": 4}]}`,
+		`{"j": 400, "w": 7, "o": 10, "stations": [{"p": 0.1, "count": 4}]}`,
+		`{"j": 400, "w": 4, "o": 10, "util": 0.05, "stations": [{"p": 0.1, "count": 4}]}`,
+		`{"j": 400, "o": 10, "stations": [{"p": 0.1, "count": 2}, {"owner_think": "exp:90", "owner_demand": "det:10"}]}`,
+		`{"j": 400, "o": 10, "task_demand": "det:100", "stations": [{"p": 0.1, "count": 4}]}`,
 	} {
 		f.Add([]byte(s))
 	}

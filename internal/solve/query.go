@@ -38,14 +38,21 @@ func QueryKinds() []string {
 // names the pair.
 var ErrUnsupported = errors.New("query kind unsupported by backend")
 
-// UnsupportedError reports which backend refused which query kind.
+// UnsupportedError reports which backend refused which query kind. Detail,
+// when set, names the query *feature* the backend cannot handle (e.g. a
+// heterogeneous fleet) rather than the kind itself.
 type UnsupportedError struct {
 	Backend string
 	Kind    string
+	Detail  string
 }
 
 // Error implements error.
 func (e *UnsupportedError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("solve: %s backend does not answer %q queries with %s",
+			e.Backend, e.Kind, e.Detail)
+	}
 	return fmt.Sprintf("solve: %s backend does not answer %q queries (supports %v)",
 		e.Backend, e.Kind, capabilitiesOf(e.Backend))
 }
@@ -55,6 +62,12 @@ func (e *UnsupportedError) Is(target error) bool { return target == ErrUnsupport
 
 func unsupported(backend, kind string) error {
 	return &UnsupportedError{Backend: backend, Kind: kind}
+}
+
+// refuseHeterogeneous is the typed refusal for a backend that cannot handle
+// heterogeneous (model-form) fleets.
+func refuseHeterogeneous(backend, kind string) error {
+	return &UnsupportedError{Backend: backend, Kind: kind, Detail: "heterogeneous fleets"}
 }
 
 // capabilitiesOf returns the capability list for a backend name, or nil for
@@ -108,11 +121,18 @@ func (q ReportQuery) Validate() error { return q.Scenario.Validate() }
 // backend answers it with the exact solver; the simulation backends answer
 // it *empirically*, by a monotone bisection over the ratio that simulates
 // each probe point (weighted efficiency is nondecreasing in the ratio).
+// With a Stations template the query searches a *heterogeneous* fleet:
+// the template (model-form per-station p/util/speed) is tiled cyclically
+// to W stations, Util must stay zero, and only the analytic backend
+// answers (through the Poisson-binomial fleet kernel).
 type ThresholdQuery struct {
 	W         int     `json:"w"`
 	O         float64 `json:"o"`
 	Util      float64 `json:"util"`
 	TargetEff float64 `json:"target_eff"`
+	// Stations optionally makes the search heterogeneous: a model-form
+	// station template tiled to each probed fleet.
+	Stations []StationSpec `json:"stations,omitempty"`
 	// MaxRatio caps the search; 0 means the backend default (DefaultMaxRatio
 	// analytic, DefaultSimMaxRatio for the simulation backends — each sim
 	// probe costs a full run, so the sim cap is deliberately lower).
@@ -143,8 +163,10 @@ func (q ThresholdQuery) Validate() error {
 		return fmt.Errorf("solve: threshold query needs target_eff in (0,1], got %v", q.TargetEff)
 	case q.MaxRatio < 0:
 		return fmt.Errorf("solve: threshold query needs max_ratio >= 0, got %d", q.MaxRatio)
+	case len(q.Stations) > 0 && q.Util != 0:
+		return fmt.Errorf("solve: threshold query with a station template must not set aggregate util")
 	}
-	return nil
+	return validateStationTemplate(q.Stations, q.O)
 }
 
 // maxRatio resolves the search cap against the backend default.
@@ -162,12 +184,17 @@ func (q ThresholdQuery) maxRatio(def int) int {
 // efficiency. The analytic backend wraps the exact PlanPartition solver; the
 // DES backend answers empirically by a monotone bisection over W (weighted
 // efficiency is nonincreasing in W at fixed J).
+// With a Stations template the search is heterogeneous: the template is
+// tiled to each probed W (analytic backend only), and Util must stay zero.
 type PartitionQuery struct {
 	J         float64 `json:"j"`
 	O         float64 `json:"o"`
 	Util      float64 `json:"util"`
 	TargetEff float64 `json:"target_eff"`
 	MaxW      int     `json:"max_w"`
+	// Stations optionally makes the search heterogeneous (model-form
+	// template, tiled to each probed fleet size).
+	Stations []StationSpec `json:"stations,omitempty"`
 	// Seed drives the simulation backends' probes (split per probed W).
 	Seed uint64 `json:"seed,omitempty"`
 }
@@ -190,8 +217,12 @@ func (q PartitionQuery) Validate() error {
 		return fmt.Errorf("solve: partition query needs target_eff in (0,1], got %v", q.TargetEff)
 	case q.MaxW < 1:
 		return fmt.Errorf("solve: partition query needs max_w >= 1, got %d", q.MaxW)
+	case len(q.Stations) > 0 && q.Util != 0:
+		return fmt.Errorf("solve: partition query with a station template must not set aggregate util")
+	case len(q.Stations) > 0 && !(q.O > 0):
+		return fmt.Errorf("solve: partition query with a station template needs o > 0, got %v", q.O)
 	}
-	return nil
+	return validateStationTemplate(q.Stations, q.O)
 }
 
 // ---- distribution ----
@@ -248,11 +279,16 @@ func (q DistributionQuery) quantiles() []float64 {
 // holding the per-task demand T fixed (J = T·W), the job time at each system
 // size in Ws, with increases against the dedicated and W=1 baselines.
 // Analytic only — the curve is a pure model artifact.
+// With a Stations template the curve is heterogeneous: the template is
+// tiled to each system size (Util must stay zero).
 type ScaledQuery struct {
 	T    float64 `json:"t"`
 	O    float64 `json:"o"`
 	Util float64 `json:"util"`
 	Ws   []int   `json:"ws"`
+	// Stations optionally makes the curve heterogeneous (model-form
+	// template, tiled to each system size).
+	Stations []StationSpec `json:"stations,omitempty"`
 }
 
 // Kind implements Query.
@@ -271,13 +307,17 @@ func (q ScaledQuery) Validate() error {
 		return fmt.Errorf("solve: scaled query needs util in [0,1), got %v", q.Util)
 	case len(q.Ws) == 0:
 		return fmt.Errorf("solve: scaled query needs at least one system size")
+	case len(q.Stations) > 0 && q.Util != 0:
+		return fmt.Errorf("solve: scaled query with a station template must not set aggregate util")
+	case len(q.Stations) > 0 && !(q.O > 0):
+		return fmt.Errorf("solve: scaled query with a station template needs o > 0, got %v", q.O)
 	}
 	for _, w := range q.Ws {
 		if w < 1 {
 			return fmt.Errorf("solve: scaled query system sizes must be >= 1, got %d", w)
 		}
 	}
-	return nil
+	return validateStationTemplate(q.Stations, q.O)
 }
 
 // ---- timeline ----

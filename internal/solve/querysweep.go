@@ -24,11 +24,12 @@ import (
 // rejected loudly by withAxes).
 type axisPoint struct {
 	// index is the point's position in grid order, used to name scenarios.
-	index int
-	w     int
-	util  float64
-	ratio float64
-	cv2   float64
+	index  int
+	w      int
+	util   float64
+	ratio  float64
+	cv2    float64
+	spread float64
 }
 
 // PointDomainError marks a per-point failure of the model's domain — an axis
@@ -64,8 +65,52 @@ func applyScenarioAxes(sc Scenario, ax axisPoint) (Scenario, error) {
 	if ax.cv2 >= 0 {
 		sc.OwnerCV2 = ax.cv2
 	}
+	if ax.spread >= 0 {
+		if !sc.Heterogeneous() {
+			return sc, fmt.Errorf("solve: the spread axis applies only to heterogeneous (model-form) scenarios")
+		}
+		specs, err := spreadStations(sc.Stations, sc.O, ax.spread)
+		if err != nil {
+			// The rescale pushed a station outside [0,1): this one grid point
+			// is outside the model's domain, but its neighbours may not be.
+			// Keep the original (marshalable) station mix, name the point, and
+			// report a per-point domain error so the sweep carries on.
+			sc.Name = pointName(sc.Name, ax.index)
+			return sc, &PointDomainError{Err: err}
+		}
+		sc.Stations = specs
+	}
 	sc.Name = pointName(sc.Name, ax.index)
 	return sc, nil
+}
+
+// spreadStations rescales a model-form fleet's availability dispersion about
+// its count-weighted mean: p_i' = p̄ + spread·(p_i − p̄). Spread 0 collapses
+// the fleet onto its mean availability (the homogeneous cousin), 1 is the
+// identity, and larger values widen the mix. Speeds and counts are untouched;
+// per-station utilizations are resolved to explicit p values.
+func spreadStations(specs []StationSpec, o, spread float64) ([]StationSpec, error) {
+	var mean, total float64
+	ps := make([]float64, len(specs))
+	for i, ss := range specs {
+		p, err := ss.resolveP(o)
+		if err != nil {
+			return nil, fmt.Errorf("solve: station %d: %w", i, err)
+		}
+		ps[i] = p
+		mean += p * float64(ss.count())
+		total += float64(ss.count())
+	}
+	mean /= total
+	out := make([]StationSpec, len(specs))
+	for i, ss := range specs {
+		p := mean + spread*(ps[i]-mean)
+		if p < 0 || p >= 1 {
+			return nil, fmt.Errorf("solve: spread %g pushes station %d availability to p=%v (must stay in [0,1))", spread, i, p)
+		}
+		out[i] = StationSpec{P: p, Speed: ss.Speed, Count: ss.Count}
+	}
+	return out, nil
 }
 
 // cacheKey deduplicates analytic grid points across query kinds: the kind
@@ -83,10 +128,14 @@ type cacheKey struct {
 
 func (q ReportQuery) withAxes(ax axisPoint) (Query, error) {
 	sc, err := applyScenarioAxes(q.Scenario, ax)
+	q.Scenario = sc
 	if err != nil {
+		var domain *PointDomainError
+		if errors.As(err, &domain) {
+			return q, err // per-point failure: the grid records it and moves on
+		}
 		return nil, err
 	}
-	q.Scenario = sc
 	return q, nil
 }
 
@@ -96,16 +145,20 @@ func (q ReportQuery) withSeed(seed uint64) Query {
 }
 
 func (q ReportQuery) dedupKey() (cacheKey, bool) {
-	k, ok := q.Scenario.analyticCacheKey()
-	return cacheKey{kind: KindReport, scen: k}, ok
+	k, extra, ok := q.Scenario.analyticCacheKey()
+	return cacheKey{kind: KindReport, scen: k, extra: extra}, ok
 }
 
 func (q DistributionQuery) withAxes(ax axisPoint) (Query, error) {
 	sc, err := applyScenarioAxes(q.Scenario, ax)
+	q.Scenario = sc
 	if err != nil {
+		var domain *PointDomainError
+		if errors.As(err, &domain) {
+			return q, err
+		}
 		return nil, err
 	}
-	q.Scenario = sc
 	return q, nil
 }
 
@@ -115,11 +168,11 @@ func (q DistributionQuery) withSeed(seed uint64) Query {
 }
 
 func (q DistributionQuery) dedupKey() (cacheKey, bool) {
-	k, ok := q.Scenario.analyticCacheKey()
+	k, extra, ok := q.Scenario.analyticCacheKey()
 	return cacheKey{
 		kind:  KindDistribution,
 		scen:  k,
-		extra: fmt.Sprintf("%v|%v", q.Quantiles, q.Deadlines),
+		extra: fmt.Sprintf("%s%v|%v", extra, q.Quantiles, q.Deadlines),
 	}, ok
 }
 
@@ -136,6 +189,16 @@ func (q ThresholdQuery) withAxes(ax axisPoint) (Query, error) {
 	if ax.util >= 0 {
 		q.Util = ax.util
 	}
+	if ax.spread >= 0 {
+		if len(q.Stations) == 0 {
+			return nil, fmt.Errorf("solve: the spread axis needs a station template on the threshold query")
+		}
+		specs, err := spreadStations(q.Stations, q.O, ax.spread)
+		if err != nil {
+			return q, &PointDomainError{Err: err}
+		}
+		q.Stations = specs
+	}
 	return q, nil
 }
 
@@ -145,10 +208,15 @@ func (q ThresholdQuery) withSeed(seed uint64) Query {
 }
 
 func (q ThresholdQuery) dedupKey() (cacheKey, bool) {
-	// The analytic threshold solver ignores the seed, so it is excluded.
+	// The analytic threshold solver ignores the seed, so it is excluded. The
+	// station-template signature folds the heterogeneity identity in.
+	tpl, err := stationTemplateSignature(q.Stations, q.O)
+	if err != nil {
+		return cacheKey{}, false
+	}
 	return cacheKey{
 		kind:  KindThreshold,
-		extra: fmt.Sprintf("%d|%g|%g|%g|%d", q.W, q.O, q.Util, q.TargetEff, q.MaxRatio),
+		extra: fmt.Sprintf("%d|%g|%g|%g|%d|%s", q.W, q.O, q.Util, q.TargetEff, q.MaxRatio, tpl),
 	}, true
 }
 
@@ -165,6 +233,16 @@ func (q PartitionQuery) withAxes(ax axisPoint) (Query, error) {
 	if ax.util >= 0 {
 		q.Util = ax.util
 	}
+	if ax.spread >= 0 {
+		if len(q.Stations) == 0 {
+			return nil, fmt.Errorf("solve: the spread axis needs a station template on the partition query")
+		}
+		specs, err := spreadStations(q.Stations, q.O, ax.spread)
+		if err != nil {
+			return q, &PointDomainError{Err: err}
+		}
+		q.Stations = specs
+	}
 	return q, nil
 }
 
@@ -174,9 +252,13 @@ func (q PartitionQuery) withSeed(seed uint64) Query {
 }
 
 func (q PartitionQuery) dedupKey() (cacheKey, bool) {
+	tpl, err := stationTemplateSignature(q.Stations, q.O)
+	if err != nil {
+		return cacheKey{}, false
+	}
 	return cacheKey{
 		kind:  KindPartition,
-		extra: fmt.Sprintf("%g|%g|%g|%g|%d", q.J, q.O, q.Util, q.TargetEff, q.MaxW),
+		extra: fmt.Sprintf("%g|%g|%g|%g|%d|%s", q.J, q.O, q.Util, q.TargetEff, q.MaxW, tpl),
 	}, true
 }
 
@@ -193,6 +275,16 @@ func (q ScaledQuery) withAxes(ax axisPoint) (Query, error) {
 	if ax.ratio >= 0 {
 		q.T = ax.ratio * q.O
 	}
+	if ax.spread >= 0 {
+		if len(q.Stations) == 0 {
+			return nil, fmt.Errorf("solve: the spread axis needs a station template on the scaled query")
+		}
+		specs, err := spreadStations(q.Stations, q.O, ax.spread)
+		if err != nil {
+			return q, &PointDomainError{Err: err}
+		}
+		q.Stations = specs
+	}
 	return q, nil
 }
 
@@ -200,15 +292,22 @@ func (q ScaledQuery) withAxes(ax axisPoint) (Query, error) {
 func (q ScaledQuery) withSeed(uint64) Query { return q }
 
 func (q ScaledQuery) dedupKey() (cacheKey, bool) {
+	tpl, err := stationTemplateSignature(q.Stations, q.O)
+	if err != nil {
+		return cacheKey{}, false
+	}
 	return cacheKey{
 		kind:  KindScaled,
-		extra: fmt.Sprintf("%g|%g|%g|%v", q.T, q.O, q.Util, q.Ws),
+		extra: fmt.Sprintf("%g|%g|%g|%v|%s", q.T, q.O, q.Util, q.Ws, tpl),
 	}, true
 }
 
 func (q TimelineQuery) withAxes(ax axisPoint) (Query, error) {
 	if ax.cv2 >= 0 {
 		return nil, fmt.Errorf("solve: the owner_cv2 axis does not apply to timeline queries")
+	}
+	if ax.spread >= 0 {
+		return nil, fmt.Errorf("solve: the spread axis does not apply to timeline queries (phased scenarios are homogeneous)")
 	}
 	sc := q.Scenario
 	if ax.w >= 0 {
@@ -305,6 +404,10 @@ type QuerySweepSpec struct {
 	TaskRatio []float64
 	// OwnerCV2 varies the owner demand variance (scenario kinds only).
 	OwnerCV2 []float64
+	// Spread varies a heterogeneous fleet's availability dispersion about
+	// its count-weighted mean (p_i' = p̄ + spread·(p_i − p̄)); applies to
+	// heterogeneous scenarios and station-template queries only.
+	Spread []float64
 
 	// Backends lists the solvers to fan each point across; empty means
 	// analytic only.
@@ -327,6 +430,7 @@ type querySweepJSON struct {
 	Util      []float64       `json:"util,omitempty"`
 	TaskRatio []float64       `json:"task_ratio,omitempty"`
 	OwnerCV2  []float64       `json:"owner_cv2,omitempty"`
+	Spread    []float64       `json:"spread,omitempty"`
 	Backends  []string        `json:"backends,omitempty"`
 	Workers   int             `json:"workers,omitempty"`
 	Seed      uint64          `json:"seed,omitempty"`
@@ -346,8 +450,8 @@ func (sp QuerySweepSpec) MarshalJSON() ([]byte, error) {
 	}
 	return json.Marshal(querySweepJSON{
 		Base: base, W: sp.W, Util: sp.Util, TaskRatio: sp.TaskRatio, OwnerCV2: sp.OwnerCV2,
-		Backends: sp.Backends, Workers: sp.Workers, Seed: sp.Seed, Protocol: sp.Protocol,
-		Warmup: sp.Warmup,
+		Spread: sp.Spread, Backends: sp.Backends, Workers: sp.Workers, Seed: sp.Seed,
+		Protocol: sp.Protocol, Warmup: sp.Warmup,
 	})
 }
 
@@ -368,8 +472,8 @@ func (sp *QuerySweepSpec) UnmarshalJSON(data []byte) error {
 	}
 	*sp = QuerySweepSpec{
 		Base: base, W: raw.W, Util: raw.Util, TaskRatio: raw.TaskRatio, OwnerCV2: raw.OwnerCV2,
-		Backends: raw.Backends, Workers: raw.Workers, Seed: raw.Seed, Protocol: raw.Protocol,
-		Warmup: raw.Warmup,
+		Spread: raw.Spread, Backends: raw.Backends, Workers: raw.Workers, Seed: raw.Seed,
+		Protocol: raw.Protocol, Warmup: raw.Warmup,
 	}
 	return nil
 }
@@ -450,6 +554,10 @@ func (sp QuerySweepSpec) Points() ([]QueryPoint, error) {
 	if len(cv2s) == 0 {
 		cv2s = []float64{-1}
 	}
+	spreads := sp.Spread
+	if len(spreads) == 0 {
+		spreads = []float64{-1}
+	}
 	root := rng.NewStream(sp.Seed)
 	var pts []QueryPoint
 	for _, backend := range sp.backends() {
@@ -457,23 +565,25 @@ func (sp QuerySweepSpec) Points() ([]QueryPoint, error) {
 			for _, util := range utils {
 				for _, ratio := range ratios {
 					for _, cv2 := range cv2s {
-						i := len(pts)
-						q, err := sp.Base.withAxes(axisPoint{index: i, w: w, util: util, ratio: ratio, cv2: cv2})
-						if err != nil {
-							var domain *PointDomainError
-							if errors.As(err, &domain) && q != nil {
-								// A domain failure is this point's answer, not
-								// the grid's: record it and keep expanding.
-								pts = append(pts, QueryPoint{Index: i, Backend: backend, Query: q, Err: err})
-								continue
+						for _, spread := range spreads {
+							i := len(pts)
+							q, err := sp.Base.withAxes(axisPoint{index: i, w: w, util: util, ratio: ratio, cv2: cv2, spread: spread})
+							if err != nil {
+								var domain *PointDomainError
+								if errors.As(err, &domain) && q != nil {
+									// A domain failure is this point's answer, not
+									// the grid's: record it and keep expanding.
+									pts = append(pts, QueryPoint{Index: i, Backend: backend, Query: q, Err: err})
+									continue
+								}
+								return nil, err
 							}
-							return nil, err
+							q = q.withSeed(root.Split(uint64(i)).Uint64())
+							if err := q.Validate(); err != nil {
+								return nil, fmt.Errorf("solve: grid point %d (%s): %w", i, backend, err)
+							}
+							pts = append(pts, QueryPoint{Index: i, Backend: backend, Query: q})
 						}
-						q = q.withSeed(root.Split(uint64(i)).Uint64())
-						if err := q.Validate(); err != nil {
-							return nil, fmt.Errorf("solve: grid point %d (%s): %w", i, backend, err)
-						}
-						pts = append(pts, QueryPoint{Index: i, Backend: backend, Query: q})
 					}
 				}
 			}

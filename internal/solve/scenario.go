@@ -23,24 +23,72 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"feasim/internal/core"
 	"feasim/internal/rng"
 	"feasim/internal/sim"
 )
 
-// StationSpec declares one (or Count identical) workstation owner workloads
-// by distribution spec strings (the rng.Parse syntax, e.g. "exp:90" or
-// "hyper:0.1,55,5"). Explicit stations are understood only by the DES
-// backend; the discrete model has no notion of per-station distributions.
+// StationSpec declares one (or Count identical) workstation owner workloads,
+// in one of two forms:
+//
+//   - distribution form: OwnerThink/OwnerDemand rng.Parse spec strings
+//     (e.g. "exp:90" or "hyper:0.1,55,5"), understood only by the DES
+//     backend — the discrete model has no notion of per-station
+//     distributions;
+//   - model form: per-station availability (P or Util) and Speed inside the
+//     paper's model, making the scenario *heterogeneous* — answered
+//     analytically through the Poisson-binomial fleet kernel and
+//     cross-checked by DES.
+//
+// A fleet must use one form throughout; mixing is rejected.
 type StationSpec struct {
-	// OwnerThink is the wall-clock think time between owner bursts.
-	OwnerThink string `json:"owner_think"`
-	// OwnerDemand is the owner burst service demand.
-	OwnerDemand string `json:"owner_demand"`
+	// OwnerThink is the wall-clock think time between owner bursts
+	// (distribution form).
+	OwnerThink string `json:"owner_think,omitempty"`
+	// OwnerDemand is the owner burst service demand (distribution form).
+	OwnerDemand string `json:"owner_demand,omitempty"`
+
+	// P is this station's owner request probability per unit of task
+	// progress (model form). Exactly one of P and Util may be set.
+	P float64 `json:"p,omitempty"`
+	// Util is this station's owner utilization in [0,1); P is derived via
+	// equation (8) from the scenario's aggregate O (model form).
+	Util float64 `json:"util,omitempty"`
+	// Speed scales task execution on this station: effective per-task
+	// demand is (J/W)/Speed. Zero means the reference rate 1 (model form).
+	Speed float64 `json:"speed,omitempty"`
+
 	// Count repeats this spec; 0 means 1.
 	Count int `json:"count,omitempty"`
+}
+
+// modelForm reports whether the spec uses per-station model parameters.
+func (ss StationSpec) modelForm() bool { return ss.P != 0 || ss.Util != 0 || ss.Speed != 0 }
+
+// distForm reports whether the spec uses distribution strings.
+func (ss StationSpec) distForm() bool { return ss.OwnerThink != "" || ss.OwnerDemand != "" }
+
+// resolveP returns the station's request probability, deriving it from a
+// per-station utilization via equation (8) when needed.
+func (ss StationSpec) resolveP(o float64) (float64, error) {
+	if ss.Util != 0 {
+		if ss.Util < 0 || ss.Util >= 1 {
+			return 0, fmt.Errorf("solve: station util must be in [0,1), got %v", ss.Util)
+		}
+		if !(o > 0) {
+			return 0, fmt.Errorf("solve: station util needs aggregate owner demand o > 0")
+		}
+		return ss.Util / (o * (1 - ss.Util)), nil
+	}
+	if ss.P < 0 || ss.P >= 1 {
+		return 0, fmt.Errorf("solve: station p must be in [0,1), got %v", ss.P)
+	}
+	return ss.P, nil
 }
 
 func (ss StationSpec) count() int {
@@ -138,7 +186,21 @@ type PhaseSpec struct {
 
 // Explicit reports whether the scenario uses explicit per-station
 // distributions instead of the aggregate J/W/O/util description.
-func (s Scenario) Explicit() bool { return len(s.Stations) > 0 }
+// Heterogeneous (model-form) fleets are not explicit: they stay inside the
+// discrete model, generalized per station.
+func (s Scenario) Explicit() bool { return len(s.Stations) > 0 && !s.Heterogeneous() }
+
+// Heterogeneous reports whether the scenario is a model-form fleet: any
+// station carrying per-station p/util/speed. Mixed-form fleets claim
+// heterogeneity here and are rejected by Validate.
+func (s Scenario) Heterogeneous() bool {
+	for _, ss := range s.Stations {
+		if ss.modelForm() {
+			return true
+		}
+	}
+	return false
+}
 
 // Phased reports whether the scenario carries a non-stationary owner
 // timeline (schedule or trace).
@@ -159,8 +221,8 @@ func (s Scenario) validatePhased() error {
 	switch {
 	case len(s.Schedule) > 0 && len(s.Trace) > 0:
 		return fmt.Errorf("solve: scenario %q sets both schedule and trace; pick one timeline form", s.Name)
-	case s.Explicit():
-		return fmt.Errorf("solve: phased scenario %q also declares explicit stations; the schedule defines the owner workload", s.Name)
+	case len(s.Stations) > 0:
+		return fmt.Errorf("solve: phased scenario %q also declares per-station workloads; the schedule defines the owner workload", s.Name)
 	case s.Util != 0 || s.P != 0:
 		return fmt.Errorf("solve: phased scenario %q also sets util/p; the phases define the owner activity", s.Name)
 	case s.TaskDemand != "":
@@ -188,10 +250,173 @@ func (s Scenario) validatePhased() error {
 	return nil
 }
 
+// validateHeterogeneous checks the model-form fleet: per-station p/util/
+// speed generalize the aggregate owner description, so the fleet still
+// needs the aggregate J and O — those are shared — while the aggregate
+// availability fields (util/p) must stay zero, and every station must use
+// the model form consistently.
+func (s Scenario) validateHeterogeneous() error {
+	switch {
+	case s.Util != 0 || s.P != 0:
+		return fmt.Errorf("solve: heterogeneous scenario %q also sets aggregate util/p; the stations define availability", s.Name)
+	case s.TaskDemand != "":
+		return fmt.Errorf("solve: heterogeneous scenario %q sets task_demand; the model form uses the deterministic J/W task demand", s.Name)
+	case !(s.O > 0):
+		return fmt.Errorf("solve: heterogeneous scenario %q needs aggregate owner demand o > 0", s.Name)
+	case !(s.J > 0):
+		return fmt.Errorf("solve: heterogeneous scenario %q needs job demand j > 0", s.Name)
+	}
+	total := 0
+	for i, ss := range s.Stations {
+		switch {
+		case ss.distForm():
+			return fmt.Errorf("solve: station %d mixes distribution specs with per-station p/util/speed; a fleet must use one form", i)
+		case ss.P != 0 && ss.Util != 0:
+			return fmt.Errorf("solve: station %d sets both p and util; pick one", i)
+		case ss.Count < 0:
+			return fmt.Errorf("solve: station %d count must be >= 0, got %d", i, ss.Count)
+		}
+		if _, err := ss.resolveP(s.O); err != nil {
+			return fmt.Errorf("solve: station %d: %w", i, err)
+		}
+		if ss.Speed < 0 || math.IsNaN(ss.Speed) || math.IsInf(ss.Speed, 0) {
+			return fmt.Errorf("solve: station %d speed must be >= 0 and finite, got %v", i, ss.Speed)
+		}
+		total += ss.count()
+	}
+	if s.W != 0 && s.W != total {
+		return fmt.Errorf("solve: w=%d disagrees with %d per-station workstations", s.W, total)
+	}
+	// The fleet kernel enforces the remaining model-range rules (effective
+	// per-station demand >= 1, etc.).
+	f, err := s.Fleet()
+	if err != nil {
+		return err
+	}
+	return f.Validate()
+}
+
+// Fleet lowers a heterogeneous scenario onto the core fleet kernel.
+func (s Scenario) Fleet() (core.Fleet, error) {
+	if !s.Heterogeneous() {
+		return core.Fleet{}, fmt.Errorf("solve: scenario %q is not a heterogeneous fleet", s.Name)
+	}
+	f := core.Fleet{J: s.J, O: s.O}
+	for i, ss := range s.Stations {
+		p, err := ss.resolveP(s.O)
+		if err != nil {
+			return core.Fleet{}, fmt.Errorf("solve: station %d: %w", i, err)
+		}
+		f.Stations = append(f.Stations, core.FleetStation{P: p, Speed: ss.Speed, Count: ss.count()})
+	}
+	return f, nil
+}
+
+// fleetSignature renders the canonical station multiset compactly — the
+// heterogeneity identity that rides in dedupKey.extra, so the answer
+// cache, sweep dedup and RouteHash all fold it in without new plumbing.
+// Stations that resolve to the same (p, speed) multiset share a signature
+// regardless of declaration order, split groups, or the p-vs-util spelling.
+func fleetSignature(f core.Fleet) string {
+	var b strings.Builder
+	b.WriteString("fleet:")
+	for _, g := range f.Canonical() {
+		b.WriteString(strconv.FormatUint(math.Float64bits(g.P), 16))
+		b.WriteByte('~')
+		b.WriteString(strconv.FormatUint(math.Float64bits(g.Speed), 16))
+		b.WriteByte('~')
+		b.WriteString(strconv.Itoa(g.Count))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// stationTemplateSignature is fleetSignature for a raw station template
+// (threshold/partition/scaled queries), where the fleet size varies with
+// the search: identity is the normalized template itself.
+func stationTemplateSignature(specs []StationSpec, o float64) (string, error) {
+	if len(specs) == 0 {
+		return "", nil
+	}
+	var b strings.Builder
+	b.WriteString("tpl:")
+	for i, ss := range specs {
+		p, err := ss.resolveP(o)
+		if err != nil {
+			return "", fmt.Errorf("solve: station %d: %w", i, err)
+		}
+		speed := ss.Speed
+		if speed == 0 {
+			speed = 1
+		}
+		b.WriteString(strconv.FormatUint(math.Float64bits(p), 16))
+		b.WriteByte('~')
+		b.WriteString(strconv.FormatUint(math.Float64bits(speed), 16))
+		b.WriteByte('~')
+		b.WriteString(strconv.Itoa(ss.count()))
+		b.WriteByte(';')
+	}
+	return b.String(), nil
+}
+
+// validateStationTemplate checks a threshold/partition/scaled station
+// template: every spec must use the model form exclusively, with resolvable
+// availability and a sane speed. An empty template is valid (homogeneous
+// search).
+func validateStationTemplate(specs []StationSpec, o float64) error {
+	for i, ss := range specs {
+		switch {
+		case ss.distForm():
+			return fmt.Errorf("solve: template station %d uses distribution specs; station templates need the model form (p/util/speed)", i)
+		case !ss.modelForm():
+			return fmt.Errorf("solve: template station %d is empty; station templates need per-station p, util or speed", i)
+		case ss.P != 0 && ss.Util != 0:
+			return fmt.Errorf("solve: template station %d sets both p and util; pick one", i)
+		case ss.Count < 0:
+			return fmt.Errorf("solve: template station %d count must be >= 0, got %d", i, ss.Count)
+		case ss.Speed < 0 || math.IsNaN(ss.Speed) || math.IsInf(ss.Speed, 0):
+			return fmt.Errorf("solve: template station %d speed must be >= 0 and finite, got %v", i, ss.Speed)
+		}
+		if _, err := ss.resolveP(o); err != nil {
+			return fmt.Errorf("solve: template station %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// fleetTemplate lowers a station template onto the core fleet kernel's
+// station groups.
+func fleetTemplate(specs []StationSpec, o float64) ([]core.FleetStation, error) {
+	if err := validateStationTemplate(specs, o); err != nil {
+		return nil, err
+	}
+	out := make([]core.FleetStation, 0, len(specs))
+	for _, ss := range specs {
+		p, _ := ss.resolveP(o)
+		out = append(out, core.FleetStation{P: p, Speed: ss.Speed, Count: ss.count()})
+	}
+	return out, nil
+}
+
+// stationSpecs lifts core fleet station groups back into scenario specs —
+// the inverse of fleetTemplate, used to restate a tiled fleet as a
+// heterogeneous Scenario.
+func stationSpecs(stations []core.FleetStation) []StationSpec {
+	out := make([]StationSpec, 0, len(stations))
+	for _, s := range stations {
+		out = append(out, StationSpec{P: s.P, Speed: s.Speed, Count: s.Count})
+	}
+	return out
+}
+
 // Validate checks the scenario for internal consistency.
 func (s Scenario) Validate() error {
 	if s.Phased() {
 		if err := s.validatePhased(); err != nil {
+			return err
+		}
+	} else if s.Heterogeneous() {
+		if err := s.validateHeterogeneous(); err != nil {
 			return err
 		}
 	} else if s.Explicit() {
@@ -251,6 +476,9 @@ func (s Scenario) Params() (core.Params, error) {
 	if s.Phased() {
 		return core.Params{}, fmt.Errorf("solve: scenario %q has a non-stationary owner timeline; only timeline queries answer phased scenarios", s.Name)
 	}
+	if s.Heterogeneous() {
+		return core.Params{}, fmt.Errorf("solve: scenario %q is a heterogeneous fleet; the homogeneous model does not reduce it — use Fleet()", s.Name)
+	}
 	if s.Explicit() {
 		return core.Params{}, fmt.Errorf("solve: scenario %q uses explicit stations; the discrete model needs the aggregate J/W/O/util form", s.Name)
 	}
@@ -264,7 +492,7 @@ func (s Scenario) Params() (core.Params, error) {
 // StationCount returns the number of workstations, for either description
 // form.
 func (s Scenario) StationCount() int {
-	if !s.Explicit() {
+	if len(s.Stations) == 0 {
 		return s.W
 	}
 	total := 0
@@ -281,7 +509,26 @@ func (s Scenario) GeneralConfig() (sim.GeneralConfig, error) {
 	}
 	var cfg sim.GeneralConfig
 	cfg.Seed = s.Seed
-	if s.Explicit() {
+	if s.Heterogeneous() {
+		// Model-form fleet: each station's owner is the paper's workload
+		// at its own request probability — geometric think, mean-O bursts
+		// (hyperexponential under an OwnerCV2 ablation) — and its speed
+		// scales task execution in the engine.
+		demand := rng.Dist(rng.Deterministic{V: s.O})
+		if s.OwnerCV2 > 1 {
+			demand = rng.BalancedHyperExp(s.O, s.OwnerCV2)
+		}
+		for i, ss := range s.Stations {
+			p, err := ss.resolveP(s.O)
+			if err != nil {
+				return sim.GeneralConfig{}, fmt.Errorf("solve: station %d: %w", i, err)
+			}
+			st := sim.StationConfig{OwnerThink: rng.Geometric{P: p}, OwnerDemand: demand, Speed: ss.Speed}
+			for k := 0; k < ss.count(); k++ {
+				cfg.Stations = append(cfg.Stations, st)
+			}
+		}
+	} else if s.Explicit() {
 		for _, ss := range s.Stations {
 			sts, err := ss.configs()
 			if err != nil {
@@ -337,6 +584,13 @@ func (s Scenario) TotalDemand() (float64, error) {
 // Utilization is the owner utilization the weighted metrics divide by:
 // the configured aggregate value, or the mean across explicit stations.
 func (s Scenario) Utilization() (float64, error) {
+	if s.Heterogeneous() {
+		f, err := s.Fleet()
+		if err != nil {
+			return 0, err
+		}
+		return f.Utilization(), nil
+	}
 	if !s.Explicit() {
 		p, err := s.Params()
 		if err != nil {
@@ -373,16 +627,28 @@ type analyticKey struct {
 }
 
 // analyticCacheKey builds the dedup key; ok is false when the scenario is
-// outside the discrete model (explicit stations, custom task demand).
-func (s Scenario) analyticCacheKey() (analyticKey, bool) {
+// outside the discrete model (explicit stations, custom task demand). For
+// heterogeneous fleets the extra string carries the canonical fleet
+// signature — the PR 8 schedule pattern — so the answer cache, sweep dedup
+// and RouteHash distinguish fleets with zero new plumbing while analytic
+// siblings (split groups, p-vs-util spellings) still share one solve.
+func (s Scenario) analyticCacheKey() (analyticKey, string, bool) {
+	if s.Heterogeneous() {
+		f, err := s.Fleet()
+		if err != nil {
+			return analyticKey{}, "", false
+		}
+		k := analyticKey{j: f.J, w: f.W(), o: f.O, deadline: s.Deadline, target: s.TargetEff}
+		return k, fleetSignature(f), true
+	}
 	p, err := s.Params()
 	if err != nil {
-		return analyticKey{}, false
+		return analyticKey{}, "", false
 	}
 	if s.TaskDemand != "" {
-		return analyticKey{}, false // not the discrete model's workload
+		return analyticKey{}, "", false // not the discrete model's workload
 	}
-	return analyticKey{j: p.J, w: p.W, o: p.O, p: p.P, deadline: s.Deadline, target: s.TargetEff}, true
+	return analyticKey{j: p.J, w: p.W, o: p.O, p: p.P, deadline: s.Deadline, target: s.TargetEff}, "", true
 }
 
 // ParseScenario decodes a scenario from JSON, rejecting unknown fields so

@@ -242,13 +242,21 @@ func (a Analytic) Answer(ctx context.Context, q Query) (Answer, error) {
 }
 
 // report is the ReportQuery body (PR 1's Solve).
-func (Analytic) report(ctx context.Context, s Scenario) (Report, error) {
+func (a Analytic) report(ctx context.Context, s Scenario) (Report, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
 	if err := s.Validate(); err != nil {
 		return Report{}, err
+	}
+	if s.Heterogeneous() {
+		r, err := a.fleetReport(s)
+		if err != nil {
+			return Report{}, err
+		}
+		r.Elapsed = time.Since(start)
+		return r, nil
 	}
 	p, err := s.Params()
 	if err != nil {
@@ -290,8 +298,76 @@ func (Analytic) report(ctx context.Context, s Scenario) (Report, error) {
 	return r, nil
 }
 
+// fleetReport answers a heterogeneous (model-form fleet) scenario through
+// the Poisson-binomial fleet kernel.
+func (Analytic) fleetReport(s Scenario) (Report, error) {
+	f, err := s.Fleet()
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := core.AnalyzeFleet(f)
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{
+		Scenario:           s,
+		Backend:            BackendAnalytic,
+		W:                  res.W,
+		U:                  res.U,
+		EJob:               res.EJob,
+		ETask:              res.ETask,
+		TaskRatio:          res.Metrics.TaskRatio,
+		Speedup:            res.Speedup,
+		Efficiency:         res.Efficiency,
+		WeightedEfficiency: res.WeightedEfficiency,
+	}
+	if s.TargetEff > 0 {
+		v, err := core.AssessFleet(f, s.TargetEff)
+		if err != nil {
+			return Report{}, err
+		}
+		r.Feasible = &v.Feasible
+		r.MinRatio = v.MinRatio
+		r.MinJobDemand = v.MinJobDemand
+	}
+	if s.Deadline > 0 {
+		prob, err := core.FleetDeadlineProb(f, s.Deadline)
+		if err != nil {
+			return Report{}, err
+		}
+		r.DeadlineProb = &prob
+	}
+	return r, nil
+}
+
 // threshold answers a ThresholdQuery with the exact solver.
 func (Analytic) threshold(q ThresholdQuery) (Answer, error) {
+	if len(q.Stations) > 0 {
+		template, err := fleetTemplate(q.Stations, q.O)
+		if err != nil {
+			return nil, err
+		}
+		stations, err := core.TileFleet(template, q.W)
+		if err != nil {
+			return nil, err
+		}
+		fq := core.FleetThresholdQuery{Stations: stations, O: q.O, TargetWeightedEff: q.TargetEff}
+		ratio, err := fq.MinTaskRatio(q.maxRatio(DefaultMaxRatio))
+		if err != nil {
+			return nil, err
+		}
+		ans := ThresholdAnswer{
+			Backend:      BackendAnalytic,
+			MinRatio:     ratio,
+			MinJobDemand: core.RequiredJobDemand(ratio, q.O, q.W),
+		}
+		res, err := core.AnalyzeFleet(core.Fleet{J: ans.MinJobDemand, O: q.O, Stations: stations})
+		if err != nil {
+			return nil, err
+		}
+		ans.AchievedWeff = res.WeightedEfficiency
+		return ans, nil
+	}
 	cq := core.ThresholdQuery{W: q.W, O: q.O, Util: q.Util, TargetWeightedEff: q.TargetEff}
 	ratio, err := cq.MinTaskRatio(q.maxRatio(DefaultMaxRatio))
 	if err != nil {
@@ -320,6 +396,28 @@ func (Analytic) threshold(q ThresholdQuery) (Answer, error) {
 // partition answers a PartitionQuery with the exact right-sizing solver and
 // reports the full model output at the chosen size.
 func (a Analytic) partition(ctx context.Context, q PartitionQuery) (Answer, error) {
+	if len(q.Stations) > 0 {
+		template, err := fleetTemplate(q.Stations, q.O)
+		if err != nil {
+			return nil, err
+		}
+		w, err := core.MaxFleetWorkstations(q.J, q.O, template, q.TargetEff, q.MaxW)
+		if err != nil {
+			return nil, err
+		}
+		tiled, err := core.TileFleet(template, w)
+		if err != nil {
+			return nil, err
+		}
+		r, err := a.report(ctx, Scenario{
+			Name: "partition", J: q.J, W: w, O: q.O, TargetEff: q.TargetEff,
+			Stations: stationSpecs(tiled),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return PartitionAnswer{Backend: BackendAnalytic, W: w, Report: r}, nil
+	}
 	plan, err := core.PlanPartition(q.J, q.O, q.Util, q.TargetEff, q.MaxW)
 	if err != nil {
 		return nil, err
@@ -336,11 +434,23 @@ func (a Analytic) partition(ctx context.Context, q PartitionQuery) (Answer, erro
 // distribution answers a DistributionQuery exactly from the model's
 // discrete job-time distribution.
 func (Analytic) distribution(q DistributionQuery) (Answer, error) {
-	p, err := q.Scenario.Params()
-	if err != nil {
-		return nil, err
+	var (
+		d   core.TimeDistribution
+		err error
+	)
+	if q.Scenario.Heterogeneous() {
+		var f core.Fleet
+		if f, err = q.Scenario.Fleet(); err != nil {
+			return nil, err
+		}
+		d, err = core.FleetJobTimeDistribution(f)
+	} else {
+		var p core.Params
+		if p, err = q.Scenario.Params(); err != nil {
+			return nil, err
+		}
+		d, err = core.JobTimeDistribution(p)
 	}
-	d, err := core.JobTimeDistribution(p)
 	if err != nil {
 		return nil, err
 	}
@@ -361,6 +471,27 @@ func (Analytic) distribution(q DistributionQuery) (Answer, error) {
 
 // scaled answers a ScaledQuery with the exact scaled-problem sweep.
 func (Analytic) scaled(q ScaledQuery) (Answer, error) {
+	if len(q.Stations) > 0 {
+		template, err := fleetTemplate(q.Stations, q.O)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := core.ScaledFleetSweep(q.T, q.O, template, q.Ws)
+		if err != nil {
+			return nil, err
+		}
+		ans := ScaledAnswer{Backend: BackendAnalytic, Points: make([]ScaledResultPoint, 0, len(pts))}
+		for _, pt := range pts {
+			ans.Points = append(ans.Points, ScaledResultPoint{
+				W:                   pt.W,
+				EJob:                pt.Result.EJob,
+				IncreaseVsDedicated: pt.IncreaseVsDedicated,
+				IncreaseVsSingle:    pt.IncreaseVsSingle,
+				WeightedEff:         pt.Result.WeightedEfficiency,
+			})
+		}
+		return ans, nil
+	}
 	pts, err := core.ScaledSweep(q.T, q.O, q.Util, q.Ws)
 	if err != nil {
 		return nil, err
@@ -420,6 +551,9 @@ func (x ExactSim) Answer(ctx context.Context, q Query) (Answer, error) {
 		}
 		return ReportAnswer{Report: r}, nil
 	case ThresholdQuery:
+		if len(t.Stations) > 0 {
+			return nil, refuseHeterogeneous(BackendExact, KindThreshold)
+		}
 		maxRatio := t.maxRatio(DefaultSimMaxRatio)
 		return bisectThreshold(ctx, BackendExact, t, maxRatio, analyticThresholdGuess(t, maxRatio), x.report)
 	case DistributionQuery:
@@ -429,11 +563,16 @@ func (x ExactSim) Answer(ctx context.Context, q Query) (Answer, error) {
 	}
 }
 
-// report is the ReportQuery body (PR 1's Solve).
+// report is the ReportQuery body (PR 1's Solve). Heterogeneous fleets are
+// refused with the typed error: the discrete-time simulator realizes the
+// homogeneous model only.
 func (x ExactSim) report(ctx context.Context, s Scenario) (Report, error) {
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return Report{}, err
+	}
+	if s.Heterogeneous() {
+		return Report{}, refuseHeterogeneous(BackendExact, KindReport)
 	}
 	p, err := s.Params()
 	if err != nil {
@@ -455,6 +594,9 @@ func (x ExactSim) report(ctx context.Context, s Scenario) (Report, error) {
 // distribution answers a DistributionQuery empirically: the protocol's
 // sample budget of raw job executions, summarized by the empirical CDF.
 func (x ExactSim) distribution(ctx context.Context, q DistributionQuery) (Answer, error) {
+	if q.Scenario.Heterogeneous() {
+		return nil, refuseHeterogeneous(BackendExact, KindDistribution)
+	}
 	p, err := q.Scenario.Params()
 	if err != nil {
 		return nil, err

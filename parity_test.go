@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"feasim"
@@ -234,6 +235,138 @@ func TestBackendKindParityMatrix(t *testing.T) {
 					t.Errorf("UnsupportedError should carry (%s, %s), got %v", sv.Name(), kind, err)
 				}
 			})
+		}
+	}
+}
+
+// parityFleet is the canonical mixed fleet: two availability classes over
+// four stations, small enough for cheap DES batches.
+func parityFleet() feasim.Scenario {
+	return feasim.Scenario{
+		Name: "parity-het", J: 400, O: 10, Seed: 1993,
+		Stations: []feasim.StationSpec{
+			{P: 0.03, Count: 2},
+			{P: 0.08, Count: 2},
+		},
+	}
+}
+
+// TestHeterogeneousParity checks the mixed fleet across the backends that
+// claim to handle it: the DES answer must track the analytic fleet kernel.
+func TestHeterogeneousParity(t *testing.T) {
+	ctx := context.Background()
+	sc := parityFleet()
+	analytic := feasim.NewAnalyticSolver()
+	des := feasim.NewDESSolver(parityPr, 10)
+
+	aAns, err := analytic.Answer(ctx, feasim.ReportQuery{Scenario: sc})
+	if err != nil {
+		t.Fatalf("analytic heterogeneous report: %v", err)
+	}
+	dAns, err := des.Answer(ctx, feasim.ReportQuery{Scenario: sc})
+	if err != nil {
+		t.Fatalf("des heterogeneous report: %v", err)
+	}
+	a, d := aAns.(feasim.ReportAnswer).Report, dAns.(feasim.ReportAnswer).Report
+	if rel := math.Abs(d.EJob-a.EJob) / a.EJob; rel > 0.08 {
+		t.Errorf("mixed-fleet E[job]: des %.3f vs analytic %.3f, off %.1f%%", d.EJob, a.EJob, rel*100)
+	}
+	if ci := d.WeffCI.Widen(0.75); !ci.Contains(a.WeightedEfficiency) {
+		t.Errorf("mixed-fleet weff CI [%.4f, %.4f] misses analytic %.4f", ci.Lo, ci.Hi, a.WeightedEfficiency)
+	}
+
+	// Threshold over the same mix as a station template: the empirical
+	// bisection should land within one ratio step of the fleet kernel.
+	tq := feasim.ThresholdQuery{
+		W: 4, O: 10, TargetEff: 0.7, Seed: 1993,
+		Stations: []feasim.StationSpec{
+			{P: 0.03, Count: 2},
+			{P: 0.08, Count: 2},
+		},
+	}
+	aThr, err := analytic.Answer(ctx, tq)
+	if err != nil {
+		t.Fatalf("analytic heterogeneous threshold: %v", err)
+	}
+	dThr, err := des.Answer(ctx, tq)
+	if err != nil {
+		t.Fatalf("des heterogeneous threshold: %v", err)
+	}
+	ga, gd := aThr.(feasim.ThresholdAnswer), dThr.(feasim.ThresholdAnswer)
+	if diff := gd.MinRatio - ga.MinRatio; diff < -1 || diff > 1 {
+		t.Errorf("mixed-fleet min ratio: des %d vs analytic %d, off by more than one step", gd.MinRatio, ga.MinRatio)
+	}
+}
+
+// TestExactRefusesHeterogeneous pins the exact backend's typed refusal: its
+// batch-Pow ladder is a single-probability kernel, so heterogeneous inputs
+// must surface an UnsupportedError naming the reason instead of a silent
+// wrong answer.
+func TestExactRefusesHeterogeneous(t *testing.T) {
+	ctx := context.Background()
+	exact := feasim.NewExactSimSolver(parityPr)
+	sc := parityFleet()
+
+	queries := map[string]feasim.Query{
+		feasim.KindReport:       feasim.ReportQuery{Scenario: sc},
+		feasim.KindDistribution: feasim.DistributionQuery{Scenario: sc, Quantiles: []float64{0.5}},
+		feasim.KindThreshold: feasim.ThresholdQuery{
+			W: 4, O: 10, TargetEff: 0.7, Seed: 1993,
+			Stations: []feasim.StationSpec{{P: 0.03, Count: 2}, {P: 0.08, Count: 2}},
+		},
+	}
+	for kind, q := range queries {
+		_, err := exact.Answer(ctx, q)
+		if !errors.Is(err, feasim.ErrUnsupported) {
+			t.Fatalf("%s: want ErrUnsupported, got %v", kind, err)
+		}
+		var ue *feasim.UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Fatalf("%s: want *UnsupportedError, got %v", kind, err)
+		}
+		if ue.Backend != feasim.BackendExact || ue.Kind != kind || ue.Detail != "heterogeneous fleets" {
+			t.Errorf("%s: UnsupportedError carries (%s, %s, %q), want (%s, %s, %q)",
+				kind, ue.Backend, ue.Kind, ue.Detail, feasim.BackendExact, kind, "heterogeneous fleets")
+		}
+	}
+}
+
+// TestDegenerateFleetBitExact pins the collapse contract: a fleet whose
+// stations all resolve to the same (p, speed) must reproduce the aggregate
+// homogeneous answer bit-for-bit, whatever the spelling — split groups,
+// util-vs-p forms, or explicit reference speed.
+func TestDegenerateFleetBitExact(t *testing.T) {
+	ctx := context.Background()
+	analytic := feasim.NewAnalyticSolver()
+	hom := feasim.Scenario{Name: "parity", J: 400, W: 4, O: 10, Util: 0.05, Seed: 1993}
+
+	ref, err := analytic.Answer(ctx, feasim.ReportQuery{Scenario: hom})
+	if err != nil {
+		t.Fatalf("homogeneous reference: %v", err)
+	}
+	want := ref.(feasim.ReportAnswer).Report
+	want.Elapsed = 0
+
+	spellings := map[string][]feasim.StationSpec{
+		"one group":   {{Util: 0.05, Count: 4}},
+		"split 2+2":   {{Util: 0.05, Count: 2}, {Util: 0.05, Count: 2}},
+		"split 1+3":   {{Util: 0.05, Count: 1}, {Util: 0.05, Count: 3}},
+		"unit speed":  {{Util: 0.05, Speed: 1, Count: 4}},
+		"unit counts": {{Util: 0.05}, {Util: 0.05}, {Util: 0.05}, {Util: 0.05}},
+	}
+	for name, stations := range spellings {
+		sc := feasim.Scenario{Name: "parity", J: 400, O: 10, Seed: 1993, Stations: stations}
+		ans, err := analytic.Answer(ctx, feasim.ReportQuery{Scenario: sc})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := ans.(feasim.ReportAnswer).Report
+		got.Elapsed = 0
+		// The embedded scenario echoes the query's own spelling; every
+		// derived number must match the homogeneous answer bit-for-bit.
+		got.Scenario, want.Scenario = feasim.Scenario{}, feasim.Scenario{}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: degenerate fleet report %+v differs from homogeneous %+v", name, got, want)
 		}
 	}
 }

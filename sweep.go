@@ -81,7 +81,7 @@ func LoadQuerySweep(path string) (QuerySweepSpec, error) { return solve.LoadQuer
 type FrontierSpec = solve.FrontierSpec
 
 // FrontierAxis is one searched dimension: an axis name ("w", "util",
-// "task_ratio" or "owner_cv2") plus its closed value range.
+// "task_ratio", "owner_cv2" or "spread") plus its closed value range.
 type FrontierAxis = solve.FrontierAxis
 
 // FrontierCell is one resolved cell of a frontier run: bounds, finest-grid
@@ -107,6 +107,7 @@ const (
 	FrontierAxisUtil     = solve.FrontierAxisUtil
 	FrontierAxisRatio    = solve.FrontierAxisRatio
 	FrontierAxisOwnerCV2 = solve.FrontierAxisOwnerCV2
+	FrontierAxisSpread   = solve.FrontierAxisSpread
 )
 
 // RunFrontier starts the adaptive refinement and streams resolved cells in
